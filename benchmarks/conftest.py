@@ -1,0 +1,29 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one table/figure of the paper at a reduced but
+meaningful scale (1:32 by default — cache and file sizes shrink together,
+preserving every shape; see DESIGN.md §2) and asserts the figure's
+qualitative claim.  Full-resolution regeneration:
+
+    python -m repro.bench --run all            # 1:16 scale, 12 runs/point
+    python -m repro.bench --run fig7 --full-scale
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import BenchConfig
+
+
+@pytest.fixture(scope="session")
+def config() -> BenchConfig:
+    """The scale every benchmark runs at."""
+    return BenchConfig(scale=32, runs=4, noise=0.02)
+
+
+def summarize_rows(result, benchmark) -> None:
+    """Attach the regenerated rows to the benchmark record."""
+    benchmark.extra_info["exp_id"] = result.exp_id
+    benchmark.extra_info["rows"] = [
+        [str(v) for v in row] for row in result.rows]

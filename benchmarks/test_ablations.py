@@ -1,0 +1,38 @@
+"""Design-choice ablations: pick order and readahead cluster size
+(DESIGN.md §5.1-§5.2)."""
+
+from conftest import summarize_rows
+
+from repro.bench.ablations import run_abl_pick_order, run_abl_readahead
+
+
+def test_pick_order_ablation(benchmark, config):
+    result = benchmark.pedantic(run_abl_pick_order, args=(config,),
+                                kwargs={"paper_mb": 64},
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    times = dict(zip(result.column("order"),
+                     result.column("time s (paper-eq)")))
+    pages = dict(zip(result.column("order"),
+                     result.column("device pages")))
+    # lowest-latency-first reads less from the device than linear order
+    # (which rereads everything, exactly like the non-SLEDs baseline)
+    assert pages["sleds"] < pages["linear"]
+    assert times["sleds"] < times["linear"]
+    # random order must not beat the deliberate order
+    assert times["sleds"] <= times["random"]
+
+
+def test_readahead_ablation(benchmark, config):
+    result = benchmark.pedantic(run_abl_readahead, args=(config,),
+                                kwargs={"paper_mb": 32},
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    windows = result.column("max window (pages)")
+    times = result.column("time s (paper-eq)")
+    by_window = dict(zip(windows, times))
+    # larger clusters amortise per-access latency: 16-page readahead must
+    # clearly beat single-page I/O, so the non-SLEDs baseline streams at
+    # realistic bandwidth (no strawman)
+    assert by_window[16] < by_window[1]
+    assert by_window[4] < by_window[1]

@@ -1,0 +1,18 @@
+"""Figure 3: movement of data among storage levels during two linear
+passes — the LRU pathology that motivates reordering."""
+
+from conftest import summarize_rows
+
+from repro.bench.experiments import run_fig3
+
+
+def test_fig3_two_pass_trace(benchmark, config):
+    result = benchmark.pedantic(run_fig3, args=(config,),
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    second_pass = [row for row in result.rows if row[0] == 2]
+    assert len(second_pass) == 5
+    assert all(row[3] == "FAULT" for row in second_pass), \
+        "the second linear pass must gain nothing from the cache"
+    assert "SLEDs order = 2/5" in result.notes[0], \
+        "cached-first order must fault on exactly the 2 uncached blocks"

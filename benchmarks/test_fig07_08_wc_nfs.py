@@ -1,0 +1,43 @@
+"""Figures 7 and 8: wc over NFS with/without SLEDs, warm cache.
+
+Paper shape: SLEDs shows an advantage once the file exceeds the ~42 MB
+file cache; the absolute gap stays roughly constant beyond that; the
+speedup ratio peaks (paper: ~4.5) just above the cache size and declines
+gradually toward larger files.
+"""
+
+from conftest import summarize_rows
+
+from repro.bench.experiments import run_fig7, run_fig8
+
+SIZES = (16, 32, 48, 64, 96, 128)
+
+
+def test_fig7_wc_nfs_times(benchmark, config):
+    result = benchmark.pedantic(run_fig7, args=(config, SIZES),
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    speedups = dict(zip(result.column("MB"), result.column("speedup")))
+    without = dict(zip(result.column("MB"), result.column("without s")))
+    # below cache: both modes near parity (no benefit, bounded overhead)
+    assert 0.6 <= speedups[16] <= 1.3
+    assert 0.6 <= speedups[32] <= 1.3
+    # above cache: SLEDs wins
+    assert speedups[64] > 1.5
+    assert speedups[96] > 1.3
+    assert speedups[128] > 1.2
+    # the without-SLEDs curve keeps growing with file size
+    assert without[128] > without[64] > without[32]
+
+
+def test_fig8_speedup_peak_location(benchmark, config):
+    result = benchmark.pedantic(run_fig8, args=(config, SIZES),
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    speedups = dict(zip(result.column("MB"), result.column("speedup")))
+    peak_mb = max(speedups, key=speedups.get)
+    # paper: best percentage gain lands just above the cache size (~60 MB)
+    assert 48 <= peak_mb <= 96
+    assert speedups[peak_mb] > 2.0
+    # gradual decline after the peak, not a cliff
+    assert speedups[128] > 1.0

@@ -1,0 +1,28 @@
+"""Figure 9: wc page faults on CD-ROM, warm cache.
+
+Paper shape: without SLEDs the fault count rises sharply once the file no
+longer fits in the cache (closely tracking execution time); with SLEDs the
+increase is gradual — the cached fraction never faults.
+"""
+
+from conftest import summarize_rows
+
+from repro.bench.experiments import run_fig9
+
+SIZES = (24, 48, 64, 96)
+
+
+def test_fig9_wc_cdrom_faults(benchmark, config):
+    result = benchmark.pedantic(run_fig9, args=(config, SIZES),
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    rows = {row[0]: row for row in result.rows}
+    # below cache: no device I/O at all on a warm cache
+    assert rows[24][1] == 0 and rows[24][2] == 0
+    # above cache: without-SLEDs faults grow ~linearly with size...
+    assert rows[96][1] > rows[64][1] > rows[48][1] > 0
+    # ...while SLEDs cuts them by at least a quarter everywhere
+    for mb in (48, 64, 96):
+        assert rows[mb][3] > 25, f"fault reduction at {mb} MB too small"
+    # and the with-SLEDs curve stays below the without curve
+    assert rows[96][2] < rows[96][1]

@@ -1,0 +1,30 @@
+"""Figure 10: grep (all matches) on CD-ROM, warm cache.
+
+Paper shape: a small CPU overhead for small (fully cached) files — the
+price of buffering and sorting matches; for large files a roughly constant
+gain (paper: ~15 s) equal to the CD-ROM cache-fill time the non-SLEDs run
+wastes.
+"""
+
+from conftest import summarize_rows
+
+from repro.bench.experiments import run_fig10
+
+SIZES = (24, 40, 64, 80, 96)
+
+
+def test_fig10_grep_all_matches_cdrom(benchmark, config):
+    result = benchmark.pedantic(run_fig10, args=(config, SIZES),
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    gains = dict(zip(result.column("MB"), result.column("gain s")))
+    # small files: bounded CPU overhead, no catastrophic loss
+    assert -2.5 < gains[24] <= 0.5
+    assert -2.5 < gains[40] <= 0.5
+    # large files: a clear, positive, roughly constant gain
+    for mb in (64, 80, 96):
+        assert gains[mb] > 0.5, f"no SLEDs gain at {mb} MB"
+    spread = max(gains[mb] for mb in (64, 80, 96)) - \
+        min(gains[mb] for mb in (64, 80, 96))
+    assert spread < 0.8 * max(gains[96], 1e-9), \
+        "gain should be roughly constant above the cache size"

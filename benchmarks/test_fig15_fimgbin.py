@@ -1,0 +1,28 @@
+"""Figure 15: fimgbin elapsed time, ext2, warm cache, 4x and 16x
+reduction factors.
+
+Paper shape: gains above the cache size; the 16x reduction (less write
+traffic) gains more than the 4x reduction — "indicating that the write
+traffic is an important factor".
+"""
+
+from conftest import summarize_rows
+
+from repro.bench.experiments import run_fig15
+
+SIZES = (16, 64)
+
+
+def test_fig15_fimgbin_factors(benchmark, config):
+    result = benchmark.pedantic(run_fig15, args=(config, SIZES),
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    gains = {(row[0], row[1]): row[4] for row in result.rows}
+    # below cache: parity for both factors
+    assert abs(gains[(16, 4)]) < 5
+    assert abs(gains[(16, 16)]) < 5
+    # above cache: positive gains, 16x >= 4x
+    assert gains[(64, 4)] > 5
+    assert gains[(64, 16)] > 5
+    assert gains[(64, 16)] >= gains[(64, 4)], \
+        "less write traffic (16x) must leave more for SLEDs to win"

@@ -1,0 +1,136 @@
+"""Benchmarks for the future-work extensions: zone-aware SLEDs,
+client/server SLEDs, flash, progress estimators, and the remaining
+design-choice ablations."""
+
+from conftest import summarize_rows
+
+from repro.bench.ablations import (
+    run_abl_aio,
+    run_abl_fragmentation,
+    run_abl_mmap,
+    run_abl_pin,
+    run_abl_scheduler,
+    run_extD,
+    run_extE,
+    run_extF,
+    run_extG,
+)
+
+
+def test_extD_zone_aware_accuracy(benchmark, config):
+    result = benchmark.pedantic(run_extD, args=(config,),
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    errors = {(row[0], row[1]): row[4] for row in result.rows}
+    assert errors[("per-zone", "inner")] < errors[("per-device", "inner")]
+
+
+def test_extE_client_server_sleds(benchmark, config):
+    result = benchmark.pedantic(run_extE, args=(config,),
+                                kwargs={"trials": 5},
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    times = dict(zip(result.column("mode"),
+                     result.column("time s (paper-eq)")))
+    assert times["server SLEDs"] < times["client-only SLEDs"]
+
+
+def test_extF_flash_device_independence(benchmark, config):
+    result = benchmark.pedantic(run_extF, args=(config,),
+                                kwargs={"sizes_mb": (64, 96)},
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    by_key = {(row[0], row[1]): row[4] for row in result.rows}
+    # on the 1999 disk, SLEDs wins above the cache; on flash the gap to
+    # memory vanishes and so does the win — SLEDs report both correctly
+    assert by_key[("disk", 64)] > 1.3
+    assert by_key[("flash", 64)] < by_key[("disk", 64)]
+
+
+def test_extG_progress_estimators(benchmark, config):
+    result = benchmark.pedantic(run_extG, args=(config,),
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    hsm_rows = [row for row in result.rows if row[0] == "hsm"]
+    # the dynamic estimator's early error dwarfs the SLEDs estimate's
+    assert hsm_rows[0][2] > 5 * hsm_rows[0][3]
+    # and it improves as the one-time cost amortises
+    assert hsm_rows[-1][2] < hsm_rows[0][2]
+
+
+def test_abl_mmap(benchmark, config):
+    result = benchmark.pedantic(run_abl_mmap, args=(config,),
+                                kwargs={"sizes_mb": (24, 40)},
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    for row in result.rows:
+        assert row[3] < row[2], "mmap must beat read()-based SLEDs"
+
+
+def test_abl_pin(benchmark, config):
+    result = benchmark.pedantic(run_abl_pin, args=(config,),
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    pages = dict(zip(result.column("pinning"),
+                     result.column("device pages")))
+    assert pages["pinned"] < pages["unpinned"]
+
+
+def test_abl_scheduler(benchmark, config):
+    result = benchmark.pedantic(run_abl_scheduler, args=(config,),
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    times = dict(zip(result.column("scheduler"),
+                     result.column("sync s (paper-eq)")))
+    assert times["clook"] < times["fcfs"]
+
+
+def test_abl_fragmentation(benchmark, config):
+    result = benchmark.pedantic(run_abl_fragmentation, args=(config,),
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    for row in result.rows:
+        assert row[3] > 1.1  # SLEDs wins on clean and aged layouts
+
+
+def test_abl_aio(benchmark, config):
+    result = benchmark.pedantic(run_abl_aio, args=(config,),
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    times = result.column("time s (paper-eq)")
+    assert times[0] < times[1]
+
+
+def test_extH_better_citizen(benchmark, config):
+    from repro.bench.ablations import run_extH
+    result = benchmark.pedantic(run_extH, args=(config,),
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    pages = dict(zip(result.column("mode"),
+                     result.column("total device pages")))
+    assert pages["with SLEDs"] < pages["without"]
+
+
+def test_extJ_interrupted_search(benchmark, config):
+    from repro.bench.ablations import run_extJ
+    result = benchmark.pedantic(run_extJ, args=(config,),
+                                kwargs={"trials": 6},
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    pages = dict(zip(result.column("strategy"),
+                     result.column("device pages")))
+    times = dict(zip(result.column("strategy"),
+                     result.column("time s (paper-eq)")))
+    assert pages["cached-first"] == 0, \
+        "the SLEDs-aware search must touch no device when the match is cached"
+    assert times["cached-first"] < times["naive rescan"]
+
+
+def test_extI_fileset_tape_batching(benchmark, config):
+    from repro.bench.ablations import run_extI
+    result = benchmark.pedantic(run_extI, args=(config,),
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    exchanges = dict(zip(result.column("order"),
+                         result.column("cartridge exchanges")))
+    assert exchanges["sleds order"] < exchanges["name order"]

@@ -1,0 +1,59 @@
+"""Tables 2 and 3: boot-time device characterisation.
+
+Paper rows — Table 2: memory 175 ns / 48 MB/s, disk 18 ms / 9.0 MB/s,
+CD-ROM 130 ms / 2.8 MB/s, NFS 270 ms / 1.0 MB/s.  Table 3: memory
+210 ns / 87 MB/s, disk 16.5 ms / 7.0 MB/s.
+"""
+
+from conftest import summarize_rows
+
+from repro.bench.experiments import run_table2, run_table3
+from repro.bench.lmbench import characterize
+from repro.devices.disk import DiskDevice
+from repro.machine import Machine
+from repro.sim.units import MB
+
+import numpy as np
+
+
+def test_table2_characterisation(benchmark, config):
+    result = benchmark.pedantic(run_table2, args=(config,),
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    levels = dict(zip(result.column("level"),
+                      zip(result.column("latency"),
+                          result.column("bandwidth MB/s"))))
+    assert set(levels) == {"memory", "ext2", "iso9660", "nfs"}
+    assert 7.5 <= levels["ext2"][1] <= 10.5        # paper: 9.0 MB/s
+    assert 2.2 <= levels["iso9660"][1] <= 3.2      # paper: 2.8 MB/s
+    assert 0.8 <= levels["nfs"][1] <= 1.2          # paper: 1.0 MB/s
+
+
+def test_table3_characterisation(benchmark, config):
+    result = benchmark.pedantic(run_table3, args=(config,),
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    levels = dict(zip(result.column("level"),
+                      result.column("bandwidth MB/s")))
+    assert 5.8 <= levels["ext2"] <= 8.2            # paper: 7.0 MB/s
+
+
+def test_micro_lmbench_disk_probe(benchmark):
+    """Microbenchmark: one full disk characterisation pass."""
+    def probe():
+        disk = DiskDevice(rng=np.random.default_rng(0))
+        return characterize(disk)
+
+    latency, bandwidth = benchmark(probe)
+    assert 0.014 <= latency <= 0.022
+    assert 7.5 * MB <= bandwidth <= 10.5 * MB
+
+
+def test_micro_boot_fill(benchmark):
+    """Microbenchmark: whole-machine boot (mount + characterise + fill)."""
+    def boot():
+        machine = Machine.unix_utilities(cache_pages=128, seed=1)
+        return machine.boot()
+
+    entries = benchmark(boot)
+    assert "memory" in entries

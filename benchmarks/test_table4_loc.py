@@ -1,0 +1,17 @@
+"""Table 4: lines of code modified per SLEDs-adapted application."""
+
+from conftest import summarize_rows
+
+from repro.bench.experiments import run_table4
+
+
+def test_table4_loc(benchmark, config):
+    result = benchmark.pedantic(run_table4, args=(config,),
+                                rounds=1, iterations=1)
+    summarize_rows(result, benchmark)
+    sleds = dict(zip(result.column("application"),
+                     result.column("sleds lines (ours)")))
+    # the paper's ordering claim: grep needed by far the most change
+    assert sleds["grep"] == max(
+        v for k, v in sleds.items() if k != "cfitsio (ff library)")
+    assert all(v > 0 for v in sleds.values())

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""The "better citizen" claim: concurrent SLEDs scans share a cache.
+
+The paper: by reordering, an application "may improve its performance by
+orders of magnitude, as well as be a better citizen by reducing system
+load."  That second half is about everyone else on the machine — so this
+demo runs *two* word counts at once, interleaved over one kernel, each
+re-reading a file it recently used.  Together the files exceed the cache:
+every plain scan's faults evict the other scan's cached data, so both
+lose.  The SLEDs pair drains cached data first and the system as a whole
+does a quarter less device I/O.
+
+Run:  python examples/concurrent_citizens.py
+"""
+
+from repro import Machine
+from repro.sim.tasks import RoundRobin, Task, wc_task
+from repro.sim.units import PAGE_SIZE, human_time
+
+
+def run_pair(use_sleds: bool):
+    machine = Machine.unix_utilities(cache_pages=672, seed=2026)
+    machine.boot()
+    kernel = machine.kernel
+    size = 512 * PAGE_SIZE  # each file ~3/4 of the cache
+    machine.ext2.create_text_file("proj/alpha.txt", size, seed=1)
+    machine.ext2.create_text_file("proj/beta.txt", size, seed=2)
+    kernel.warm_file("/mnt/ext2/proj/alpha.txt")
+    kernel.warm_file("/mnt/ext2/proj/beta.txt")
+
+    pages_before = kernel.counters.pages_read
+    start = kernel.clock.now
+    stats = RoundRobin(kernel, [
+        Task("alpha", wc_task(kernel, "/mnt/ext2/proj/alpha.txt",
+                              use_sleds=use_sleds)),
+        Task("beta", wc_task(kernel, "/mnt/ext2/proj/beta.txt",
+                             use_sleds=use_sleds)),
+    ]).run()
+    makespan = kernel.clock.now - start
+    total_pages = kernel.counters.pages_read - pages_before
+    return stats, makespan, total_pages
+
+
+def main() -> None:
+    print("two interleaved wc scans, files warm but jointly > cache\n")
+    results = {}
+    for use_sleds in (False, True):
+        label = "with SLEDs" if use_sleds else "without SLEDs"
+        stats, makespan, total_pages = run_pair(use_sleds)
+        results[use_sleds] = (makespan, total_pages)
+        print(f"=== {label} ===")
+        for name, s in stats.items():
+            print(f"  {name:6s} time {human_time(s.virtual_time):>10s}  "
+                  f"faults {s.hard_faults:3d}  "
+                  f"finished at {human_time(s.finished_at)}")
+        print(f"  system: makespan {human_time(makespan)}, "
+              f"{total_pages} pages from disk\n")
+
+    (t0, p0), (t1, p1) = results[False], results[True]
+    print(f"SLEDs pair: {100 * (1 - p1 / p0):.0f}% less device traffic, "
+          f"{100 * (1 - t1 / t0):.0f}% shorter makespan — the win is "
+          f"system-wide, not zero-sum between the two tasks.")
+
+
+if __name__ == "__main__":
+    main()

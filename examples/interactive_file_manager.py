@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""The gmc file-manager panel: reporting latency to users (paper §5.2).
+
+"The SLEDs panel reports the length, offset, latency, and bandwidth of
+each SLED, as well as the estimated total delivery time for the file.
+Users can interactively use this panel to decide whether or not to access
+files; this is expected to be especially useful in HSM systems and
+low-bandwidth distributed systems."
+
+This demo renders the panel for the same file on ext2, CD-ROM, and NFS,
+cold and warm, showing how the estimates track the dynamic cache state.
+
+Run:  python examples/interactive_file_manager.py
+"""
+
+from repro import Machine
+from repro.apps.gmc import file_properties, format_panel, should_wait_prompt
+from repro.sim.units import MB
+
+
+def main() -> None:
+    machine = Machine.unix_utilities(cache_pages=384, seed=77)
+    machine.boot()
+    kernel = machine.kernel
+
+    for fs, mount in ((machine.ext2, "ext2"), (machine.cdrom, "cdrom"),
+                      (machine.nfs, "nfs")):
+        fs.create_text_file("pub/dataset.txt", 2 * MB, seed=3)
+
+    print("=== properties panels, cold cache ===")
+    for mount in ("ext2", "cdrom", "nfs"):
+        panel = file_properties(kernel, f"/mnt/{mount}/pub/dataset.txt")
+        print(f"[{mount}] {should_wait_prompt(panel, patience_seconds=1.0)}")
+
+    print("\n=== the user reads half of the NFS copy, then re-opens it ===")
+    fd = kernel.open("/mnt/nfs/pub/dataset.txt")
+    kernel.read(fd, 1 * MB)
+    kernel.close(fd)
+
+    panel = file_properties(kernel, "/mnt/nfs/pub/dataset.txt")
+    print(format_panel(panel))
+    print(f"\ncached bytes now: {panel.cached_bytes} "
+          f"({100 * panel.cached_bytes // panel.size}% of the file)")
+    print(f"verdict: {should_wait_prompt(panel, patience_seconds=1.0)}")
+
+    print("\nNote how the panel distinguishes the cached head (memory "
+          "latency) from the remote tail (NFS latency) — information no "
+          "spinning-cursor progress bar can give before the transfer "
+          "starts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Progress indicators: the paper's §3.3 "Reporting Latency" use case.
+
+"Most applications which users interact with directly are occasionally
+forced to retrieve significant amounts of data, resulting in the
+appearance of icons informing the user that she must wait, but with no
+indication of the expected duration. ... Dynamically calculated estimates
+can be heavily skewed by high initial latency, such as in an HSM system.
+Using SLEDs instead provides a clearer picture ... and can be provided
+before the retrieval operation is initiated."
+
+This demo retrieves a tape-resident file and prints, at each progress
+sample, what the two estimators would show the user.  Watch the dynamic
+estimator panic during the mount and slowly recover, while the SLEDs
+estimate is sane from before the first byte.
+
+Run:  python examples/progress_indicators.py
+"""
+
+from repro import Machine
+from repro.apps.progress import retrieve_with_progress
+from repro.fs.content import SyntheticText
+from repro.sim.units import MB, human_time
+
+
+def bar(fraction: float, width: int = 24) -> str:
+    filled = int(fraction * width)
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def main() -> None:
+    machine = Machine.hsm(cache_pages=256, seed=33)
+    machine.boot()
+    kernel = machine.kernel
+    size = 2 * MB
+    inode = machine.hsmfs.create_tape_file("survey/night42.dat", size,
+                                           "VOL003")
+    inode.content = SyntheticText(seed=9, size=size)
+    path = "/mnt/hsm/survey/night42.dat"
+
+    report = retrieve_with_progress(kernel, path, samples=10)
+    print(f"retrieving {path} ({size >> 20} MB from a shelved cartridge)\n")
+    print(f"before the first byte, SLEDs already estimate "
+          f"{human_time(report.initial_estimate)} "
+          f"(actual turned out to be {human_time(report.total_time)})\n")
+    print(f"{'progress':26s} {'elapsed':>10} {'dynamic ETA':>12} "
+          f"{'SLEDs ETA':>12}")
+    for sample in report.samples:
+        dynamic = ("   (no data)" if sample.eta_dynamic is None
+                   else f"{human_time(sample.eta_dynamic):>12}")
+        print(f"{bar(sample.fraction_done)} {sample.fraction_done:4.0%} "
+              f"{human_time(sample.elapsed):>10} {dynamic} "
+              f"{human_time(sample.eta_sleds):>12}")
+
+    dynamic_err, sleds_err = report.estimator_errors(0.10)
+    print(f"\nat 10% progress the dynamic estimator's implied total was "
+          f"off by {100 * dynamic_err:.0f}%, the SLEDs estimate by "
+          f"{100 * sleds_err:.0f}% — the tape mount skews rate "
+          f"extrapolation exactly as the paper warns.")
+
+
+if __name__ == "__main__":
+    main()

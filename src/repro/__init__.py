@@ -1,0 +1,66 @@
+"""SLEDs — Storage Latency Estimation Descriptors.
+
+A full, simulation-based reproduction of Van Meter & Gao, *Latency
+Management in Storage Systems* (OSDI 2000).  The package provides:
+
+* :mod:`repro.core` — the SLEDs API: SLED vectors, the kernel-side builder,
+  and the user-space pick/delivery library;
+* :mod:`repro.kernel` — a simulated Unix kernel (VFS, page cache, syscalls,
+  the ``FSLEDS_FILL``/``FSLEDS_GET`` ioctls);
+* :mod:`repro.devices`, :mod:`repro.fs`, :mod:`repro.cache`,
+  :mod:`repro.hsm` — the storage substrate (disk/CD-ROM/NFS/tape models,
+  ext2/ISO9660/NFS/HSM filesystems, LRU page cache);
+* :mod:`repro.apps`, :mod:`repro.lhea`, :mod:`repro.fits` — the modified
+  applications (wc, grep, find, gmc, fimhisto, fimgbin) and the FITS
+  substrate;
+* :mod:`repro.bench` — the harness regenerating every table and figure of
+  the paper's evaluation.
+
+Quickstart::
+
+    from repro import Machine
+
+    machine = Machine.unix_utilities()          # paper Table 2 box
+    machine.ext2.create_text_file("data/big.txt", 96 << 20, seed=7)
+    machine.boot()                              # lmbench fill of the sleds table
+    machine.kernel.warm_file("/mnt/ext2/data/big.txt")
+
+    fd = machine.kernel.open("/mnt/ext2/data/big.txt")
+    for sled in machine.kernel.get_sleds(fd):
+        print(sled)
+"""
+
+from repro.core import (
+    SLEDS_BEST,
+    SLEDS_LINEAR,
+    Sled,
+    SledTable,
+    SledVector,
+    estimate_delivery_time,
+    sleds_pick_finish,
+    sleds_pick_init,
+    sleds_pick_next_read,
+    sleds_total_delivery_time,
+)
+from repro.kernel import FSLEDS_FILL, FSLEDS_GET, Kernel
+from repro.machine import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Machine",
+    "Kernel",
+    "Sled",
+    "SledVector",
+    "SledTable",
+    "FSLEDS_FILL",
+    "FSLEDS_GET",
+    "sleds_pick_init",
+    "sleds_pick_next_read",
+    "sleds_pick_finish",
+    "sleds_total_delivery_time",
+    "estimate_delivery_time",
+    "SLEDS_LINEAR",
+    "SLEDS_BEST",
+    "__version__",
+]

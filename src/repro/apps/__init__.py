@@ -1,0 +1,56 @@
+"""The paper's modified applications (wc, grep, find, gmc) and the
+extensions that join the family (cmp, progress, file sets, regex)."""
+
+from repro.apps.findutil import (
+    FindHit,
+    LatencyPredicate,
+    find,
+    find_exec_grep_cached_first,
+    parse_latency,
+)
+from repro.apps.gmc import (
+    SledsPanel,
+    file_properties,
+    format_panel,
+    should_wait_prompt,
+)
+from repro.apps.cmp import CmpResult, cmp
+from repro.apps.filesets import (
+    estimate_set,
+    fileset_wc,
+    iterate_by_latency,
+)
+from repro.apps.gmc import directory_listing, format_directory
+from repro.apps.grep import GrepMatch, GrepResult, grep
+from repro.apps.progress import RetrievalReport, retrieve_with_progress
+from repro.apps.regex import CompiledRegex, RegexError, compile_regex
+from repro.apps.wc import WcResult, wc
+
+__all__ = [
+    "wc",
+    "WcResult",
+    "grep",
+    "GrepResult",
+    "GrepMatch",
+    "find",
+    "FindHit",
+    "parse_latency",
+    "LatencyPredicate",
+    "find_exec_grep_cached_first",
+    "file_properties",
+    "format_panel",
+    "should_wait_prompt",
+    "SledsPanel",
+    "directory_listing",
+    "format_directory",
+    "retrieve_with_progress",
+    "RetrievalReport",
+    "compile_regex",
+    "CompiledRegex",
+    "RegexError",
+    "cmp",
+    "CmpResult",
+    "iterate_by_latency",
+    "estimate_set",
+    "fileset_wc",
+]

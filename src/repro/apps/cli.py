@@ -1,0 +1,195 @@
+"""``sleds-run`` — drive the SLEDs applications from the command line.
+
+Builds a simulated machine from a scenario file (or the built-in demo
+scenario) and runs one of the ported utilities against it, printing the
+result plus the run's virtual-time/fault accounting — the closest thing
+to sitting at the paper's test machine.
+
+Examples::
+
+    sleds-run wc /mnt/ext2/demo/big.txt --sleds
+    sleds-run grep XNEEDLEX /mnt/ext2/demo/big.txt -q --sleds
+    sleds-run find /mnt/ext2 -latency -m50
+    sleds-run gmc /mnt/ext2/demo/big.txt
+    sleds-run sleds /mnt/ext2/demo/big.txt          # raw FSLEDS_GET dump
+    sleds-run timeline /mnt/ext2/demo/big.txt       # traced wc + timeline
+    sleds-run --scenario my_setup.json wc /mnt/nfs/pub/dataset.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps.findutil import find
+from repro.apps.gmc import file_properties, format_panel, should_wait_prompt
+from repro.apps.grep import grep
+from repro.apps.wc import wc
+from repro.bench.scenario import DEFAULT_SCENARIO, build_scenario, load_scenario
+from repro.core.delivery import SLEDS_BEST, SLEDS_LINEAR
+from repro.sim.trace import Tracer, render_timeline
+from repro.sim.units import MB, human_time
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sleds-run",
+        description="Run the SLEDs-adapted utilities on a simulated "
+                    "storage stack.")
+    parser.add_argument("--scenario", metavar="FILE", default=None,
+                        help="scenario JSON (default: built-in demo)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_wc = sub.add_parser("wc", help="count lines/words/bytes")
+    p_wc.add_argument("path")
+    p_wc.add_argument("--sleds", action="store_true")
+    p_wc.add_argument("--mmap", action="store_true",
+                      help="mmap-friendly library (implies --sleds)")
+
+    p_grep = sub.add_parser("grep", help="search for a literal pattern")
+    p_grep.add_argument("pattern")
+    p_grep.add_argument("path")
+    p_grep.add_argument("--sleds", action="store_true")
+    p_grep.add_argument("-q", action="store_true", dest="quiet",
+                        help="stop at the first match")
+    p_grep.add_argument("-n", action="store_true", dest="line_numbers",
+                        help="print line numbers")
+    p_grep.add_argument("--mmap", action="store_true")
+    p_grep.add_argument("-E", action="store_true", dest="regex",
+                        help="interpret PATTERN as a regular expression")
+
+    p_find = sub.add_parser("find", help="walk a tree with predicates")
+    p_find.add_argument("root")
+    p_find.add_argument("-name", default=None)
+    p_find.add_argument("-latency", default=None,
+                        help="[+|-][m|u]N total delivery time predicate "
+                             "(use -latency=-m50 for 'less than' values "
+                             "so the shell parser keeps the minus)")
+    p_find.add_argument("--best", action="store_true",
+                        help="use the SLEDS_BEST attack plan")
+    p_find.add_argument("-xdev", action="store_true",
+                        help="do not cross mount points")
+
+    p_gmc = sub.add_parser("gmc", help="file-manager properties panel")
+    p_gmc.add_argument("path")
+
+    p_sleds = sub.add_parser("sleds", help="dump the raw SLED vector")
+    p_sleds.add_argument("path")
+
+    p_tl = sub.add_parser("timeline",
+                          help="trace a wc run and render a timeline")
+    p_tl.add_argument("path")
+    p_tl.add_argument("--sleds", action="store_true")
+
+    p_prog = sub.add_parser("progress",
+                            help="retrieve a file, comparing progress "
+                                 "estimators (paper §3.3)")
+    p_prog.add_argument("path")
+    p_prog.add_argument("--samples", type=int, default=10)
+    return parser
+
+
+def _report_run(run) -> None:
+    print(f"---\nvirtual time {human_time(run.elapsed)}  "
+          f"faults {run.hard_faults}  "
+          f"device pages {run.counters.pages_read}")
+    parts = ", ".join(f"{cat} {human_time(seconds)}"
+                      for cat, seconds in sorted(run.by_category.items()))
+    if parts:
+        print(f"breakdown: {parts}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    machine = (load_scenario(args.scenario) if args.scenario
+               else build_scenario(DEFAULT_SCENARIO))
+    kernel = machine.kernel
+
+    if args.command == "wc":
+        use_sleds = args.sleds or args.mmap
+        with kernel.process() as run:
+            result = wc(kernel, args.path, use_sleds=use_sleds,
+                        via_mmap=args.mmap)
+        print(f"{result.lines:8d} {result.words:8d} {result.chars:8d} "
+              f"{args.path}")
+        _report_run(run)
+        return 0
+
+    if args.command == "grep":
+        use_sleds = args.sleds or args.mmap
+        with kernel.process() as run:
+            result = grep(kernel, args.path, args.pattern.encode(),
+                          use_sleds=use_sleds,
+                          first_match_only=args.quiet,
+                          via_mmap=args.mmap, regex=args.regex)
+        for match in result.matches:
+            prefix = (f"{match.line_number}:" if args.line_numbers else "")
+            print(f"{prefix}{match.line.decode(errors='replace')}")
+        _report_run(run)
+        return 0 if result.count else 1
+
+    if args.command == "find":
+        plan = SLEDS_BEST if args.best else SLEDS_LINEAR
+        with kernel.process() as run:
+            hits = find(kernel, args.root, name=args.name,
+                        latency=args.latency, attack_plan=plan,
+                        cross_mounts=not args.xdev)
+        for hit in hits:
+            extra = ("" if hit.delivery_time is None
+                     else f"  ({human_time(hit.delivery_time)})")
+            print(f"{hit.path}{extra}")
+        _report_run(run)
+        return 0
+
+    if args.command == "gmc":
+        if kernel.stat(args.path).is_dir:
+            from repro.apps.gmc import format_directory
+            print(format_directory(kernel, args.path))
+            return 0
+        panel = file_properties(kernel, args.path)
+        print(format_panel(panel))
+        print(f"\n{should_wait_prompt(panel)}")
+        return 0
+
+    if args.command == "sleds":
+        fd = kernel.open(args.path)
+        vector = kernel.get_sleds(fd)
+        kernel.close(fd)
+        print(f"{len(vector)} SLED(s) over {vector.file_size} bytes:")
+        for sled in vector:
+            print(f"  offset={sled.offset:<10} length={sled.length:<10} "
+                  f"latency={human_time(sled.latency):>10} "
+                  f"bandwidth={sled.bandwidth / MB:6.1f} MB/s")
+        return 0
+
+    if args.command == "timeline":
+        tracer = Tracer()
+        kernel.attach_tracer(tracer)
+        with kernel.process() as run:
+            wc(kernel, args.path, use_sleds=args.sleds)
+        kernel.detach_tracer()
+        print(render_timeline(tracer.events()))
+        _report_run(run)
+        return 0
+
+    if args.command == "progress":
+        from repro.apps.progress import retrieve_with_progress
+        report = retrieve_with_progress(kernel, args.path,
+                                        samples=args.samples)
+        print(f"initial SLEDs estimate {human_time(report.initial_estimate)}"
+              f"; actual {human_time(report.total_time)}")
+        print(f"{'done':>6} {'elapsed':>10} {'dynamic ETA':>12} "
+              f"{'sleds ETA':>12}")
+        for sample in report.samples:
+            dynamic = ("-" if sample.eta_dynamic is None
+                       else human_time(sample.eta_dynamic))
+            print(f"{sample.fraction_done:6.0%} "
+                  f"{human_time(sample.elapsed):>10} {dynamic:>12} "
+                  f"{human_time(sample.eta_sleds):>12}")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

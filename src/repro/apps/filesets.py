@@ -1,0 +1,67 @@
+"""File sets: inter-file access ordering by delivery estimate.
+
+The paper's related work credits Steere's file sets [Ste97] with
+"ordering access to a group of files to present the cached files first.
+However, there is no notion of intra-file access ordering."  SLEDs
+subsume that idea: the per-file total-delivery estimate orders the *set*,
+and the pick library orders accesses *within* each file.
+
+:func:`iterate_by_latency` yields the members of a file set
+cheapest-first, re-estimating the remainder after each file is consumed —
+so state changes caused by processing one member (a tape now mounted, a
+server cache now warm) immediately benefit the ordering of the rest.
+On an HSM this reproduces tape-schedule batching for free: all files on
+the mounted cartridge drain before the autochanger swaps.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.delivery import SLEDS_BEST, sleds_total_delivery_time_path
+from repro.sim.errors import InvalidArgumentError
+
+
+def estimate_set(kernel, paths: list[str],
+                 attack_plan: str = SLEDS_BEST) -> list[tuple[str, float]]:
+    """(path, delivery estimate) for every member, current state."""
+    return [(path, sleds_total_delivery_time_path(kernel, path, attack_plan))
+            for path in paths]
+
+
+def iterate_by_latency(kernel, paths: list[str],
+                       attack_plan: str = SLEDS_BEST,
+                       reestimate: bool = True) -> Iterator[str]:
+    """Yield set members cheapest-first.
+
+    With ``reestimate`` (default), the remaining members are re-estimated
+    after each yield, so the ordering tracks the storage system's evolving
+    state; without it, the order is fixed by the initial estimates
+    (Steere-style static ordering).
+    """
+    if len(set(paths)) != len(paths):
+        raise InvalidArgumentError("file set contains duplicate paths")
+    remaining = list(paths)
+    if not reestimate:
+        for path, _ in sorted(estimate_set(kernel, remaining, attack_plan),
+                              key=lambda item: item[1]):
+            yield path
+        return
+    while remaining:
+        estimates = estimate_set(kernel, remaining, attack_plan)
+        path, _ = min(estimates, key=lambda item: item[1])
+        remaining.remove(path)
+        yield path
+
+
+def fileset_wc(kernel, paths: list[str], use_sleds: bool = True):
+    """wc over a whole file set in latency order; returns
+    ``{path: WcResult}`` (insertion order = processing order)."""
+    from repro.apps.wc import wc
+
+    out = {}
+    ordered = (iterate_by_latency(kernel, paths) if use_sleds
+               else iter(paths))
+    for path in ordered:
+        out[path] = wc(kernel, path, use_sleds=use_sleds)
+    return out

@@ -1,0 +1,185 @@
+"""``find`` — directory-tree walk with predicates, including ``-latency``.
+
+The paper adds a predicate over the file's estimated total delivery time:
+"``find -latency +n`` looks for files with more than n seconds total
+retrieval time, ``n`` means exactly n seconds and ``-n`` means less than
+n seconds.  ``mn`` or ``Mn`` instead of ``n`` can be used for units of
+milliseconds, and ``un`` or ``Un`` used for microseconds."  It was
+"implemented similarly to other predicates such as ``-atime``", using
+``sleds_total_delivery_time``.
+
+This lets a user prune I/O: skip tape-resident files, skip anything that
+would hammer an NFS server, or — the paper's running example — grep the
+cached parts of a source tree first (see
+:func:`find_exec_grep_cached_first`).
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.delivery import (
+    SLEDS_BEST,
+    SLEDS_LINEAR,
+    sleds_total_delivery_time_path,
+)
+from repro.sim.errors import InvalidArgumentError
+
+#: relative tolerance for the "exactly n seconds" comparison
+_EXACT_RTOL = 1e-6
+
+
+@dataclass(frozen=True)
+class LatencyPredicate:
+    """Parsed ``-latency`` argument."""
+
+    comparison: str  # "+" (more than), "-" (less than), "=" (exactly)
+    seconds: float
+
+    def matches(self, delivery_time: float) -> bool:
+        if self.comparison == "+":
+            return delivery_time > self.seconds
+        if self.comparison == "-":
+            return delivery_time < self.seconds
+        return math.isclose(delivery_time, self.seconds,
+                            rel_tol=_EXACT_RTOL, abs_tol=1e-12)
+
+
+def parse_latency(spec: str) -> LatencyPredicate:
+    """Parse the paper's ``-latency`` syntax: ``[+|-][m|M|u|U]<number>``."""
+    text = spec.strip()
+    if not text:
+        raise InvalidArgumentError("empty -latency argument")
+    comparison = "="
+    if text[0] in "+-":
+        comparison = text[0]
+        text = text[1:]
+    scale = 1.0
+    if text[:1] in ("m", "M"):
+        scale = 1e-3
+        text = text[1:]
+    elif text[:1] in ("u", "U"):
+        scale = 1e-6
+        text = text[1:]
+    if text[:1] in "+-":
+        raise InvalidArgumentError(
+            f"bad -latency argument {spec!r}: sign must come first")
+    try:
+        value = float(text)
+    except ValueError:
+        raise InvalidArgumentError(
+            f"bad -latency argument {spec!r}: expected [+|-][m|u]<number>"
+        ) from None
+    if value < 0:
+        raise InvalidArgumentError(
+            f"-latency value must be non-negative: {spec!r}")
+    return LatencyPredicate(comparison=comparison, seconds=value * scale)
+
+
+@dataclass(frozen=True)
+class FindHit:
+    """One file that passed every predicate."""
+
+    path: str
+    size: int
+    delivery_time: float | None  # None when -latency was not requested
+
+
+def find(kernel, root: str, name: str | None = None,
+         latency: str | LatencyPredicate | None = None,
+         attack_plan: str = SLEDS_LINEAR,
+         min_size: int | None = None,
+         max_size: int | None = None,
+         accessed_within: float | None = None,
+         cross_mounts: bool = True,
+         exec_fn: Callable[[str], object] | None = None) -> list[FindHit]:
+    """Walk ``root`` and return files passing all given predicates.
+
+    ``name`` is an fnmatch glob on the basename; ``latency`` the paper's
+    predicate (string or pre-parsed); ``min_size``/``max_size`` bound the
+    file size in bytes; ``accessed_within`` is ``-atime``-style — only
+    files whose last access is within that many virtual seconds of now;
+    ``exec_fn`` is invoked on each hit (``find -exec``), its return value
+    discarded.  ``cross_mounts=False`` is standard find's ``-xdev``: do
+    not descend into other mounted filesystems — the paper's example of
+    pruning NFS traffic.
+    """
+    predicate = (parse_latency(latency) if isinstance(latency, str)
+                 else latency)
+    if attack_plan not in (SLEDS_LINEAR, SLEDS_BEST):
+        raise InvalidArgumentError(f"bad attack plan {attack_plan!r}")
+    root = "/" + "/".join(p for p in root.split("/") if p)
+    root_fs = kernel.fs_of(root)
+    hits: list[FindHit] = []
+    stack = [root]
+    while stack:
+        path = stack.pop()
+        st = kernel.stat(path)
+        if st.is_dir:
+            if not cross_mounts and kernel.fs_of(path) is not root_fs:
+                continue
+            base = "" if path == "/" else path
+            for entry in reversed(kernel.listdir(path)):
+                stack.append(f"{base}/{entry}")
+            continue
+        if name is not None and not fnmatch.fnmatch(
+                path.rsplit("/", 1)[-1], name):
+            continue
+        if min_size is not None and st.size < min_size:
+            continue
+        if max_size is not None and st.size > max_size:
+            continue
+        if accessed_within is not None:
+            inode = kernel.resolve(path)[1]
+            if kernel.clock.now - inode.atime > accessed_within:
+                continue
+        delivery: float | None = None
+        if predicate is not None:
+            delivery = sleds_total_delivery_time_path(
+                kernel, path, attack_plan)
+            if not predicate.matches(delivery):
+                continue
+        hits.append(FindHit(path=path, size=st.size, delivery_time=delivery))
+        if exec_fn is not None:
+            exec_fn(path)
+    return hits
+
+
+def find_exec_grep_cached_first(kernel, root: str, pattern: bytes,
+                                threshold_seconds: float,
+                                name: str | None = None,
+                                use_sleds_grep: bool = True,
+                                stop_on_match: bool = False):
+    """The paper's motivating composition: grep the cheap (cached) files
+    first, then the expensive rest only if still needed.
+
+    ``stop_on_match=True`` models the interactive user who stops as soon
+    as the routine is found ("if the user types control-C after seeing
+    what he wants to see"): each file is searched with early termination
+    and the walk ends at the first file containing the pattern — so when
+    the match is cached, no expensive file is touched at all.
+
+    Returns (cheap_results, expensive_results) lists of
+    :class:`~repro.apps.grep.GrepResult`.
+    """
+    from repro.apps.grep import grep
+
+    cheap = find(kernel, root, name=name,
+                 latency=f"-{threshold_seconds}", attack_plan=SLEDS_BEST)
+    expensive = find(kernel, root, name=name,
+                     latency=f"+{threshold_seconds}", attack_plan=SLEDS_BEST)
+    cheap_results: list = []
+    expensive_results: list = []
+    for hits, results in ((cheap, cheap_results),
+                          (expensive, expensive_results)):
+        for hit in hits:
+            result = grep(kernel, hit.path, pattern,
+                          use_sleds=use_sleds_grep,
+                          first_match_only=stop_on_match)
+            results.append(result)
+            if stop_on_match and result.count:
+                return cheap_results, expensive_results
+    return cheap_results, expensive_results

@@ -1,0 +1,133 @@
+"""``gmc`` — the file-manager properties panel reporting SLEDs.
+
+"In gmc, a new simple panel is added to the file properties dialog box
+... The SLEDs panel reports the length, offset, latency, and bandwidth of
+each SLED, as well as the estimated total delivery time for the file.
+Users can interactively use this panel to decide whether or not to access
+the file."  We render the same information as text (Figure 6 equivalent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.delivery import (
+    SLEDS_BEST,
+    SLEDS_LINEAR,
+    estimate_delivery_time,
+)
+from repro.core.sled import Sled, SledVector
+from repro.sim.units import MB, human_bytes, human_time
+
+
+@dataclass(frozen=True)
+class SledsPanel:
+    """The data behind the gmc properties panel."""
+
+    path: str
+    size: int
+    sleds: SledVector
+    total_time_linear: float
+    total_time_best: float
+
+    @property
+    def cached_bytes(self) -> int:
+        """Bytes at the lowest-latency level (usually the buffer cache)."""
+        if len(self.sleds) == 0:
+            return 0
+        lowest = self.sleds.min_latency()
+        return sum(s.length for s in self.sleds if s.latency == lowest)
+
+
+def file_properties(kernel, path: str) -> SledsPanel:
+    """Build the SLEDs panel for a file (opens, ioctls, closes)."""
+    fd = kernel.open(path)
+    try:
+        vector = kernel.get_sleds(fd)
+    finally:
+        kernel.close(fd)
+    st = kernel.stat(path)
+    return SledsPanel(
+        path=path,
+        size=st.size,
+        sleds=vector,
+        total_time_linear=estimate_delivery_time(vector, SLEDS_LINEAR),
+        total_time_best=estimate_delivery_time(vector, SLEDS_BEST),
+    )
+
+
+def format_panel(panel: SledsPanel) -> str:
+    """Render the panel the way the gmc dialog lays it out."""
+    lines = [
+        f"File: {panel.path}",
+        f"Size: {human_bytes(panel.size)} ({panel.size} bytes)",
+        "",
+        f"{'offset':>12}  {'length':>12}  {'latency':>12}  {'bandwidth':>12}",
+    ]
+    for sled in panel.sleds:
+        lines.append(
+            f"{sled.offset:>12}  {sled.length:>12}  "
+            f"{human_time(sled.latency):>12}  "
+            f"{sled.bandwidth / MB:>9.1f} MB/s"
+        )
+    lines += [
+        "",
+        f"Estimated total delivery time (linear): "
+        f"{human_time(panel.total_time_linear)}",
+        f"Estimated total delivery time (best):   "
+        f"{human_time(panel.total_time_best)}",
+    ]
+    return "\n".join(lines)
+
+
+def should_wait_prompt(panel: SledsPanel,
+                       patience_seconds: float = 5.0) -> str:
+    """The user-facing judgement gmc can derive from the panel: is this
+    retrieval instant, a short wait, or worth multitasking through?"""
+    t = panel.total_time_best
+    if t <= 0.1:
+        return "available immediately"
+    if t <= patience_seconds:
+        return f"short wait (~{human_time(t)})"
+    return (f"long retrieval (~{human_time(t)}): consider working on "
+            f"something else while it loads")
+
+
+def directory_listing(kernel, path: str) -> list[SledsPanel]:
+    """Panels for every regular file directly inside ``path`` — the data
+    behind a file-manager window with a 'retrieval time' column."""
+    panels = []
+    base = path.rstrip("/")
+    for name in kernel.listdir(path):
+        child = f"{base}/{name}"
+        if kernel.stat(child).is_dir:
+            continue
+        panels.append(file_properties(kernel, child))
+    return panels
+
+
+def format_directory(kernel, path: str,
+                     patience_seconds: float = 5.0) -> str:
+    """Render the file-manager window: one row per file with its size,
+    cached fraction, and estimated retrieval time."""
+    panels = directory_listing(kernel, path)
+    memory_latency = kernel.sleds_table.memory.latency
+    lines = [f"{path}  ({len(panels)} file(s))",
+             f"{'name':28s} {'size':>10} {'cached':>7} "
+             f"{'retrieval':>12}  verdict"]
+    for panel in panels:
+        name = panel.path.rsplit("/", 1)[-1]
+        in_memory = sum(s.length for s in panel.sleds
+                        if s.latency <= memory_latency)
+        cached_pct = 100 * in_memory // panel.size if panel.size else 100
+        lines.append(
+            f"{name:28s} {human_bytes(panel.size):>10} "
+            f"{cached_pct:>6}% {human_time(panel.total_time_best):>12}  "
+            f"{should_wait_prompt(panel, patience_seconds)}")
+    return "\n".join(lines)
+
+
+# keep the Sled name importable from here for panel consumers
+__all__ = ["SledsPanel", "file_properties", "format_panel",
+           "should_wait_prompt", "directory_listing", "format_directory",
+           "Sled"]

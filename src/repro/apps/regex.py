@@ -1,0 +1,306 @@
+"""A small regular-expression engine for the grep port.
+
+The paper modified GNU grep, which matches full regular expressions; our
+byte-oriented engine supports the classic grep core so the port is more
+than a substring search:
+
+* literals and escaped literals (``\\.``),
+* ``.`` (any byte except newline),
+* character classes ``[abc]``, ranges ``[a-z]``, negation ``[^...]``,
+* postfix ``*``, ``+``, ``?``,
+* alternation ``|`` and grouping ``(...)``,
+* anchors ``^`` and ``$`` (whole-line semantics).
+
+Implementation: recursive-descent parse to an AST, Thompson construction
+to an NFA, and a lock-step subset simulation — linear in ``len(line) *
+len(pattern)``, no backtracking blowups.  The engine answers "does this
+line contain a match" (grep semantics) plus the leftmost match offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class RegexError(ValueError):
+    """Malformed pattern."""
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Lit:
+    byte: int
+
+
+@dataclass(frozen=True)
+class Any:
+    pass
+
+
+@dataclass(frozen=True)
+class Klass:
+    bytes_: frozenset
+    negated: bool
+
+
+@dataclass(frozen=True)
+class Seq:
+    parts: tuple
+
+
+@dataclass(frozen=True)
+class Alt:
+    options: tuple
+
+
+@dataclass(frozen=True)
+class Repeat:
+    node: object
+    min_count: int      # 0 for * and ?, 1 for +
+    unbounded: bool     # False only for ?
+
+
+class _Parser:
+    """Recursive descent over the pattern bytes."""
+
+    def __init__(self, pattern: bytes) -> None:
+        self.pattern = pattern
+        self.pos = 0
+        self.anchored_start = False
+        self.anchored_end = False
+
+    def parse(self):
+        if self.pattern.startswith(b"^"):
+            self.anchored_start = True
+            self.pos = 1
+        node = self._alt()
+        if self.pos != len(self.pattern):
+            raise RegexError(
+                f"unexpected {chr(self.pattern[self.pos])!r} at "
+                f"position {self.pos}")
+        return node
+
+    def _peek(self) -> int | None:
+        if self.pos < len(self.pattern):
+            return self.pattern[self.pos]
+        return None
+
+    def _take(self) -> int:
+        byte = self.pattern[self.pos]
+        self.pos += 1
+        return byte
+
+    def _alt(self):
+        options = [self._seq()]
+        while self._peek() == ord("|"):
+            self._take()
+            options.append(self._seq())
+        if len(options) == 1:
+            return options[0]
+        return Alt(tuple(options))
+
+    def _seq(self):
+        parts = []
+        while True:
+            byte = self._peek()
+            if byte is None or byte in (ord("|"), ord(")")):
+                break
+            if byte == ord("$") and self.pos == len(self.pattern) - 1:
+                self._take()
+                self.anchored_end = True
+                break
+            parts.append(self._postfix())
+        return Seq(tuple(parts))
+
+    def _postfix(self):
+        node = self._atom()
+        byte = self._peek()
+        if byte == ord("*"):
+            self._take()
+            return Repeat(node, 0, True)
+        if byte == ord("+"):
+            self._take()
+            return Repeat(node, 1, True)
+        if byte == ord("?"):
+            self._take()
+            return Repeat(node, 0, False)
+        return node
+
+    def _atom(self):
+        byte = self._take()
+        if byte == ord("("):
+            node = self._alt()
+            if self._peek() != ord(")"):
+                raise RegexError("unbalanced parenthesis")
+            self._take()
+            return node
+        if byte == ord("["):
+            return self._klass()
+        if byte == ord("."):
+            return Any()
+        if byte == ord("\\"):
+            if self._peek() is None:
+                raise RegexError("trailing backslash")
+            return Lit(self._take())
+        if byte in (ord("*"), ord("+"), ord("?")):
+            raise RegexError(f"nothing to repeat at {self.pos - 1}")
+        return Lit(byte)
+
+    def _klass(self):
+        negated = False
+        members: set[int] = set()
+        if self._peek() == ord("^"):
+            self._take()
+            negated = True
+        first = True
+        while True:
+            byte = self._peek()
+            if byte is None:
+                raise RegexError("unterminated character class")
+            if byte == ord("]") and not first:
+                self._take()
+                break
+            first = False
+            lo = self._take()
+            if lo == ord("\\"):
+                if self._peek() is None:
+                    raise RegexError("trailing backslash in class")
+                lo = self._take()
+            if (self._peek() == ord("-")
+                    and self.pos + 1 < len(self.pattern)
+                    and self.pattern[self.pos + 1] != ord("]")):
+                self._take()
+                hi = self._take()
+                if hi < lo:
+                    raise RegexError(f"bad range {chr(lo)}-{chr(hi)}")
+                members.update(range(lo, hi + 1))
+            else:
+                members.add(lo)
+        return Klass(frozenset(members), negated)
+
+
+# ---------------------------------------------------------------------------
+# NFA (Thompson construction)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _State:
+    #: byte predicate -> next state; None predicate = epsilon
+    edges: list = field(default_factory=list)
+
+
+def _matches(condition, byte: int) -> bool:
+    if isinstance(condition, Lit):
+        return byte == condition.byte
+    if isinstance(condition, Any):
+        return byte != ord("\n")
+    if isinstance(condition, Klass):
+        return (byte not in condition.bytes_ if condition.negated
+                else byte in condition.bytes_)
+    raise AssertionError(condition)
+
+
+class CompiledRegex:
+    """A compiled pattern; see :func:`compile_regex`."""
+
+    def __init__(self, pattern: bytes) -> None:
+        parser = _Parser(pattern)
+        ast = parser.parse()
+        self.pattern = pattern
+        self.anchored_start = parser.anchored_start
+        self.anchored_end = parser.anchored_end
+        self._states: list[_State] = []
+        self._start = self._new()
+        self._accept = self._new()
+        self._build(ast, self._start, self._accept)
+
+    def _new(self) -> int:
+        self._states.append(_State())
+        return len(self._states) - 1
+
+    def _build(self, node, entry: int, exit_: int) -> None:
+        if isinstance(node, (Lit, Any, Klass)):
+            self._states[entry].edges.append((node, exit_))
+        elif isinstance(node, Seq):
+            if not node.parts:
+                self._states[entry].edges.append((None, exit_))
+                return
+            current = entry
+            for part in node.parts[:-1]:
+                nxt = self._new()
+                self._build(part, current, nxt)
+                current = nxt
+            self._build(node.parts[-1], current, exit_)
+        elif isinstance(node, Alt):
+            for option in node.options:
+                self._build(option, entry, exit_)
+        elif isinstance(node, Repeat):
+            loop = self._new()
+            if node.min_count == 0:
+                self._states[entry].edges.append((None, exit_))
+            self._build(node.node, entry, loop)
+            self._states[loop].edges.append((None, exit_))
+            if node.unbounded:
+                self._states[loop].edges.append((None, entry))
+        else:
+            raise AssertionError(node)
+
+    def _closure(self, states: set[int]) -> set[int]:
+        stack = list(states)
+        seen = set(states)
+        while stack:
+            state = stack.pop()
+            for condition, target in self._states[state].edges:
+                if condition is None and target not in seen:
+                    seen.add(target)
+                    stack.append(target)
+        return seen
+
+    def _run_from(self, line: bytes, start: int) -> int | None:
+        """Leftmost-shortest match end from ``start``, or None."""
+        current = self._closure({self._start})
+        if self._accept in current and not self.anchored_end:
+            return start
+        for index in range(start, len(line)):
+            byte = line[index]
+            following: set[int] = set()
+            for state in current:
+                for condition, target in self._states[state].edges:
+                    if condition is not None and _matches(condition, byte):
+                        following.add(target)
+            if not following:
+                return None
+            current = self._closure(following)
+            if self._accept in current:
+                if not self.anchored_end or index == len(line) - 1:
+                    return index + 1
+        if self._accept in current:
+            return len(line)
+        return None
+
+    def search(self, line: bytes) -> int | None:
+        """Offset of the leftmost match in ``line``, or None.
+
+        ``line`` must not contain a newline (grep operates per record).
+        """
+        starts = [0] if self.anchored_start else range(len(line) + 1)
+        for start in starts:
+            end = self._run_from(line, start)
+            if end is not None:
+                if self.anchored_end and end != len(line):
+                    continue
+                return start
+        return None
+
+    def matches(self, line: bytes) -> bool:
+        return self.search(line) is not None
+
+
+def compile_regex(pattern: bytes) -> CompiledRegex:
+    """Compile a grep-style pattern; raises :class:`RegexError`."""
+    if not pattern:
+        raise RegexError("empty pattern")
+    return CompiledRegex(pattern)

@@ -1,0 +1,6 @@
+"""Benchmark harness: lmbench characterisation, workloads, measurement,
+and one experiment spec per table/figure of the paper."""
+
+from repro.bench.lmbench import boot_fill, characterize, characterize_levels
+
+__all__ = ["boot_fill", "characterize", "characterize_levels"]

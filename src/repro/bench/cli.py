@@ -1,0 +1,145 @@
+"""Benchmark command line: ``python -m repro.bench`` / ``sleds-bench``.
+
+Examples::
+
+    sleds-bench --list
+    sleds-bench --run fig7 fig8
+    sleds-bench --run all --runs 5 --csv-dir results/
+    sleds-bench --run fig11 --full-scale      # unscaled (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.bench import ablations, experiments
+from repro.bench.workloads import BenchConfig
+
+EXPERIMENTS = {
+    "table2": experiments.run_table2,
+    "table3": experiments.run_table3,
+    "table4": experiments.run_table4,
+    "fig3": experiments.run_fig3,
+    "fig7": experiments.run_fig7,
+    "fig8": experiments.run_fig8,
+    "fig9": experiments.run_fig9,
+    "fig10": experiments.run_fig10,
+    "fig11": experiments.run_fig11,
+    "fig12": experiments.run_fig12,
+    "fig13": experiments.run_fig13,
+    "fig14": experiments.run_fig14,
+    "fig15": experiments.run_fig15,
+    "extA": ablations.run_extA,
+    "extB": ablations.run_extB,
+    "extC": ablations.run_extC,
+    "extD": ablations.run_extD,
+    "extE": ablations.run_extE,
+    "extF": ablations.run_extF,
+    "extG": ablations.run_extG,
+    "extH": ablations.run_extH,
+    "extI": ablations.run_extI,
+    "extJ": ablations.run_extJ,
+    "abl-pick-order": ablations.run_abl_pick_order,
+    "abl-readahead": ablations.run_abl_readahead,
+    "abl-mmap": ablations.run_abl_mmap,
+    "abl-pin": ablations.run_abl_pin,
+    "abl-fragmentation": ablations.run_abl_fragmentation,
+    "abl-aio": ablations.run_abl_aio,
+    "abl-scheduler": ablations.run_abl_scheduler,
+}
+
+DESCRIPTIONS = {
+    "table2": "device characterisation, Unix-utility machine",
+    "table3": "device characterisation, LHEASOFT machine",
+    "table4": "lines of code modified per application",
+    "fig3": "LRU two-pass pathology trace",
+    "fig7": "wc over NFS, time vs size",
+    "fig8": "wc over NFS, speedup ratio",
+    "fig9": "wc page faults on CD-ROM",
+    "fig10": "grep all matches on CD-ROM",
+    "fig11": "grep -q one match on ext2",
+    "fig12": "grep -q speedup ratio",
+    "fig13": "CDF of grep -q on NFS, 64 MB",
+    "fig14": "fimhisto elapsed time, ext2",
+    "fig15": "fimgbin elapsed time, ext2, 4x/16x",
+    "extA": "HSM amplification (extension)",
+    "extB": "cache-policy ablation (extension)",
+    "extC": "SLED staleness / refresh (extension)",
+    "extD": "zone-aware SLEDs estimate accuracy (extension)",
+    "extE": "client/server SLEDs over NFS (extension)",
+    "extF": "device independence: SLEDs on flash (extension)",
+    "extG": "progress estimators: dynamic vs SLEDs (paper §3.3)",
+    "extH": "concurrent scans, system-wide load (better citizen)",
+    "extI": "file sets over tape: inter-file ordering ([Ste97])",
+    "extJ": "find -exec grep after interrupted search (§5.2 anecdote)",
+    "abl-pick-order": "pick-order ablation",
+    "abl-readahead": "readahead cluster ablation",
+    "abl-mmap": "read() vs mmap SLEDs library (paper §5.2)",
+    "abl-pin": "page pinning under eviction pressure (paper §3.4)",
+    "abl-fragmentation": "SLEDs gains on aged (fragmented) filesystems",
+    "abl-aio": "async-I/O baseline vs SLEDs (paper §2)",
+    "abl-scheduler": "writeback I/O scheduler ablation (FCFS/SSTF/C-LOOK)",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sleds-bench",
+        description="Regenerate the tables and figures of the SLEDs paper "
+                    "against the simulated storage stack.")
+    parser.add_argument("--list", action="store_true",
+                        help="list available experiments and exit")
+    parser.add_argument("--run", nargs="+", metavar="EXP",
+                        help="experiment ids to run, or 'all'")
+    parser.add_argument("--runs", type=int, default=12,
+                        help="measured runs per point (paper used 12)")
+    parser.add_argument("--scale", type=int, default=16,
+                        help="linear down-scaling factor (default 16)")
+    parser.add_argument("--full-scale", action="store_true",
+                        help="run unscaled (scale=1); slow")
+    parser.add_argument("--seed", type=int, default=20000101)
+    parser.add_argument("--noise", type=float, default=0.03,
+                        help="background-activity noise level")
+    parser.add_argument("--csv-dir", type=Path, default=None,
+                        help="also write one CSV per experiment here")
+    parser.add_argument("--chart", action="store_true",
+                        help="render an ASCII chart under each experiment")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list or not args.run:
+        for exp_id in EXPERIMENTS:
+            print(f"{exp_id:16s} {DESCRIPTIONS[exp_id]}")
+        return 0
+    names = list(EXPERIMENTS) if args.run == ["all"] else args.run
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    config = BenchConfig(
+        scale=1 if args.full_scale else args.scale,
+        runs=args.runs, seed=args.seed, noise=args.noise)
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](config)
+        print(result.to_text())
+        if args.chart:
+            from repro.bench.plotting import chart_result
+            print()
+            print(chart_result(result))
+        print(f"[{name} completed in {time.time() - started:.1f}s "
+              f"wall clock]\n")
+        if args.csv_dir is not None:
+            args.csv_dir.mkdir(parents=True, exist_ok=True)
+            (args.csv_dir / f"{name}.csv").write_text(result.to_csv())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

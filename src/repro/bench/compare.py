@@ -1,0 +1,149 @@
+"""Compare two experiment runs (regression detection for the harness).
+
+``sleds-bench --csv-dir results/`` writes one CSV per experiment; this
+module diffs two such directories (or individual files) and reports rows
+whose numeric cells drifted beyond a tolerance — the guard a maintainer
+wants when touching the device models or the cost constants.
+
+CLI: ``python -m repro.bench.compare old_results/ new_results/ [--rtol 0.2]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class Drift:
+    """One cell that moved beyond tolerance."""
+
+    experiment: str
+    row_key: str
+    column: str
+    old: float
+    new: float
+
+    @property
+    def relative(self) -> float:
+        base = max(abs(self.old), 1e-12)
+        return abs(self.new - self.old) / base
+
+    def __str__(self) -> str:
+        return (f"{self.experiment}[{self.row_key}].{self.column}: "
+                f"{self.old:g} -> {self.new:g} "
+                f"({100 * self.relative:+.1f}%)")
+
+
+@dataclass
+class Comparison:
+    """The full diff between two result sets."""
+
+    drifts: list[Drift] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)   # in old, not new
+    added: list[str] = field(default_factory=list)     # in new, not old
+    shape_changes: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.drifts or self.missing or self.shape_changes)
+
+    def summary(self) -> str:
+        lines = []
+        for name in self.missing:
+            lines.append(f"missing from new run: {name}")
+        for name in self.added:
+            lines.append(f"new experiment: {name}")
+        lines.extend(self.shape_changes)
+        lines.extend(str(d) for d in self.drifts)
+        if not lines:
+            lines.append("no drift beyond tolerance")
+        return "\n".join(lines)
+
+
+def _load_csv(path: Path) -> tuple[list[str], list[list[str]]]:
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    if not rows:
+        return [], []
+    return rows[0], rows[1:]
+
+
+def _to_float(cell: str) -> float | None:
+    try:
+        return float(cell)
+    except ValueError:
+        return None
+
+
+def compare_files(old: Path, new: Path, rtol: float = 0.25,
+                  atol: float = 1e-9) -> Comparison:
+    """Diff two experiment CSVs row by row (rows matched positionally)."""
+    result = Comparison()
+    name = old.stem
+    old_header, old_rows = _load_csv(old)
+    new_header, new_rows = _load_csv(new)
+    if old_header != new_header:
+        result.shape_changes.append(
+            f"{name}: columns changed {old_header} -> {new_header}")
+        return result
+    if len(old_rows) != len(new_rows):
+        result.shape_changes.append(
+            f"{name}: row count changed {len(old_rows)} -> {len(new_rows)}")
+        return result
+    for old_row, new_row in zip(old_rows, new_rows):
+        key = old_row[0] if old_row else "?"
+        for column, old_cell, new_cell in zip(old_header, old_row, new_row):
+            old_value = _to_float(old_cell)
+            new_value = _to_float(new_cell)
+            if old_value is None or new_value is None:
+                if old_cell != new_cell:
+                    result.shape_changes.append(
+                        f"{name}[{key}].{column}: "
+                        f"{old_cell!r} -> {new_cell!r}")
+                continue
+            if abs(new_value - old_value) > (
+                    atol + rtol * max(abs(old_value), 1e-12)):
+                result.drifts.append(Drift(name, key, column,
+                                           old_value, new_value))
+    return result
+
+
+def compare_dirs(old_dir: Path, new_dir: Path,
+                 rtol: float = 0.25) -> Comparison:
+    """Diff every experiment CSV present in either directory."""
+    result = Comparison()
+    old_files = {p.name: p for p in sorted(old_dir.glob("*.csv"))}
+    new_files = {p.name: p for p in sorted(new_dir.glob("*.csv"))}
+    result.missing = sorted(set(old_files) - set(new_files))
+    result.added = sorted(set(new_files) - set(old_files))
+    for name in sorted(set(old_files) & set(new_files)):
+        sub = compare_files(old_files[name], new_files[name], rtol=rtol)
+        result.drifts.extend(sub.drifts)
+        result.shape_changes.extend(sub.shape_changes)
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.compare",
+        description="Diff two sleds-bench result directories.")
+    parser.add_argument("old", type=Path)
+    parser.add_argument("new", type=Path)
+    parser.add_argument("--rtol", type=float, default=0.25,
+                        help="relative tolerance before a cell counts "
+                             "as drift (default 0.25)")
+    args = parser.parse_args(argv)
+    if args.old.is_dir():
+        comparison = compare_dirs(args.old, args.new, rtol=args.rtol)
+    else:
+        comparison = compare_files(args.old, args.new, rtol=args.rtol)
+    print(comparison.summary())
+    return 0 if comparison.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""ASCII chart rendering for experiment results.
+
+The paper's evaluation is figures; a terminal reproduction should be able
+to *draw* them.  :func:`ascii_chart` renders one or more (x, y) series on
+a character grid with axes and a legend — enough to see the crossover at
+the cache size and the shape of the speedup curve without leaving the
+shell.  The bench CLI exposes it as ``--chart``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GLYPHS = "*+x@%&o#"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted line."""
+
+    label: str
+    xs: tuple[float, ...]
+    ys: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.xs)} xs vs "
+                f"{len(self.ys)} ys")
+        if not self.xs:
+            raise ValueError(f"series {self.label!r} is empty")
+
+
+def _scale(value: float, lo: float, hi: float, steps: int) -> int:
+    if hi <= lo:
+        return 0
+    return round((value - lo) / (hi - lo) * (steps - 1))
+
+
+def ascii_chart(series: list[Series], width: int = 64, height: int = 18,
+                x_label: str = "", y_label: str = "") -> str:
+    """Render series on a character grid with axes and a legend."""
+    if not series:
+        return "(no series)"
+    if width < 16 or height < 6:
+        raise ValueError(f"chart too small: {width}x{height}")
+    xs_all = [x for s in series for x in s.xs]
+    ys_all = [y for s in series for y in s.ys]
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    if y_lo > 0 and y_lo < 0.3 * y_hi:
+        y_lo = 0.0  # anchor at zero when the data plausibly starts there
+    grid = [[" "] * width for _ in range(height)]
+    for index, s in enumerate(series):
+        glyph = GLYPHS[index % len(GLYPHS)]
+        points = sorted(zip(s.xs, s.ys))
+        cells = [(_scale(x, x_lo, x_hi, width),
+                  _scale(y, y_lo, y_hi, height)) for x, y in points]
+        # connect consecutive points with interpolated cells
+        for (c0, r0), (c1, r1) in zip(cells, cells[1:]):
+            steps = max(abs(c1 - c0), abs(r1 - r0), 1)
+            for t in range(steps + 1):
+                col = round(c0 + (c1 - c0) * t / steps)
+                row = round(r0 + (r1 - r0) * t / steps)
+                grid[height - 1 - row][col] = glyph
+        for col, row in cells:  # data points overwrite connectors
+            grid[height - 1 - row][col] = glyph
+    y_ticks = {0: y_lo, height - 1: y_hi, (height - 1) // 2:
+               (y_lo + y_hi) / 2}
+    lines = []
+    if y_label:
+        lines.append(f"{y_label}")
+    for row in range(height):
+        tick = y_ticks.get(height - 1 - row)
+        prefix = f"{tick:>9.3g} |" if tick is not None else f"{'':>9} |"
+        lines.append(prefix + "".join(grid[row]))
+    lines.append(f"{'':>9} +" + "-" * width)
+    x_axis = f"{x_lo:<.4g}"
+    x_axis = (f"{'':>11}{x_axis}"
+              f"{x_hi:>{max(1, width - len(x_axis))}.4g}")
+    lines.append(x_axis)
+    if x_label:
+        lines.append(f"{'':>11}{x_label:^{width}}")
+    legend = "   ".join(f"{GLYPHS[i % len(GLYPHS)]} {s.label}"
+                        for i, s in enumerate(series))
+    lines.append(f"{'':>11}{legend}")
+    return "\n".join(lines)
+
+
+def chart_result(result, x_column: str | None = None,
+                 y_columns: list[str] | None = None,
+                 width: int = 64, height: int = 18) -> str:
+    """Chart an :class:`~repro.bench.report.ExperimentResult`.
+
+    Picks the first column as x and every numeric column as a series by
+    default; non-numeric rows are skipped.  Returns a message instead of
+    raising when the result has no chartable data (tables like Table 4).
+    """
+    if not result.rows:
+        return "(no rows to chart)"
+    columns = result.columns
+    x_col = x_column or columns[0]
+    x_idx = columns.index(x_col)
+    candidates = y_columns or [
+        c for i, c in enumerate(columns)
+        if i != x_idx and all(
+            isinstance(row[i], (int, float)) for row in result.rows)
+    ]
+    candidates = [c for c in candidates if not c.strip().startswith("±")
+                  and c != x_col]
+    series = []
+    for name in candidates:
+        y_idx = columns.index(name)
+        points = [(row[x_idx], row[y_idx]) for row in result.rows
+                  if isinstance(row[x_idx], (int, float))
+                  and isinstance(row[y_idx], (int, float))]
+        if len(points) >= 2:
+            xs, ys = zip(*points)
+            series.append(Series(label=name, xs=xs, ys=ys))
+    if not series:
+        return "(no numeric series to chart)"
+    return ascii_chart(series, width=width, height=height,
+                       x_label=x_col, y_label=result.title)

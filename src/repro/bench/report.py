@@ -1,0 +1,74 @@
+"""Experiment result containers and ASCII/CSV rendering.
+
+Every experiment produces an :class:`ExperimentResult`: a titled table of
+rows plus free-text notes including the paper's expectation, so the
+harness output can be compared against the paper figure by eye and by the
+shape checks in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure."""
+
+    exp_id: str
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    paper_expectation: str = ""
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, expected {len(self.columns)}")
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> list:
+        """All values of one column (for shape assertions in benches)."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    # -- rendering -------------------------------------------------------
+
+    def to_text(self) -> str:
+        cells = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(self.columns[i]),
+                max((len(row[i]) for row in cells), default=0))
+            for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        if self.paper_expectation:
+            lines.append(f"paper: {self.paper_expectation}")
+        header = "  ".join(c.rjust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buf.getvalue()
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,139 @@
+"""Benchmark workload construction: machines, test files, scaling.
+
+The paper's experiments run on a 64 MB machine (~42 MB of usable file
+cache) against files of 8–128 MB.  Simulating full-size files in pure
+Python works but is slow, so the harness scales everything linearly by
+``scale`` (default 16): the cache becomes 42/16 MB, "8 MB" becomes 0.5 MB,
+and so on.  Every cost in the model (pages faulted, clusters transferred,
+bytes copied) is linear in file size, so reported virtual times multiply
+back by ``scale`` to paper-equivalent seconds; the harness reports both.
+Shapes — where the SLEDs advantage starts, the peak speedup ratio — depend
+only on the file:cache ratio and the device speed ratios, which scaling
+preserves.  ``--full-scale`` (scale=1) runs unscaled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine import Machine
+from repro.sim.units import MB, PAGE_SIZE
+
+#: usable file-cache size on the paper's 64 MB machine
+PAPER_CACHE_MB = 42
+#: background-activity noise level used in measured experiments
+DEFAULT_NOISE = 0.03
+#: grep needle guaranteed absent from the synthetic corpus
+NEEDLE = b"XNEEDLEX"
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Knobs shared by every experiment (hashable: sweeps are memoised)."""
+
+    scale: int = 16
+    runs: int = 12
+    seed: int = 20000101
+    noise: float = DEFAULT_NOISE
+    policy: str = "lru"
+
+    def scaled_bytes(self, paper_mb: float) -> int:
+        """Paper-quoted MB -> scaled simulated bytes (page aligned)."""
+        nbytes = int(paper_mb * MB / self.scale)
+        return max(PAGE_SIZE, (nbytes // PAGE_SIZE) * PAGE_SIZE)
+
+    def cache_pages(self) -> int:
+        return max(16, self.scaled_bytes(PAPER_CACHE_MB) // PAGE_SIZE)
+
+    def to_paper_seconds(self, virtual_seconds: float) -> float:
+        """Scaled virtual time -> paper-equivalent seconds."""
+        return virtual_seconds * self.scale
+
+
+@dataclass
+class Workload:
+    """A machine plus the file(s) an experiment runs against."""
+
+    machine: Machine
+    path: str
+    size: int
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def kernel(self):
+        return self.machine.kernel
+
+
+def make_machine(config: BenchConfig, profile: str = "unix",
+                 seed_salt: int = 0) -> Machine:
+    """A booted machine of the requested profile at the configured scale."""
+    seed = config.seed + seed_salt
+    if profile == "unix":
+        machine = Machine.unix_utilities(
+            cache_pages=config.cache_pages(), seed=seed,
+            noise=config.noise, policy=config.policy)
+    elif profile == "lheasoft":
+        machine = Machine.lheasoft(
+            cache_pages=config.cache_pages(), seed=seed,
+            noise=config.noise, policy=config.policy)
+    elif profile == "hsm":
+        machine = Machine.hsm(
+            cache_pages=config.cache_pages(),
+            stage_pages=config.cache_pages() * 4, seed=seed,
+            noise=config.noise, policy=config.policy)
+    else:
+        raise ValueError(f"unknown machine profile {profile!r}")
+    machine.boot()
+    return machine
+
+
+def text_workload(config: BenchConfig, paper_mb: float, fs_mount: str,
+                  profile: str = "unix", plants: dict[int, bytes] | None = None,
+                  seed_salt: int = 0) -> Workload:
+    """A machine with one synthetic text file on the chosen mount."""
+    machine = make_machine(config, profile=profile, seed_salt=seed_salt)
+    size = config.scaled_bytes(paper_mb)
+    fs = machine.filesystems[fs_mount]
+    fs.create_text_file("bench/data.txt", size,
+                        seed=config.seed + seed_salt, plants=plants or {})
+    return Workload(machine=machine, path=f"{fs_mount}/bench/data.txt",
+                    size=size)
+
+
+def plant_needles(config: BenchConfig, size: int, count: int,
+                  rng: np.random.Generator,
+                  needle: bytes = NEEDLE) -> dict[int, bytes]:
+    """Random non-overlapping needle placements inside a file."""
+    if count <= 0:
+        return {}
+    plants: dict[int, bytes] = {}
+    guard = len(needle) + 2
+    attempts = 0
+    while len(plants) < count and attempts < count * 100:
+        attempts += 1
+        offset = int(rng.integers(1, max(2, size - guard)))
+        if any(abs(offset - o) < guard for o in plants):
+            continue
+        plants[offset] = needle
+    return plants
+
+
+def fits_workload(config: BenchConfig, paper_mb: float,
+                  fs_mount: str = "/mnt/ext2", width: int = 512,
+                  seed_salt: int = 0) -> Workload:
+    """A LHEASOFT machine with an int16 FITS image of ~paper_mb (scaled)."""
+    from repro.fits.cfitsio import create_image
+
+    machine = make_machine(config, profile="lheasoft", seed_salt=seed_salt)
+    size = config.scaled_bytes(paper_mb)
+    # int16 image: height chosen so the data unit is ~size bytes and
+    # divisible by a 4x4 boxcar
+    height = max(4, (size // (2 * width) // 4) * 4)
+    rng = np.random.default_rng(config.seed + seed_salt)
+    image = rng.integers(0, 4096, size=(height, width), dtype=np.int16)
+    path = f"{fs_mount}/bench/image.fits"
+    create_image(machine.kernel, path, image)
+    return Workload(machine=machine, path=path, size=size,
+                    extra={"width": width, "height": height})

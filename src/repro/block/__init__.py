@@ -1,0 +1,21 @@
+"""Block-layer substrate: request batching and I/O scheduling."""
+
+from repro.block.scheduler import (
+    ClookScheduler,
+    FcfsScheduler,
+    IoRequest,
+    IoScheduler,
+    SstfScheduler,
+    make_scheduler,
+    submit_batch,
+)
+
+__all__ = [
+    "IoRequest",
+    "IoScheduler",
+    "FcfsScheduler",
+    "SstfScheduler",
+    "ClookScheduler",
+    "make_scheduler",
+    "submit_batch",
+]

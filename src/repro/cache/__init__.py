@@ -1,0 +1,22 @@
+"""Buffer-cache substrate: page cache, replacement policies, readahead."""
+
+from repro.cache.page_cache import CacheStats, PageCache
+from repro.cache.policies import (
+    ClockPolicy,
+    LruPolicy,
+    ReplacementPolicy,
+    TwoQPolicy,
+    make_policy,
+)
+from repro.cache.readahead import ReadaheadWindow
+
+__all__ = [
+    "PageCache",
+    "CacheStats",
+    "ReplacementPolicy",
+    "LruPolicy",
+    "ClockPolicy",
+    "TwoQPolicy",
+    "make_policy",
+    "ReadaheadWindow",
+]

@@ -1,0 +1,209 @@
+"""The global file-system buffer cache.
+
+One :class:`PageCache` instance per simulated kernel caches (inode, page)
+keys with a fixed page capacity and a pluggable replacement policy.  The
+cache stores *residency only*; page bytes live in the filesystem's content
+store.  That mirrors what SLEDs needs from the real Linux page cache — the
+kernel-side SLED builder only asks "is this page resident, and if not,
+which device holds it?".
+
+Two access styles matter:
+
+* :meth:`access` — the read path: records a hit (touching recency) or a
+  miss.
+* :meth:`peek` — the SLED builder: checks residency *without* touching
+  recency, so asking for SLEDs does not itself distort the cache state the
+  SLEDs describe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.policies import PageKey, ReplacementPolicy, make_policy
+
+
+@dataclass
+class CacheStats:
+    """Cumulative hit/miss/eviction counters."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    #: evictions that had to sacrifice a pinned page (pin pressure)
+    forced_pinned_evictions: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.insertions = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.forced_pinned_evictions = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+class PageCache:
+    """Fixed-capacity page cache keyed by ``(inode_id, page_index)``."""
+
+    def __init__(self, capacity_pages: int,
+                 policy: str | ReplacementPolicy = "lru",
+                 max_pinned_fraction: float = 0.9) -> None:
+        if capacity_pages <= 0:
+            raise ValueError(f"cache capacity must be positive: {capacity_pages}")
+        if not 0.0 <= max_pinned_fraction <= 1.0:
+            raise ValueError(
+                f"max_pinned_fraction must be in [0, 1]: {max_pinned_fraction}")
+        self.capacity_pages = capacity_pages
+        self.policy = (make_policy(policy) if isinstance(policy, str)
+                       else policy)
+        self.max_pinned_fraction = max_pinned_fraction
+        self._resident: set[PageKey] = set()
+        self._pinned: set[PageKey] = set()
+        self.stats = CacheStats()
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def __contains__(self, key: PageKey) -> bool:
+        return key in self._resident
+
+    def peek(self, key: PageKey) -> bool:
+        """Residency check that does not disturb replacement state."""
+        return key in self._resident
+
+    def resident_pages(self, inode_id: int, npages: int) -> list[bool]:
+        """Residency bitmap for the first ``npages`` pages of an inode."""
+        return [(inode_id, idx) in self._resident for idx in range(npages)]
+
+    def resident_count(self, inode_id: int, npages: int) -> int:
+        """Number of the inode's first ``npages`` pages currently cached."""
+        return sum(self.resident_pages(inode_id, npages))
+
+    # -- the read/write path --------------------------------------------------
+
+    def access(self, key: PageKey) -> bool:
+        """Record an access; returns True on hit, False on miss.
+
+        A miss does *not* insert; the kernel inserts after the device read
+        completes, via :meth:`insert`.
+        """
+        if key in self._resident:
+            self.policy.on_hit(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def insert(self, key: PageKey) -> PageKey | None:
+        """Make ``key`` resident; returns the evicted key, if any.
+
+        Inserting an already-resident key just refreshes its recency.
+        Pinned pages are passed over during victim selection (they get a
+        fresh lease in the policy); only when *every* resident page is
+        pinned does the cache sacrifice one, counting it in
+        ``stats.forced_pinned_evictions``.
+        """
+        if key in self._resident:
+            self.policy.on_hit(key)
+            return None
+        evicted: PageKey | None = None
+        if len(self._resident) >= self.capacity_pages:
+            evicted = self._evict_one()
+        self._resident.add(key)
+        self.policy.on_insert(key)
+        self.stats.insertions += 1
+        return evicted
+
+    def _evict_one(self) -> PageKey:
+        for _ in range(len(self._resident)):
+            victim = self.policy.choose_victim()
+            if victim not in self._pinned:
+                self._resident.discard(victim)
+                self.stats.evictions += 1
+                return victim
+            # pinned: give it a fresh lease and keep looking
+            self.policy.on_insert(victim)
+            self.policy.on_hit(victim)
+        # every resident page is pinned: forced eviction, oldest pinned
+        victim = self.policy.choose_victim()
+        self._pinned.discard(victim)
+        self._resident.discard(victim)
+        self.stats.evictions += 1
+        self.stats.forced_pinned_evictions += 1
+        return victim
+
+    # -- pinning (the paper's §3.4 lock/reservation mechanism) -------------
+
+    def pin(self, key: PageKey) -> bool:
+        """Lock a resident page against eviction.
+
+        Returns False (no pin taken) when the page is not resident or the
+        pin budget (``max_pinned_fraction`` of capacity) is exhausted —
+        the reservation analogue of mlock limits.
+        """
+        if key not in self._resident or key in self._pinned:
+            return key in self._pinned
+        if (len(self._pinned) + 1
+                > self.max_pinned_fraction * self.capacity_pages):
+            return False
+        self._pinned.add(key)
+        return True
+
+    def unpin(self, key: PageKey) -> bool:
+        """Release a pin; returns True if the key was pinned."""
+        if key in self._pinned:
+            self._pinned.discard(key)
+            return True
+        return False
+
+    def is_pinned(self, key: PageKey) -> bool:
+        return key in self._pinned
+
+    @property
+    def pinned_count(self) -> int:
+        return len(self._pinned)
+
+    # -- invalidation -----------------------------------------------------------
+
+    def invalidate(self, key: PageKey) -> bool:
+        """Drop one page; returns True if it was resident."""
+        if key not in self._resident:
+            return False
+        self._resident.discard(key)
+        self._pinned.discard(key)
+        self.policy.on_remove(key)
+        self.stats.invalidations += 1
+        return True
+
+    def invalidate_inode(self, inode_id: int) -> int:
+        """Drop every cached page of an inode; returns the count dropped."""
+        victims = [k for k in self._resident
+                   if isinstance(k, tuple) and k and k[0] == inode_id]
+        for key in victims:
+            self._resident.discard(key)
+            self._pinned.discard(key)
+            self.policy.on_remove(key)
+        self.stats.invalidations += len(victims)
+        return len(victims)
+
+    def clear(self) -> int:
+        """Drop everything (e.g. to simulate a cold boot); returns count."""
+        count = len(self._resident)
+        for key in list(self._resident):
+            self.policy.on_remove(key)
+        self._resident.clear()
+        self._pinned.clear()
+        self.stats.invalidations += count
+        return count

@@ -1,0 +1,56 @@
+"""Sequential readahead window tracking, one instance per open file.
+
+Linux 2.2 grew a per-file readahead window on detected sequential access and
+collapsed it on random access.  The model matters for SLEDs results in two
+ways: it sets the *cluster size* of device I/O (amortising per-request
+latency over multi-page transfers, without which a 128 MB NFS scan would
+cost 32k round trips), and it means the without-SLEDs baseline is not
+strawman-slow — its linear scans stream at full device bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ReadaheadWindow:
+    """Adaptive readahead state for one open file."""
+
+    min_pages: int = 4
+    max_pages: int = 16
+    _window: int = 0
+    _next_expected: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_pages <= self.max_pages:
+            raise ValueError(
+                f"need 0 < min_pages <= max_pages: "
+                f"{self.min_pages}, {self.max_pages}")
+        self._window = self.min_pages
+
+    @property
+    def window_pages(self) -> int:
+        """Current readahead window size in pages."""
+        return self._window
+
+    def advise(self, page_index: int) -> int:
+        """Record an access to ``page_index``; return the cluster size in
+        pages the kernel should fetch on a miss at this page.
+
+        Sequential accesses double the window up to ``max_pages``; a
+        non-sequential access collapses it back to ``min_pages``.
+        """
+        if page_index < 0:
+            raise ValueError(f"negative page index: {page_index}")
+        if self._next_expected is not None and page_index == self._next_expected:
+            self._window = min(self.max_pages, self._window * 2)
+        elif self._next_expected is not None and page_index != self._next_expected:
+            self._window = self.min_pages
+        self._next_expected = page_index + 1
+        return self._window
+
+    def reset(self) -> None:
+        """Collapse the window (e.g. after an lseek)."""
+        self._window = self.min_pages
+        self._next_expected = None

@@ -1,0 +1,62 @@
+"""Kernel-side SLED vector construction.
+
+Implements the paper's §4.1 walk: "each virtual memory page of the data
+file is checked.  After the kernel finds out where a page of the data file
+resides, it assigns a latency and bandwidth from the sleds table to this
+page.  If consecutive pages have the same latency and bandwidth, i.e. they
+are in the same storage device, they are grouped into one SLED."
+
+Residency checks use :meth:`PageCache.peek` so asking for SLEDs does not
+itself perturb the cache recency the SLEDs describe.
+"""
+
+from __future__ import annotations
+
+from repro.cache.page_cache import PageCache
+from repro.core.sled import Sled, SledVector
+from repro.core.sled_table import SledTable
+from repro.fs.filesystem import FileSystem
+from repro.fs.inode import Inode
+from repro.sim.units import PAGE_SIZE
+
+
+def page_level(cache: PageCache, fs: FileSystem, inode: Inode,
+               page_index: int, table: SledTable) -> tuple[float, float]:
+    """(latency, bandwidth) estimate for one page right now."""
+    if cache.peek((inode.id, page_index)):
+        row = table.memory
+        return row.latency, row.bandwidth
+    estimate = fs.page_estimate(inode, page_index)
+    if estimate.latency is not None and estimate.bandwidth is not None:
+        return estimate.latency, estimate.bandwidth
+    row = table.lookup(estimate.device_key)
+    latency = estimate.latency if estimate.latency is not None else row.latency
+    bandwidth = (estimate.bandwidth if estimate.bandwidth is not None
+                 else row.bandwidth)
+    return latency, bandwidth
+
+
+def build_sled_vector(cache: PageCache, fs: FileSystem, inode: Inode,
+                      table: SledTable) -> SledVector:
+    """The FSLEDS_GET payload: a validated SLED vector for ``inode``."""
+    size = inode.size
+    if size == 0:
+        return SledVector([], file_size=0)
+    sleds: list[Sled] = []
+    run_start = 0
+    run_level: tuple[float, float] | None = None
+    npages = inode.npages
+    for page_index in range(npages):
+        level = page_level(cache, fs, inode, page_index, table)
+        if run_level is None:
+            run_level = level
+        elif level != run_level:
+            offset = run_start * PAGE_SIZE
+            end = page_index * PAGE_SIZE
+            sleds.append(Sled(offset, end - offset, *run_level))
+            run_start = page_index
+            run_level = level
+    assert run_level is not None
+    offset = run_start * PAGE_SIZE
+    sleds.append(Sled(offset, size - offset, *run_level))
+    return SledVector(sleds, file_size=size)

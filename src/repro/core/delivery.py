@@ -1,0 +1,98 @@
+"""Total delivery-time estimation (paper §4.2).
+
+``sleds_total_delivery_time(kernel, fd, attack_plan)`` estimates how long
+reading the entire file would take, "for applications only interested in
+reporting or using that value" — the basis of the ``find -latency``
+predicate and the gmc properties panel.
+
+Attack plans:
+
+* ``SLEDS_LINEAR`` — the file will be read front to back.  Each SLED is a
+  storage-level transition, so the estimate charges every SLED its latency
+  plus its transfer time.
+* ``SLEDS_BEST`` — the file will be read in the pick library's order
+  (cached data first, each level drained sequentially).  Each *level* is
+  entered once, so its latency is charged once, and its bytes stream at
+  the level's bandwidth.
+
+``SLEDS_BEST`` is never larger than ``SLEDS_LINEAR`` for the same vector.
+"""
+
+from __future__ import annotations
+
+from repro.core.sled import SledVector
+from repro.sim.errors import InvalidArgumentError
+
+SLEDS_LINEAR = "SLEDS_LINEAR"
+SLEDS_BEST = "SLEDS_BEST"
+
+_PLANS = (SLEDS_LINEAR, SLEDS_BEST)
+
+
+def estimate_delivery_time(vector: SledVector,
+                           attack_plan: str = SLEDS_LINEAR) -> float:
+    """Delivery-time estimate for an already-fetched SLED vector."""
+    if attack_plan not in _PLANS:
+        raise InvalidArgumentError(
+            f"unknown attack plan {attack_plan!r}; choose from {_PLANS}")
+    if len(vector) == 0:
+        return 0.0
+    if attack_plan == SLEDS_LINEAR:
+        return sum(s.latency + s.length / s.bandwidth for s in vector)
+    # SLEDS_BEST: one latency charge per distinct level, bytes per level
+    levels: dict[tuple[float, float], int] = {}
+    for sled in vector:
+        key = (sled.latency, sled.bandwidth)
+        levels[key] = levels.get(key, 0) + sled.length
+    return sum(latency + nbytes / bandwidth
+               for (latency, bandwidth), nbytes in levels.items())
+
+
+def estimate_range_delivery(vector: SledVector, offset: int, length: int,
+                            attack_plan: str = SLEDS_LINEAR) -> float:
+    """Delivery-time estimate for a byte range of the file.
+
+    Used by progress reporting ("how long for the rest?") and any
+    application planning partial retrievals.  Latency is charged per SLED
+    (or per level, under ``SLEDS_BEST``) that intersects the range;
+    transfer time covers only the intersected bytes.
+    """
+    if attack_plan not in _PLANS:
+        raise InvalidArgumentError(
+            f"unknown attack plan {attack_plan!r}; choose from {_PLANS}")
+    if offset < 0 or length < 0:
+        raise InvalidArgumentError(
+            f"negative offset/length: {offset}, {length}")
+    end = min(offset + length, vector.file_size)
+    pieces: list[tuple[float, float, int]] = []
+    for sled in vector:
+        lo = max(sled.offset, offset)
+        hi = min(sled.end, end)
+        if lo < hi:
+            pieces.append((sled.latency, sled.bandwidth, hi - lo))
+    if attack_plan == SLEDS_LINEAR:
+        return sum(latency + nbytes / bandwidth
+                   for latency, bandwidth, nbytes in pieces)
+    levels: dict[tuple[float, float], int] = {}
+    for latency, bandwidth, nbytes in pieces:
+        key = (latency, bandwidth)
+        levels[key] = levels.get(key, 0) + nbytes
+    return sum(latency + nbytes / bandwidth
+               for (latency, bandwidth), nbytes in levels.items())
+
+
+def sleds_total_delivery_time(kernel, fd: int,
+                              attack_plan: str = SLEDS_LINEAR) -> float:
+    """Fetch SLEDs via ioctl and estimate full-file delivery time."""
+    vector = kernel.get_sleds(fd)
+    return estimate_delivery_time(vector, attack_plan)
+
+
+def sleds_total_delivery_time_path(kernel, path: str,
+                                   attack_plan: str = SLEDS_LINEAR) -> float:
+    """Convenience: open/estimate/close (used by find and gmc)."""
+    fd = kernel.open(path)
+    try:
+        return sleds_total_delivery_time(kernel, fd, attack_plan)
+    finally:
+        kernel.close(fd)

@@ -1,0 +1,117 @@
+"""Record-boundary adjustment of SLED vectors (paper Figure 4).
+
+Applications interested in variable-sized records (lines of text) ask the
+pick library for record-oriented SLEDs.  "The library prevents applications
+from running over the edge of a low-latency SLED and causing data to be
+fetched from higher-latency storage ... by pulling in the edges of the
+SLEDs from page boundaries to record boundaries.  The leading and trailing
+record fragments are pushed out to the neighboring SLEDs, which are higher
+latency.  This requires the SLEDs library to perform some I/O itself to
+find the record boundaries."
+
+Concretely, for each boundary between two SLEDs of *different* latency:
+
+* if the low-latency side precedes the boundary, its edge moves back to
+  just after the last separator inside it (the trailing record fragment
+  joins the high-latency neighbour);
+* if the low-latency side follows the boundary, its edge moves forward to
+  just after the first separator inside it (the leading fragment joins the
+  high-latency neighbour).
+
+Boundaries between equal-latency SLEDs and boundaries that already fall on
+record edges are left alone.  The search I/O goes through ``kernel.pread``
+— reading inside the low-latency SLED, which is by definition cheap.
+"""
+
+from __future__ import annotations
+
+from repro.core.sled import Sled, SledVector
+
+#: how far the library searches for a separator before giving up and
+#: treating the whole SLED as a fragment
+MAX_RECORD_SEARCH = 64 * 1024
+_SEARCH_STEP = 4096
+
+
+def _find_separator_backward(kernel, fd: int, lo: int, hi: int,
+                             separator: bytes) -> int | None:
+    """Offset of the last separator in ``[lo, hi)``, or None."""
+    pos = hi
+    while pos > lo and hi - pos < MAX_RECORD_SEARCH:
+        start = max(lo, pos - _SEARCH_STEP)
+        blob = kernel.pread(fd, start, pos - start)
+        idx = blob.rfind(separator)
+        if idx >= 0:
+            return start + idx
+        pos = start
+    return None
+
+
+def _find_separator_forward(kernel, fd: int, lo: int, hi: int,
+                            separator: bytes) -> int | None:
+    """Offset of the first separator in ``[lo, hi)``, or None."""
+    pos = lo
+    while pos < hi and pos - lo < MAX_RECORD_SEARCH:
+        end = min(hi, pos + _SEARCH_STEP)
+        blob = kernel.pread(fd, pos, end - pos)
+        idx = blob.find(separator)
+        if idx >= 0:
+            return pos + idx
+        pos = end
+    return None
+
+
+def adjust_to_records(kernel, fd: int, vector: SledVector,
+                      separator: bytes = b"\n") -> SledVector:
+    """Move SLED edges onto record boundaries; returns a new vector.
+
+    The returned vector still covers the file exactly; only boundary
+    positions move, and only toward the interior of low-latency SLEDs.
+    """
+    if len(separator) != 1:
+        raise ValueError(
+            f"record separator must be a single byte: {separator!r}")
+    if len(vector) <= 1:
+        return vector
+    boundaries = [s.offset for s in vector][1:]  # interior boundaries
+    sleds = list(vector)
+    adjusted: list[int] = []
+    for i, boundary in enumerate(boundaries):
+        left, right = sleds[i], sleds[i + 1]
+        if left.latency == right.latency:
+            adjusted.append(boundary)
+            continue
+        if left.latency < right.latency:
+            # Low-latency side precedes the boundary.  The alignment check
+            # (is byte boundary-1 a separator?) and the backward search
+            # both read only inside the cheap left sled.
+            if kernel.pread(fd, boundary - 1, 1) == separator:
+                adjusted.append(boundary)
+                continue
+            sep = _find_separator_backward(
+                kernel, fd, left.offset, boundary, separator)
+            adjusted.append(sep + 1 if sep is not None else left.offset)
+        else:
+            # Low-latency side follows.  Knowing whether the boundary is
+            # already record-aligned would require reading byte boundary-1
+            # from the *expensive* left sled — defeating the point — so the
+            # library conservatively pushes the (possibly whole) leading
+            # record out to the high-latency neighbour and searches only
+            # inside the cheap right sled.
+            sep = _find_separator_forward(
+                kernel, fd, boundary, right.end, separator)
+            adjusted.append(sep + 1 if sep is not None else right.end)
+    # Rebuild sleds between [0, boundary_1, ..., file_size].  A separator-free
+    # low-latency sled can make its two edges cross (the whole sled is one
+    # record fragment); a running max resolves that by collapsing the sled to
+    # zero length, absorbing it into the higher-latency neighbour — which is
+    # exactly "fragments are pushed out to the neighboring SLEDs".
+    edges = [0] + adjusted + [vector.file_size]
+    for i in range(1, len(edges)):
+        edges[i] = min(vector.file_size, max(edges[i], edges[i - 1]))
+    out: list[Sled] = []
+    for i, sled in enumerate(sleds):
+        start, end = edges[i], edges[i + 1]
+        if end > start:
+            out.append(Sled(start, end - start, sled.latency, sled.bandwidth))
+    return SledVector(out, file_size=vector.file_size)

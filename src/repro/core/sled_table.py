@@ -1,0 +1,73 @@
+"""The kernel sleds table: per-storage-level latency and bandwidth.
+
+In the paper, "a sleds table, kept in the kernel, is filled by calling a
+script from /etc/rc.d/init.d every time the machine is booted.  The sleds
+table has a latency and bandwidth entry for every storage device, as well
+as NFS-mounted partitions and primary memory.  The latency and bandwidth
+... are obtained by running the lmbench benchmark."
+
+Our equivalent: :mod:`repro.bench.lmbench` probes the simulated devices and
+calls the ``FSLEDS_FILL`` ioctl with the measurements.  "The current
+implementation keeps only a single entry per device" — dynamic filesystems
+(HSM tape) override per page via
+:class:`~repro.fs.filesystem.PageEstimate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LevelCharacteristics:
+    """One sleds-table row."""
+
+    latency: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"negative latency: {self.latency}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"non-positive bandwidth: {self.bandwidth}")
+
+
+class SledTableError(KeyError):
+    """Lookup of a level the boot-time fill never characterised."""
+
+
+class SledTable:
+    """Mapping of device key → :class:`LevelCharacteristics`."""
+
+    MEMORY_KEY = "memory"
+
+    def __init__(self) -> None:
+        self._levels: dict[str, LevelCharacteristics] = {}
+
+    def fill(self, entries: dict[str, tuple[float, float]]) -> None:
+        """Install (latency, bandwidth) rows; the FSLEDS_FILL payload."""
+        for key, (latency, bandwidth) in entries.items():
+            self._levels[key] = LevelCharacteristics(latency, bandwidth)
+
+    def lookup(self, key: str) -> LevelCharacteristics:
+        try:
+            return self._levels[key]
+        except KeyError:
+            raise SledTableError(
+                f"storage level {key!r} not in sleds table; filled levels: "
+                f"{sorted(self._levels)} — did boot-time FSLEDS_FILL run?"
+            ) from None
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._levels
+
+    def __len__(self) -> int:
+        return len(self._levels)
+
+    def entries(self) -> dict[str, LevelCharacteristics]:
+        return dict(self._levels)
+
+    @property
+    def memory(self) -> LevelCharacteristics:
+        """The primary-memory row (every filled table must have one)."""
+        return self.lookup(self.MEMORY_KEY)

@@ -1,0 +1,38 @@
+"""Parametric storage-device models with dynamic positional state.
+
+Each model converts an access (address, byte count) into virtual seconds,
+tracking head/tape position so that sequential streaming is cheap and random
+access pays the device's characteristic latency — the four-to-eleven orders
+of magnitude of dynamic range that motivate SLEDs.
+"""
+
+from repro.devices.autochanger import Autochanger, UnknownCartridgeError
+from repro.devices.base import Device, DeviceSpec, DeviceStats
+from repro.devices.cdrom import CdromDevice
+from repro.devices.disk import DiskDevice, Zone, DEFAULT_ZONES
+from repro.devices.flash import FlashDevice
+from repro.devices.memory import MemoryDevice
+from repro.devices.network import NfsDevice
+from repro.devices.raid import Raid0, Raid1, make_stripe
+from repro.devices.tape import TapeCartridge, TapeDevice, TapeNotLoadedError
+
+__all__ = [
+    "Device",
+    "DeviceSpec",
+    "DeviceStats",
+    "MemoryDevice",
+    "DiskDevice",
+    "Zone",
+    "DEFAULT_ZONES",
+    "CdromDevice",
+    "FlashDevice",
+    "NfsDevice",
+    "Raid0",
+    "Raid1",
+    "make_stripe",
+    "TapeDevice",
+    "TapeCartridge",
+    "TapeNotLoadedError",
+    "Autochanger",
+    "UnknownCartridgeError",
+]

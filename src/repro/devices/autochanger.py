@@ -1,0 +1,125 @@
+"""Tape library (autochanger) model.
+
+An autochanger holds a shelf of cartridges and a small number of drives,
+with a robot arm that exchanges cartridges.  Its dynamic state — which tapes
+are mounted where — is exactly the kind of state SLEDs exist to expose:
+data on a mounted tape is seconds away, data on a shelved tape is a minute
+or more away.
+
+The :class:`Autochanger` is the single entry point the HSM filesystem uses:
+``access(label, addr, nbytes)`` mounts the needed cartridge if necessary
+(evicting the least-recently-used drive) and performs the access, returning
+the total duration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.devices.tape import TapeCartridge, TapeDevice
+
+
+class UnknownCartridgeError(KeyError):
+    """Requested a cartridge label the library does not hold."""
+
+
+class Autochanger:
+    """A robot tape library with LRU drive allocation."""
+
+    def __init__(self, drives: list[TapeDevice],
+                 cartridges: list[TapeCartridge],
+                 exchange_time: float = 10.0,
+                 rng: np.random.Generator | None = None) -> None:
+        if not drives:
+            raise ValueError("autochanger needs at least one drive")
+        if exchange_time < 0:
+            raise ValueError(f"exchange time must be non-negative: {exchange_time}")
+        self.drives = list(drives)
+        self.shelf: dict[str, TapeCartridge] = {}
+        for cart in cartridges:
+            if cart.label in self.shelf:
+                raise ValueError(f"duplicate cartridge label {cart.label!r}")
+            self.shelf[cart.label] = cart
+        self.exchange_time = exchange_time
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        #: drive use order for LRU eviction; most recent last
+        self._use_order: list[TapeDevice] = list(drives)
+        #: robot activity counters (exchanges = cartridge swaps performed)
+        self.exchanges = 0
+        self.loads = 0
+        self.unloads = 0
+
+    # -- queries ----------------------------------------------------------
+
+    def cartridge(self, label: str) -> TapeCartridge:
+        try:
+            return self.shelf[label]
+        except KeyError:
+            raise UnknownCartridgeError(label) from None
+
+    def drive_holding(self, label: str) -> TapeDevice | None:
+        """The drive currently holding cartridge ``label``, if any."""
+        for drive in self.drives:
+            if drive.loaded is not None and drive.loaded.label == label:
+                return drive
+        return None
+
+    def mounted_labels(self) -> list[str]:
+        """Labels of all currently mounted cartridges."""
+        return [d.loaded.label for d in self.drives if d.loaded is not None]
+
+    def estimate_latency(self, label: str, addr: int) -> float:
+        """Expected time-to-first-byte for ``addr`` on cartridge ``label``.
+
+        Performs no motion.  A mounted cartridge costs only a locate; an
+        unmounted one costs a possible unload, an exchange, a load, and an
+        average locate.
+        """
+        cart = self.cartridge(label)
+        drive = self.drive_holding(label)
+        if drive is not None:
+            return drive.locate_time(cart.position, addr)
+        victim = self._use_order[0]
+        penalty = self.exchange_time + victim.load_time
+        if victim.loaded is not None:
+            penalty += victim.unload_time
+        return penalty + victim.locate_startup + victim.full_wind_time / 3
+
+    # -- operations -----------------------------------------------------------
+
+    def mount(self, label: str) -> tuple[TapeDevice, float]:
+        """Ensure cartridge ``label`` is in a drive.
+
+        Returns ``(drive, seconds)`` where ``seconds`` is the robot/load
+        time spent (0.0 when already mounted).
+        """
+        drive = self.drive_holding(label)
+        if drive is not None:
+            self._touch(drive)
+            return drive, 0.0
+        cart = self.cartridge(label)
+        victim = self._use_order[0]
+        duration = 0.0
+        if victim.loaded is not None:
+            duration += victim.unload()
+            self.unloads += 1
+        duration += self.exchange_time
+        duration += victim.load(cart)
+        self.exchanges += 1
+        self.loads += 1
+        self._touch(victim)
+        return victim, duration
+
+    def access(self, label: str, addr: int, nbytes: int,
+               is_write: bool = False) -> float:
+        """Mount if needed, then read or write; returns total duration."""
+        drive, duration = self.mount(label)
+        if is_write:
+            duration += drive.write(addr, nbytes)
+        else:
+            duration += drive.read(addr, nbytes)
+        return duration
+
+    def _touch(self, drive: TapeDevice) -> None:
+        self._use_order.remove(drive)
+        self._use_order.append(drive)

@@ -1,0 +1,172 @@
+"""Device model base classes.
+
+A :class:`Device` turns an access request (address, byte count) into a
+duration in virtual seconds, updating its own dynamic state (head position,
+mounted tape, ...) as a side effect.  Devices never touch the clock
+themselves — the kernel charges the returned duration — and they never hold
+data; file content lives in the filesystem layer.  This mirrors the paper's
+observation that in current systems "the storage devices are purely passive,
+although their characteristics are measured and presented by proxy".
+
+Every device also carries a :class:`DeviceSpec` with the *nominal*
+latency/bandwidth, which is what the paper's boot-time lmbench run would
+measure and feed into the kernel sleds table (our
+:mod:`repro.bench.lmbench` does the measuring for real, against these
+models).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Nominal characteristics of a device, for reports and sanity checks.
+
+    ``latency`` is the expected time-to-first-byte of an isolated random
+    access in seconds; ``bandwidth`` the sustained sequential transfer rate
+    in bytes/second.  These correspond to the rows of the paper's Tables 2
+    and 3.
+    """
+
+    name: str
+    kind: str
+    latency: float
+    bandwidth: float
+
+
+@dataclass
+class DeviceStats:
+    """Cumulative access statistics, used by tests and benchmark reports."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_time: float = 0.0
+    seeks: int = 0
+    errors: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.busy_time = 0.0
+        self.seeks = 0
+        self.errors = 0
+
+
+class Device(ABC):
+    """Abstract storage device with dynamic positional state.
+
+    Subclasses implement :meth:`_access_time`; the public :meth:`read` and
+    :meth:`write` wrappers validate arguments and keep statistics.
+    """
+
+    #: category name used when charging this device's time to the clock
+    time_category = "device"
+
+    def __init__(self, spec: DeviceSpec, capacity: int,
+                 rng: np.random.Generator | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"device capacity must be positive: {capacity}")
+        self.spec = spec
+        self.capacity = capacity
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.stats = DeviceStats()
+        self._pending_failures = 0
+        self._bad_ranges: list[tuple[int, int]] = []
+
+    # -- public API ----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def read(self, addr: int, nbytes: int) -> float:
+        """Time in seconds to read ``nbytes`` starting at ``addr``."""
+        self._check(addr, nbytes)
+        self._maybe_fail(addr, nbytes, is_write=False)
+        duration = self._access_time(addr, nbytes, is_write=False)
+        self.stats.reads += 1
+        self.stats.bytes_read += nbytes
+        self.stats.busy_time += duration
+        return duration
+
+    def write(self, addr: int, nbytes: int) -> float:
+        """Time in seconds to write ``nbytes`` starting at ``addr``."""
+        self._check(addr, nbytes)
+        self._maybe_fail(addr, nbytes, is_write=True)
+        duration = self._access_time(addr, nbytes, is_write=True)
+        self.stats.writes += 1
+        self.stats.bytes_written += nbytes
+        self.stats.busy_time += duration
+        return duration
+
+    def reset_state(self) -> None:
+        """Forget positional state (as if freshly powered on)."""
+
+    # -- failure injection ------------------------------------------------
+
+    def inject_failures(self, count: int = 1) -> None:
+        """Make the next ``count`` accesses fail with EIO (testing aid)."""
+        if count < 0:
+            raise ValueError(f"failure count must be >= 0: {count}")
+        self._pending_failures += count
+
+    def mark_bad_range(self, addr: int, nbytes: int) -> None:
+        """Permanently fail any access overlapping ``[addr, addr+nbytes)``
+        — a grown media defect."""
+        if addr < 0 or nbytes <= 0:
+            raise ValueError(f"bad defect range: {addr}, {nbytes}")
+        self._bad_ranges.append((addr, addr + nbytes))
+
+    def clear_failures(self) -> None:
+        """Drop injected failures and media defects."""
+        self._pending_failures = 0
+        self._bad_ranges.clear()
+
+    def _maybe_fail(self, addr: int, nbytes: int, is_write: bool) -> None:
+        from repro.sim.errors import IoSimError
+
+        if self._pending_failures > 0:
+            self._pending_failures -= 1
+            self.stats.errors += 1
+            raise IoSimError(self.name, addr, is_write)
+        for lo, hi in self._bad_ranges:
+            if addr < hi and addr + nbytes > lo:
+                self.stats.errors += 1
+                raise IoSimError(self.name, addr, is_write)
+
+    # -- hooks -----------------------------------------------------------
+
+    @abstractmethod
+    def _access_time(self, addr: int, nbytes: int, is_write: bool) -> float:
+        """Duration of one access; may update positional state."""
+
+    # -- helpers ---------------------------------------------------------
+
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or nbytes < 0:
+            raise ValueError(f"negative address/length: {addr}, {nbytes}")
+        if addr + nbytes > self.capacity:
+            raise ValueError(
+                f"access [{addr}, {addr + nbytes}) beyond capacity "
+                f"{self.capacity} of device {self.name!r}"
+            )
+
+    def describe(self) -> str:
+        """One-line human description used by reports."""
+        return (
+            f"{self.name} ({self.spec.kind}): "
+            f"latency {self.spec.latency * 1e3:.3f} ms, "
+            f"bandwidth {self.spec.bandwidth / (1 << 20):.1f} MB/s"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,39 @@
+"""FITS format substrate and the cfitsio-like I/O seam."""
+
+from repro.fits.cfitsio import (
+    FitsImageInfo,
+    append_bintable,
+    create_image,
+    open_image,
+    read_bintable,
+    read_elements,
+    write_fits,
+)
+from repro.fits.format import (
+    BLOCK_SIZE,
+    BinTableHDU,
+    Card,
+    FitsFormatError,
+    FitsHeader,
+    ImageHDU,
+    image_params,
+    padded,
+)
+
+__all__ = [
+    "Card",
+    "FitsHeader",
+    "ImageHDU",
+    "BinTableHDU",
+    "FitsFormatError",
+    "BLOCK_SIZE",
+    "image_params",
+    "padded",
+    "FitsImageInfo",
+    "create_image",
+    "open_image",
+    "read_elements",
+    "write_fits",
+    "append_bintable",
+    "read_bintable",
+]

@@ -1,0 +1,200 @@
+"""cfitsio-like I/O layer: FITS files over the simulated syscall interface.
+
+LHEASOFT links against NASA's cfitsio; the paper modified that library
+("cfitsio 190 lines modified, shared, used in both fimhisto and fimgbin").
+This module is our equivalent seam: it knows how to create FITS files
+through the kernel, parse headers, locate the data unit, and read element
+ranges — and it is where the ``ff``-prefixed SLEDs calls plug in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fits.format import (
+    BITPIX_DTYPES,
+    BLOCK_SIZE,
+    BinTableHDU,
+    FitsFormatError,
+    FitsHeader,
+    ImageHDU,
+    image_params,
+    padded,
+)
+
+_WRITE_CHUNK = 256 * 1024
+
+
+@dataclass
+class FitsImageInfo:
+    """Where the primary image lives inside an open FITS file."""
+
+    path: str
+    header: FitsHeader
+    bitpix: int
+    shape: list[int]          # fastest axis first (FITS convention)
+    data_offset: int          # byte offset of the data unit
+    element_size: int
+    element_count: int
+    bscale: float = 1.0       # physical = raw * BSCALE + BZERO
+    bzero: float = 0.0
+
+    @property
+    def dtype(self) -> np.dtype:
+        return BITPIX_DTYPES[self.bitpix]
+
+    @property
+    def data_bytes(self) -> int:
+        return self.element_count * self.element_size
+
+    @property
+    def scaled(self) -> bool:
+        """Whether reads require a physical-value conversion — the
+        "data format conversion" the paper's fimhisto pass 2 performs."""
+        return self.bscale != 1.0 or self.bzero != 0.0
+
+
+def write_fits(kernel, path: str, hdus: list) -> None:
+    """Serialise HDUs and write them through the syscall layer."""
+    fd = kernel.open(path, "w")
+    try:
+        for hdu in hdus:
+            blob = hdu.to_bytes()
+            for pos in range(0, len(blob), _WRITE_CHUNK):
+                kernel.write(fd, blob[pos:pos + _WRITE_CHUNK])
+    finally:
+        kernel.close(fd)
+
+
+def create_image(kernel, path: str, data: np.ndarray,
+                 extra_cards: FitsHeader | None = None,
+                 bscale: float = 1.0, bzero: float = 0.0) -> None:
+    """Create a FITS file whose primary HDU is ``data``.
+
+    ``data`` holds the *raw* stored values; non-default ``bscale``/
+    ``bzero`` declare the physical-value transform readers must apply.
+    """
+    header = extra_cards or FitsHeader()
+    if bscale != 1.0:
+        header.set("BSCALE", bscale, "physical = raw * BSCALE + BZERO")
+    if bzero != 0.0:
+        header.set("BZERO", bzero)
+    hdu = ImageHDU(data=data, header=header)
+    write_fits(kernel, path, [hdu])
+
+
+def read_primary_header(kernel, fd: int) -> tuple[FitsHeader, int]:
+    """Parse the primary header of an open file; returns (header, size)."""
+    raw = b""
+    while True:
+        block = kernel.pread(fd, len(raw), BLOCK_SIZE)
+        if len(block) < BLOCK_SIZE:
+            raise FitsFormatError("truncated FITS header")
+        raw += block
+        try:
+            return FitsHeader.from_bytes(raw)
+        except FitsFormatError as exc:
+            if "no END" not in str(exc):
+                raise
+            if len(raw) > 640 * BLOCK_SIZE:
+                raise FitsFormatError("header unreasonably large") from exc
+
+
+def open_image(kernel, fd: int, path: str = "?") -> FitsImageInfo:
+    """Parse the primary HDU metadata of an open FITS image."""
+    header, consumed = read_primary_header(kernel, fd)
+    if header.get("SIMPLE") is not True:
+        raise FitsFormatError(f"{path}: not a simple FITS file")
+    bitpix, shape, _ = image_params(header)
+    if bitpix not in BITPIX_DTYPES:
+        raise FitsFormatError(f"{path}: unsupported BITPIX {bitpix}")
+    element_size = abs(bitpix) // 8
+    element_count = 1
+    for n in shape:
+        element_count *= n
+    return FitsImageInfo(
+        path=path, header=header, bitpix=bitpix, shape=shape,
+        data_offset=consumed, element_size=element_size,
+        element_count=element_count,
+        bscale=float(header.get("BSCALE", 1.0)),
+        bzero=float(header.get("BZERO", 0.0)))
+
+
+def read_elements(kernel, fd: int, info: FitsImageInfo,
+                  first: int, count: int,
+                  apply_scaling: bool = True) -> np.ndarray:
+    """Read ``count`` elements starting at element ``first`` (native order
+    numpy array, converted from FITS big-endian).
+
+    When the header declares ``BSCALE``/``BZERO`` and ``apply_scaling`` is
+    set, values are converted to physical floats — cfitsio's behaviour,
+    and the paper's fimhisto "data format conversion".
+    """
+    if first < 0 or first + count > info.element_count:
+        raise FitsFormatError(
+            f"element range [{first}, {first + count}) outside image "
+            f"of {info.element_count} elements")
+    offset = info.data_offset + first * info.element_size
+    blob = kernel.pread(fd, offset, count * info.element_size)
+    raw = np.frombuffer(blob, dtype=info.dtype).astype(
+        info.dtype.newbyteorder("="))
+    if apply_scaling and info.scaled:
+        return raw.astype(np.float64) * info.bscale + info.bzero
+    return raw
+
+
+def append_bintable(kernel, path: str, table: BinTableHDU) -> None:
+    """Append a binary-table extension HDU to an existing FITS file."""
+    fd = kernel.open(path, "a")
+    try:
+        blob = table.to_bytes()
+        for pos in range(0, len(blob), _WRITE_CHUNK):
+            kernel.write(fd, blob[pos:pos + _WRITE_CHUNK])
+    finally:
+        kernel.close(fd)
+
+
+def read_bintable(kernel, path: str, hdu_index: int = 1) -> BinTableHDU:
+    """Read the ``hdu_index``-th HDU (0 = primary) as a binary table."""
+    fd = kernel.open(path)
+    try:
+        offset = 0
+        for index in range(hdu_index + 1):
+            raw = b""
+            while True:
+                block = kernel.pread(fd, offset + len(raw), BLOCK_SIZE)
+                if len(block) < BLOCK_SIZE:
+                    raise FitsFormatError(
+                        f"{path}: ran out of data at HDU {index}")
+                raw += block
+                try:
+                    header, consumed = FitsHeader.from_bytes(raw)
+                    break
+                except FitsFormatError as exc:
+                    if "no END" not in str(exc):
+                        raise
+            _, _, data_len = _hdu_data_length(header)
+            if index == hdu_index:
+                payload = kernel.pread(fd, offset + consumed, data_len)
+                return BinTableHDU.parse(header, payload)
+            offset += consumed + padded(data_len)
+    finally:
+        kernel.close(fd)
+    raise FitsFormatError(f"{path}: no HDU {hdu_index}")
+
+
+def _hdu_data_length(header: FitsHeader) -> tuple[int, list[int], int]:
+    bitpix = int(header["BITPIX"])
+    naxis = int(header.get("NAXIS", 0))
+    axes = [int(header[f"NAXIS{i + 1}"]) for i in range(naxis)]
+    nelements = 1
+    for n in axes:
+        nelements *= n
+    if naxis == 0:
+        nelements = 0
+    pcount = int(header.get("PCOUNT", 0))
+    gcount = int(header.get("GCOUNT", 1))
+    nbytes = (abs(bitpix) // 8) * gcount * (pcount + nelements)
+    return bitpix, axes, nbytes

@@ -1,0 +1,334 @@
+"""FITS (Flexible Image Transport System) format, the subset LHEASOFT uses.
+
+"The FITS format includes image metadata, as well as the data itself."
+A FITS file is a sequence of HDUs (header-data units).  Each header is a
+sequence of 80-character ASCII *cards* packed into 2880-byte blocks and
+terminated by an ``END`` card; the data unit follows, also padded to a
+2880-byte boundary, with numeric data stored big-endian.
+
+Implemented here:
+
+* card formatting/parsing (logical, integer, float, string values);
+* primary image HDUs (``SIMPLE``/``BITPIX``/``NAXIS``/``NAXISn``);
+* a simplified binary-table extension HDU (``XTENSION = 'BINTABLE'``)
+  sufficient to hold the histogram column ``fimhisto`` appends.
+
+This is a real, round-trippable encoder/decoder operating on bytes — the
+simulated kernel stores exactly these bytes, so a FITS file written
+through the syscall layer can be re-opened and parsed back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+BLOCK_SIZE = 2880
+CARD_SIZE = 80
+CARDS_PER_BLOCK = BLOCK_SIZE // CARD_SIZE
+
+#: BITPIX -> numpy big-endian dtype
+BITPIX_DTYPES = {
+    8: np.dtype(">u1"),
+    16: np.dtype(">i2"),
+    32: np.dtype(">i4"),
+    -32: np.dtype(">f4"),
+    -64: np.dtype(">f8"),
+}
+
+
+class FitsFormatError(ValueError):
+    """Malformed FITS structure."""
+
+
+@dataclass(frozen=True)
+class Card:
+    """One 80-character header card."""
+
+    keyword: str
+    value: object = None
+    comment: str = ""
+
+    def to_bytes(self) -> bytes:
+        kw = self.keyword.upper()
+        if len(kw) > 8:
+            raise FitsFormatError(f"keyword too long: {kw!r}")
+        if kw in ("END", "COMMENT", "HISTORY", ""):
+            text = f"{kw:<8}{str(self.value or ''):<72}"
+            return text[:CARD_SIZE].encode("ascii")
+        body = _format_value(self.value)
+        text = f"{kw:<8}= {body}"
+        if self.comment:
+            text += f" / {self.comment}"
+        if len(text) > CARD_SIZE:
+            text = text[:CARD_SIZE]
+        return f"{text:<{CARD_SIZE}}".encode("ascii")
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "Card":
+        if len(raw) != CARD_SIZE:
+            raise FitsFormatError(f"card must be 80 bytes, got {len(raw)}")
+        text = raw.decode("ascii")
+        keyword = text[:8].strip()
+        if keyword in ("END", "COMMENT", "HISTORY", ""):
+            return cls(keyword=keyword, value=text[8:].rstrip())
+        if text[8:10] != "= ":
+            return cls(keyword=keyword, value=text[8:].rstrip())
+        body = text[10:]
+        comment = ""
+        if body.lstrip().startswith("'"):
+            # string value: find the closing quote ('' escapes a quote)
+            value, rest = _parse_string(body)
+            if "/" in rest:
+                comment = rest.split("/", 1)[1].strip()
+            return cls(keyword=keyword, value=value, comment=comment)
+        if "/" in body:
+            body, comment = body.split("/", 1)
+            comment = comment.strip()
+        return cls(keyword=keyword, value=_parse_value(body.strip()),
+                   comment=comment)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return f"{'T' if value else 'F':>20}"
+    if isinstance(value, (int, np.integer)):
+        return f"{int(value):>20}"
+    if isinstance(value, (float, np.floating)):
+        return f"{float(value):>20.10G}"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped:<8}'"
+    if value is None:
+        return " " * 20
+    raise FitsFormatError(f"unsupported card value type: {type(value)}")
+
+
+def _parse_value(text: str):
+    if not text:
+        return None
+    if text == "T":
+        return True
+    if text == "F":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _parse_string(body: str) -> tuple[str, str]:
+    stripped = body.lstrip()
+    assert stripped.startswith("'")
+    out = []
+    i = 1
+    while i < len(stripped):
+        ch = stripped[i]
+        if ch == "'":
+            if i + 1 < len(stripped) and stripped[i + 1] == "'":
+                out.append("'")
+                i += 2
+                continue
+            return "".join(out).rstrip(), stripped[i + 1:]
+        out.append(ch)
+        i += 1
+    raise FitsFormatError(f"unterminated string in card body: {body!r}")
+
+
+@dataclass
+class FitsHeader:
+    """An ordered list of cards with dict-style access by keyword."""
+
+    cards: list[Card] = field(default_factory=list)
+
+    def get(self, keyword: str, default=None):
+        for card in self.cards:
+            if card.keyword == keyword.upper():
+                return card.value
+        return default
+
+    def __getitem__(self, keyword: str):
+        value = self.get(keyword, default=_MISSING)
+        if value is _MISSING:
+            raise KeyError(keyword)
+        return value
+
+    def __contains__(self, keyword: str) -> bool:
+        return self.get(keyword, default=_MISSING) is not _MISSING
+
+    def set(self, keyword: str, value, comment: str = "") -> None:
+        new = Card(keyword.upper(), value, comment)
+        for i, card in enumerate(self.cards):
+            if card.keyword == new.keyword:
+                self.cards[i] = new
+                return
+        self.cards.append(new)
+
+    def to_bytes(self) -> bytes:
+        raw = b"".join(card.to_bytes() for card in self.cards)
+        raw += Card("END").to_bytes()
+        pad = (-len(raw)) % BLOCK_SIZE
+        return raw + b" " * pad
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> tuple["FitsHeader", int]:
+        """Parse a header; returns (header, bytes consumed incl. padding)."""
+        cards: list[Card] = []
+        pos = 0
+        while True:
+            if pos + CARD_SIZE > len(raw):
+                raise FitsFormatError("header runs past end of data (no END)")
+            card = Card.from_bytes(raw[pos:pos + CARD_SIZE])
+            pos += CARD_SIZE
+            if card.keyword == "END":
+                break
+            if card.keyword == "" and not str(card.value).strip():
+                continue  # blank card
+            cards.append(card)
+        consumed = ((pos + BLOCK_SIZE - 1) // BLOCK_SIZE) * BLOCK_SIZE
+        return cls(cards=cards), consumed
+
+
+_MISSING = object()
+
+
+@dataclass
+class ImageHDU:
+    """A primary or image-extension HDU."""
+
+    data: np.ndarray
+    header: FitsHeader = field(default_factory=FitsHeader)
+    primary: bool = True
+
+    def __post_init__(self) -> None:
+        bitpix = _bitpix_of(self.data.dtype)
+        axes = list(reversed(self.data.shape))  # FITS axes are fastest-first
+        cards = [Card("SIMPLE", True, "conforms to FITS standard")
+                 if self.primary else
+                 Card("XTENSION", "IMAGE", "image extension")]
+        cards += [
+            Card("BITPIX", bitpix, "bits per pixel"),
+            Card("NAXIS", len(axes), "number of axes"),
+        ]
+        cards += [Card(f"NAXIS{i + 1}", n) for i, n in enumerate(axes)]
+        if self.primary:
+            cards.append(Card("EXTEND", True))
+        merged = FitsHeader(cards)
+        for card in self.header.cards:
+            if card.keyword not in merged:
+                merged.cards.append(card)
+        self.header = merged
+
+    def to_bytes(self) -> bytes:
+        dtype = BITPIX_DTYPES[_bitpix_of(self.data.dtype)]
+        payload = np.ascontiguousarray(self.data, dtype=dtype).tobytes()
+        pad = (-len(payload)) % BLOCK_SIZE
+        return self.header.to_bytes() + payload + b"\0" * pad
+
+
+def _bitpix_of(dtype: np.dtype) -> int:
+    for bitpix, candidate in BITPIX_DTYPES.items():
+        if candidate == dtype.newbyteorder(">"):
+            return bitpix
+    raise FitsFormatError(f"dtype {dtype} has no FITS BITPIX")
+
+
+@dataclass
+class BinTableHDU:
+    """Simplified BINTABLE: named numeric columns of equal length."""
+
+    columns: dict[str, np.ndarray]
+    header: FitsHeader = field(default_factory=FitsHeader)
+
+    _TFORM = {
+        np.dtype(">i2"): "1I",
+        np.dtype(">i4"): "1J",
+        np.dtype(">f4"): "1E",
+        np.dtype(">f8"): "1D",
+    }
+
+    def __post_init__(self) -> None:
+        if not self.columns:
+            raise FitsFormatError("binary table needs at least one column")
+        lengths = {len(col) for col in self.columns.values()}
+        if len(lengths) != 1:
+            raise FitsFormatError(
+                f"all columns must have equal length, got {lengths}")
+
+    def _row_layout(self) -> list[tuple[str, np.dtype]]:
+        return [(name, np.asarray(col).dtype.newbyteorder(">"))
+                for name, col in self.columns.items()]
+
+    def to_bytes(self) -> bytes:
+        layout = self._row_layout()
+        nrows = len(next(iter(self.columns.values())))
+        row_bytes = sum(dtype.itemsize for _, dtype in layout)
+        cards = [
+            Card("XTENSION", "BINTABLE", "binary table extension"),
+            Card("BITPIX", 8),
+            Card("NAXIS", 2),
+            Card("NAXIS1", row_bytes, "bytes per row"),
+            Card("NAXIS2", nrows, "number of rows"),
+            Card("PCOUNT", 0),
+            Card("GCOUNT", 1),
+            Card("TFIELDS", len(layout)),
+        ]
+        for i, (name, dtype) in enumerate(layout, start=1):
+            cards.append(Card(f"TTYPE{i}", name))
+            cards.append(Card(f"TFORM{i}", self._TFORM[dtype]))
+        header = FitsHeader(cards)
+        for card in self.header.cards:
+            if card.keyword not in header:
+                header.cards.append(card)
+        rows = np.empty(
+            nrows,
+            dtype=[(name, dtype.str) for name, dtype in layout])
+        for name, col in self.columns.items():
+            rows[name] = col
+        payload = rows.tobytes()
+        pad = (-len(payload)) % BLOCK_SIZE
+        return header.to_bytes() + payload + b"\0" * pad
+
+    @classmethod
+    def parse(cls, header: FitsHeader, payload: bytes) -> "BinTableHDU":
+        nfields = int(header["TFIELDS"])
+        nrows = int(header["NAXIS2"])
+        inverse_tform = {v: k for k, v in cls._TFORM.items()}
+        layout = []
+        for i in range(1, nfields + 1):
+            name = str(header[f"TTYPE{i}"])
+            tform = str(header[f"TFORM{i}"])
+            try:
+                dtype = inverse_tform[tform]
+            except KeyError:
+                raise FitsFormatError(
+                    f"unsupported TFORM {tform!r}") from None
+            layout.append((name, dtype))
+        rows = np.frombuffer(
+            payload[: nrows * sum(d.itemsize for _, d in layout)],
+            dtype=[(name, dtype.str) for name, dtype in layout])
+        columns = {name: rows[name].copy() for name, _ in layout}
+        return cls(columns=columns, header=header)
+
+
+def image_params(header: FitsHeader) -> tuple[int, list[int], int]:
+    """(bitpix, shape fastest-axis-first, data byte length w/o padding)."""
+    bitpix = int(header["BITPIX"])
+    naxis = int(header["NAXIS"])
+    axes = [int(header[f"NAXIS{i + 1}"]) for i in range(naxis)]
+    nelements = 1
+    for n in axes:
+        nelements *= n
+    nbytes = nelements * abs(bitpix) // 8
+    return bitpix, axes, nbytes
+
+
+def padded(nbytes: int) -> int:
+    """Data-unit length including block padding."""
+    return ((nbytes + BLOCK_SIZE - 1) // BLOCK_SIZE) * BLOCK_SIZE

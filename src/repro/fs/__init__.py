@@ -1,0 +1,48 @@
+"""Filesystem substrate: inodes, extents, content stores, and fs types."""
+
+from repro.fs.content import (
+    ByteStoreContent,
+    FileContent,
+    SyntheticText,
+    ZeroContent,
+)
+from repro.fs.filesystem import (
+    Ext2Like,
+    FileSystem,
+    Iso9660Like,
+    PageEstimate,
+    split_path,
+)
+from repro.fs.hsmfs import HsmFileState, HsmFs
+from repro.fs.inode import (
+    Allocator,
+    Extent,
+    ExtentMap,
+    Inode,
+    InodeKind,
+    make_directory,
+    make_file,
+)
+from repro.fs.nfs import NfsLike
+
+__all__ = [
+    "FileContent",
+    "SyntheticText",
+    "ByteStoreContent",
+    "ZeroContent",
+    "FileSystem",
+    "Ext2Like",
+    "Iso9660Like",
+    "NfsLike",
+    "HsmFs",
+    "HsmFileState",
+    "PageEstimate",
+    "split_path",
+    "Inode",
+    "InodeKind",
+    "Extent",
+    "ExtentMap",
+    "Allocator",
+    "make_file",
+    "make_directory",
+]

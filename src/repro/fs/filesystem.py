@@ -1,0 +1,285 @@
+"""Filesystem types: the VFS-facing interface plus local implementations.
+
+A :class:`FileSystem` owns a namespace (directory tree of inodes), a device,
+and a layout policy.  The kernel talks to it through a narrow interface:
+
+* ``resolve`` / ``create_file`` / ``mkdir`` — namespace operations;
+* ``read_pages`` / ``write_pages`` — move pages to/from the device,
+  returning virtual seconds (contiguous extents are batched into single
+  device accesses, so streaming runs at device bandwidth);
+* ``page_estimate`` — the SLED builder's question: which *storage level*
+  holds this page right now, and (for levels with dynamic state such as
+  tape) what is the current latency estimate.
+
+Workload-construction helpers (``create_file`` and friends) are not
+simulated syscalls; they build the experimental world.  The ``read_only``
+flag gates the *kernel* write path only, which is how an ISO9660 CD-ROM
+refuses writes while still being populate-able when mastering the disc.
+"""
+
+from __future__ import annotations
+
+from abc import ABC
+from dataclasses import dataclass
+
+from repro.devices.base import Device
+from repro.devices.cdrom import CdromDevice
+from repro.devices.disk import DiskDevice
+from repro.fs.content import FileContent, SyntheticText, ZeroContent
+from repro.fs.inode import (
+    Allocator,
+    Inode,
+    InodeKind,
+    make_directory,
+    make_file,
+)
+from repro.sim.errors import (
+    FileExistsSimError,
+    FileNotFoundSimError,
+    InvalidArgumentError,
+    NotADirectorySimError,
+)
+from repro.sim.units import PAGE_SIZE
+
+
+def split_path(path: str) -> list[str]:
+    """Split a slash path into components, ignoring empties."""
+    return [part for part in path.split("/") if part]
+
+
+@dataclass(frozen=True)
+class PageEstimate:
+    """Where one page lives and how fast it can be delivered.
+
+    ``device_key`` names a row of the kernel sleds table (e.g. ``"disk"``).
+    ``latency``/``bandwidth`` are optional *dynamic* overrides; when None,
+    the kernel uses the boot-time characterisation from the sleds table —
+    exactly the paper's implementation, which "keeps only a single entry
+    per device".  Filesystems with large dynamic state (HSM tape) override.
+    """
+
+    device_key: str
+    latency: float | None = None
+    bandwidth: float | None = None
+
+
+class FileSystem(ABC):
+    """Base class: directory tree + device-backed page I/O."""
+
+    def __init__(self, name: str, device: Device,
+                 read_only: bool = False) -> None:
+        self.name = name
+        self.device = device
+        self.read_only = read_only
+        self.root = make_directory()
+
+    # -- namespace -------------------------------------------------------
+
+    def resolve(self, parts: list[str]) -> Inode:
+        """Walk ``parts`` from the root; raises on missing components."""
+        node = self.root
+        for i, part in enumerate(parts):
+            if not node.is_dir:
+                raise NotADirectorySimError(
+                    "/".join(parts[:i]) or "<root>")
+            child = node.entries.get(part)
+            if child is None:
+                raise FileNotFoundSimError("/".join(parts[: i + 1]))
+            node = child
+        return node
+
+    def _resolve_parent(self, parts: list[str],
+                        create_dirs: bool) -> tuple[Inode, str]:
+        if not parts:
+            raise InvalidArgumentError("empty path")
+        node = self.root
+        for i, part in enumerate(parts[:-1]):
+            if not node.is_dir:
+                raise NotADirectorySimError("/".join(parts[: i + 1]))
+            child = node.entries.get(part)
+            if child is None:
+                if not create_dirs:
+                    raise FileNotFoundSimError("/".join(parts[: i + 1]))
+                child = make_directory()
+                node.entries[part] = child
+            node = child
+        if not node.is_dir:
+            raise NotADirectorySimError("/".join(parts[:-1]))
+        return node, parts[-1]
+
+    def create_file(self, path: str | list[str], size: int,
+                    content: FileContent | None = None,
+                    create_dirs: bool = True) -> Inode:
+        """Create (and lay out) a regular file; world-building API."""
+        parts = split_path(path) if isinstance(path, str) else list(path)
+        parent, name = self._resolve_parent(parts, create_dirs)
+        if name in parent.entries:
+            raise FileExistsSimError("/".join(parts))
+        inode = make_file(size, content or ZeroContent(), self._allocator())
+        parent.entries[name] = inode
+        return inode
+
+    def create_text_file(self, path: str, size: int, seed: int = 0,
+                         plants: dict[int, bytes] | None = None) -> Inode:
+        """Convenience: create a file of deterministic pseudo-text."""
+        return self.create_file(
+            path, size, SyntheticText(seed=seed, size=size, plants=plants))
+
+    def mkdir(self, path: str | list[str]) -> Inode:
+        parts = split_path(path) if isinstance(path, str) else list(path)
+        parent, name = self._resolve_parent(parts, create_dirs=True)
+        existing = parent.entries.get(name)
+        if existing is not None:
+            if existing.is_dir:
+                return existing
+            raise FileExistsSimError("/".join(parts))
+        child = make_directory()
+        parent.entries[name] = child
+        return child
+
+    # -- layout / I/O -------------------------------------------------------
+
+    def _allocator(self) -> Allocator:
+        """The allocator used for new files; subclasses share one."""
+        raise NotImplementedError
+
+    def grow_file(self, inode: Inode, new_size: int) -> None:
+        """Extend a file's layout (used by the kernel append path)."""
+        if new_size < inode.size:
+            raise InvalidArgumentError(
+                f"grow_file cannot shrink: {inode.size} -> {new_size}")
+        extra_pages = ((new_size + PAGE_SIZE - 1) // PAGE_SIZE) - inode.npages
+        if extra_pages > 0:
+            page = inode.extent_map.npages
+            for device_addr, npages in self._allocator().allocate(extra_pages):
+                from repro.fs.inode import Extent
+                inode.extent_map.append(Extent(page, npages, device_addr))
+                page += npages
+        inode.size = new_size
+
+    def page_estimate(self, inode: Inode, page_index: int) -> PageEstimate:
+        """Storage level of one non-resident page.  Default: the device."""
+        return PageEstimate(device_key=self.device_key())
+
+    def device_key(self) -> str:
+        """Sleds-table key for this filesystem's backing level."""
+        return self.name
+
+    def device_table(self) -> dict[str, Device]:
+        """Every characterisable level, keyed as ``page_estimate`` reports."""
+        return {self.device_key(): self.device}
+
+    def characterization_jobs(self) -> dict[str, tuple[Device, int, int]]:
+        """How the boot-time lmbench run should probe each level:
+        ``{key: (device, probe_start, probe_end)}``.  The default probes
+        the whole device; zone-aware filesystems narrow the range."""
+        return {key: (device, 0, device.capacity)
+                for key, device in self.device_table().items()}
+
+    def static_levels(self) -> dict[str, tuple[float, float]]:
+        """Levels whose (latency, bandwidth) are declared rather than
+        probed — e.g. a remote server's cache, which the boot-time
+        lmbench run cannot exercise deliberately."""
+        return {}
+
+    def read_pages(self, inode: Inode, start_page: int, npages: int) -> float:
+        """Fetch pages from the device; returns virtual seconds.
+
+        Device-contiguous runs become single accesses, so sequential scans
+        stream at bandwidth while scattered fetches pay per-run latency.
+        """
+        if npages <= 0:
+            return 0.0
+        seconds = 0.0
+        page = start_page
+        remaining = npages
+        while remaining > 0:
+            run = inode.extent_map.contiguous_run(page, remaining)
+            addr = inode.extent_map.addr_of(page)
+            seconds += self.device.read(addr, run * PAGE_SIZE)
+            page += run
+            remaining -= run
+        return seconds
+
+    def write_pages(self, inode: Inode, start_page: int, npages: int) -> float:
+        """Write pages back to the device; returns virtual seconds."""
+        if npages <= 0:
+            return 0.0
+        seconds = 0.0
+        page = start_page
+        remaining = npages
+        while remaining > 0:
+            run = inode.extent_map.contiguous_run(page, remaining)
+            addr = inode.extent_map.addr_of(page)
+            seconds += self.device.write(addr, run * PAGE_SIZE)
+            page += run
+            remaining -= run
+        return seconds
+
+    def stat_cost(self) -> float:
+        """Virtual seconds charged per metadata operation (stat/lookup)."""
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r} on {self.device.name!r}>"
+
+
+class Ext2Like(FileSystem):
+    """A local writable filesystem on a hard disk (the paper's ext2).
+
+    ``zone_aware=True`` implements the paper's §4.1 future version:
+    "entries which account for the different bandwidths of different disk
+    zones will be added" [Van97] — each zone becomes its own sleds-table
+    level (``ext2:z0``, ``ext2:z1``, ...), characterised separately at
+    boot, so delivery estimates reflect where on the platter a file sits.
+    """
+
+    def __init__(self, device: DiskDevice | None = None, name: str = "ext2",
+                 max_extent_pages: int = 1 << 20,
+                 gap_pages: int = 0, zone_aware: bool = False) -> None:
+        device = device or DiskDevice(name=f"{name}-disk")
+        super().__init__(name=name, device=device, read_only=False)
+        self.zone_aware = zone_aware
+        self._alloc = Allocator(capacity=device.capacity,
+                                max_extent_pages=max_extent_pages,
+                                gap_pages=gap_pages)
+
+    def _allocator(self) -> Allocator:
+        return self._alloc
+
+    def _disk(self) -> DiskDevice:
+        assert isinstance(self.device, DiskDevice)
+        return self.device
+
+    def page_estimate(self, inode: Inode, page_index: int) -> PageEstimate:
+        if not self.zone_aware:
+            return super().page_estimate(inode, page_index)
+        addr = inode.extent_map.addr_of(page_index)
+        zone = self._disk().zone_index(addr)
+        return PageEstimate(device_key=f"{self.name}:z{zone}")
+
+    def device_table(self) -> dict[str, Device]:
+        if not self.zone_aware:
+            return super().device_table()
+        return {f"{self.name}:z{i}": self.device
+                for i in range(len(self._disk().zones))}
+
+    def characterization_jobs(self) -> dict[str, tuple[Device, int, int]]:
+        if not self.zone_aware:
+            return super().characterization_jobs()
+        disk = self._disk()
+        return {f"{self.name}:z{i}": (disk, *disk.zone_range(i))
+                for i in range(len(disk.zones))}
+
+
+class Iso9660Like(FileSystem):
+    """A CD-ROM filesystem: contiguous layout, kernel-read-only."""
+
+    def __init__(self, device: CdromDevice | None = None,
+                 name: str = "iso9660") -> None:
+        device = device or CdromDevice(name=f"{name}-drive")
+        super().__init__(name=name, device=device, read_only=True)
+        self._alloc = Allocator(capacity=device.capacity)
+
+    def _allocator(self) -> Allocator:
+        return self._alloc

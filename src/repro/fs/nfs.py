@@ -1,0 +1,57 @@
+"""NFS-like remote filesystem.
+
+The client sees a normal namespace, but every page fetch crosses the
+network device and every metadata operation pays a round trip (NFSv2-era
+clients revalidated attributes constantly; this is what makes ``find`` over
+NFS expensive, one of the paper's motivating examples for pruning I/O).
+
+``server_sleds=True`` enables the paper's distributed-systems proposal:
+"We propose that SLEDs be the vocabulary of communication between clients
+and servers as well as between applications and operating systems."  The
+server then reports, per page, whether its own buffer cache holds the data
+— a second, cheaper remote level (``nfs-warm``) between the client cache
+and the server's disk.
+"""
+
+from __future__ import annotations
+
+from repro.devices.network import NfsDevice
+from repro.fs.filesystem import FileSystem, PageEstimate
+from repro.fs.inode import Allocator, Inode
+from repro.sim.units import MSEC, PAGE_SIZE
+
+
+class NfsLike(FileSystem):
+    """A mounted NFS filesystem backed by an :class:`NfsDevice`."""
+
+    def __init__(self, device: NfsDevice | None = None,
+                 name: str = "nfs", server_sleds: bool = False) -> None:
+        device = device or NfsDevice(name=f"{name}-server")
+        super().__init__(name=name, device=device, read_only=False)
+        self.server_sleds = server_sleds
+        self._alloc = Allocator(capacity=device.capacity)
+
+    def _allocator(self) -> Allocator:
+        return self._alloc
+
+    def _nfs(self) -> NfsDevice:
+        assert isinstance(self.device, NfsDevice)
+        return self.device
+
+    def stat_cost(self) -> float:
+        device = self._nfs()
+        return device.rtt + device.request_overhead
+
+    def page_estimate(self, inode: Inode, page_index: int) -> PageEstimate:
+        if self.server_sleds:
+            addr = inode.extent_map.addr_of(page_index)
+            if self._nfs().server_cached(addr, PAGE_SIZE):
+                return PageEstimate(device_key=f"{self.name}-warm")
+        return PageEstimate(device_key=self.device_key())
+
+    def static_levels(self) -> dict[str, tuple[float, float]]:
+        if not self.server_sleds:
+            return {}
+        device = self._nfs()
+        warm_latency = device.rtt + device.request_overhead + 0.5 * MSEC
+        return {f"{self.name}-warm": (warm_latency, device.link_bandwidth)}

@@ -1,0 +1,5 @@
+"""Hierarchical storage management: migration policy over the HSM fs."""
+
+from repro.hsm.migration import MigrationDaemon, MigrationReport
+
+__all__ = ["MigrationDaemon", "MigrationReport"]

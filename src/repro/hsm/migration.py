@@ -1,0 +1,67 @@
+"""HSM migration policies.
+
+A real HSM system (the paper cites HPSS and the Linux migration filesystem
+[Sch00]) runs a daemon that stages cold files out to tape and recalls hot
+ones.  We model the policy layer explicitly so the HSM extension
+experiments can set up "file on tape, partially staged" states
+deliberately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fs.hsmfs import HsmFs
+from repro.fs.inode import Inode, InodeKind
+
+
+@dataclass
+class MigrationReport:
+    """What one migration sweep did."""
+
+    migrated: list[str] = field(default_factory=list)
+    seconds: float = 0.0
+
+
+class MigrationDaemon:
+    """Explicit-trigger migration: no background thread, the experiment
+    calls :meth:`sweep` when it wants the daemon to have run."""
+
+    def __init__(self, fs: HsmFs, cold_after: float = 3600.0) -> None:
+        if cold_after < 0:
+            raise ValueError(f"cold_after must be >= 0: {cold_after}")
+        self.fs = fs
+        self.cold_after = cold_after
+
+    def _walk(self, node: Inode, prefix: str) -> list[tuple[str, Inode]]:
+        out: list[tuple[str, Inode]] = []
+        for name, child in sorted(node.entries.items()):
+            path = f"{prefix}/{name}"
+            if child.kind is InodeKind.DIRECTORY:
+                out.extend(self._walk(child, path))
+            else:
+                out.append((path, child))
+        return out
+
+    def sweep(self, now: float) -> MigrationReport:
+        """Migrate every file idle since ``now - cold_after`` to tape.
+
+        Returns a report; the caller charges ``report.seconds`` to the
+        clock if it wants migration time on the timeline (a background
+        daemon's time usually is not charged to any foreground process).
+        """
+        report = MigrationReport()
+        for path, inode in self._walk(self.fs.root, ""):
+            if inode.size == 0:
+                continue
+            if now - inode.atime < self.cold_after:
+                continue
+            if self.fs.staged_count(inode) == 0:
+                continue  # already fully on tape
+            report.seconds += self.fs.migrate_to_tape(inode)
+            report.migrated.append(path)
+        return report
+
+    def stage_out(self, inode: Inode) -> float:
+        """Force one file out to tape immediately; returns seconds."""
+        return self.fs.migrate_to_tape(inode)

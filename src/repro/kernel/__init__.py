@@ -1,0 +1,26 @@
+"""Simulated kernel: syscalls, page cache wiring, SLEDs ioctls."""
+
+from repro.kernel.ioctl import FSLEDS_FILL, FSLEDS_GET, UnknownIoctlError
+from repro.kernel.kernel import (
+    SEEK_CUR,
+    SEEK_END,
+    SEEK_SET,
+    Kernel,
+    OpenFile,
+    StatResult,
+)
+from repro.kernel.stats import KernelCounters, ProcessRun
+
+__all__ = [
+    "Kernel",
+    "OpenFile",
+    "StatResult",
+    "KernelCounters",
+    "ProcessRun",
+    "FSLEDS_FILL",
+    "FSLEDS_GET",
+    "UnknownIoctlError",
+    "SEEK_SET",
+    "SEEK_CUR",
+    "SEEK_END",
+]

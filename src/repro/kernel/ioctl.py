@@ -1,0 +1,29 @@
+"""ioctl command numbers for the SLEDs kernel extension.
+
+The paper added two commands to the generic file-system ioctl:
+
+* ``FSLEDS_FILL`` — boot-time: install the measured per-level latency and
+  bandwidth table (argument: ``{device_key: (latency, bandwidth)}``).
+* ``FSLEDS_GET`` — per-file: return the vector of SLEDs for the open file.
+
+The numeric values imitate Linux ``_IOW``/``_IOR`` encodings on the ``f``
+magic; applications only ever use the symbolic names.
+"""
+
+from __future__ import annotations
+
+FSLEDS_FILL = 0x4602  # _IOW('f', 2, struct sleds_fill)
+FSLEDS_GET = 0x8603   # _IOR('f', 3, struct sled[])
+
+COMMAND_NAMES = {
+    FSLEDS_FILL: "FSLEDS_FILL",
+    FSLEDS_GET: "FSLEDS_GET",
+}
+
+
+class UnknownIoctlError(ValueError):
+    """Raised for an ioctl command the simulated kernel does not implement."""
+
+    def __init__(self, cmd: int) -> None:
+        super().__init__(f"unknown ioctl command 0x{cmd:04x}")
+        self.cmd = cmd

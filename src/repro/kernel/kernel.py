@@ -1,0 +1,662 @@
+"""The simulated kernel: VFS, syscalls, page cache, fault accounting.
+
+This module stands in for the paper's modified Linux 2.2 kernel.  It owns
+
+* a mount table (``/`` plus any number of ext2/ISO9660/NFS/HSM mounts);
+* the global page cache and per-open-file readahead state;
+* the syscall surface the applications use: ``open``, ``read``, ``write``,
+  ``lseek``, ``close``, ``stat``, ``listdir``, ``unlink``, ``fsync``,
+  ``ioctl``;
+* the two SLEDs ioctls (``FSLEDS_FILL``, ``FSLEDS_GET``);
+* accounting: hard page faults, per-category virtual time, and the
+  :meth:`process` measurement window used by every experiment.
+
+Timing model
+------------
+* A page-cache **hit** costs memory copy time (the paper's Table 2 memory
+  row: lmbench latency + bcopy bandwidth).
+* A **miss** is a hard fault: the kernel reads a readahead *cluster* of
+  device-contiguous pages in one device access, so linear scans stream at
+  device bandwidth while random access pays per-access latency.
+* Syscalls cost a fixed CPU overhead; applications charge their own
+  processing CPU through :meth:`charge_cpu`.
+* An optional multiplicative noise model (seeded, deterministic) perturbs
+  device times to emulate "the somewhat random nature of page replacement
+  algorithms and background system activity" the paper averages over.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.cache.page_cache import PageCache
+from repro.cache.readahead import ReadaheadWindow
+from repro.core.builder import build_sled_vector
+from repro.core.sled import SledVector
+from repro.core.sled_table import SledTable
+from repro.devices.memory import MemoryDevice
+from repro.fs.content import ByteStoreContent
+from repro.fs.filesystem import FileSystem, split_path
+from repro.fs.inode import Inode
+from repro.kernel.ioctl import FSLEDS_FILL, FSLEDS_GET, UnknownIoctlError
+from repro.kernel.stats import KernelCounters, ProcessRun
+from repro.sim.clock import VirtualClock
+from repro.sim.errors import (
+    BadFileDescriptorError,
+    FileNotFoundSimError,
+    InvalidArgumentError,
+    IsADirectorySimError,
+    ReadOnlyFilesystemError,
+)
+from repro.sim.rng import RngStreams
+from repro.sim.units import PAGE_SIZE, USEC, page_span
+
+SEEK_SET = 0
+SEEK_CUR = 1
+SEEK_END = 2
+
+
+@dataclass
+class OpenFile:
+    """Kernel state for one open descriptor."""
+
+    fd: int
+    path: str
+    fs: FileSystem
+    inode: Inode
+    pos: int = 0
+    writable: bool = False
+    append: bool = False
+    readahead: ReadaheadWindow = field(default_factory=ReadaheadWindow)
+
+
+@dataclass(frozen=True)
+class StatResult:
+    """What ``stat`` returns."""
+
+    path: str
+    size: int
+    is_dir: bool
+    inode_id: int
+
+
+class Kernel:
+    """A single simulated machine: devices + cache + namespace + clock."""
+
+    def __init__(self, cache_pages: int = 16 * 1024,
+                 policy: str = "lru",
+                 memory: MemoryDevice | None = None,
+                 rng: RngStreams | None = None,
+                 noise: float = 0.0,
+                 syscall_overhead: float = 2.0 * USEC,
+                 readahead_max_pages: int = 16,
+                 writeback_threshold_pages: int = 256,
+                 io_scheduler: str = "clook") -> None:
+        if noise < 0:
+            raise InvalidArgumentError(f"noise must be >= 0: {noise}")
+        self.clock = VirtualClock()
+        self.memory = memory or MemoryDevice()
+        self.page_cache = PageCache(cache_pages, policy)
+        self.sleds_table = SledTable()
+        self.counters = KernelCounters()
+        self.rng = rng or RngStreams()
+        self.noise = noise
+        self.syscall_overhead = syscall_overhead
+        self.readahead_max_pages = readahead_max_pages
+        self.writeback_threshold_pages = writeback_threshold_pages
+        from repro.block.scheduler import make_scheduler
+        self.io_scheduler = make_scheduler(io_scheduler)
+        self._mounts: list[tuple[tuple[str, ...], FileSystem]] = []
+        self._fds: dict[int, OpenFile] = {}
+        self._next_fd = 3
+        #: inode.id -> (fs, inode, set of dirty page indices)
+        self._dirty: dict[int, tuple[FileSystem, Inode, set[int]]] = {}
+        #: optional event tracer (see repro.sim.trace); None = no tracing
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    # mounts and path resolution
+    # ------------------------------------------------------------------
+
+    def mount(self, path: str, fs: FileSystem) -> None:
+        """Attach ``fs`` at ``path`` (longest-prefix match wins).
+
+        The mount-point directory is created in the covering filesystem,
+        as ``mkdir /mnt/ext2`` would precede ``mount`` on a real system.
+        """
+        prefix = tuple(split_path(path))
+        if any(p == prefix for p, _ in self._mounts):
+            raise InvalidArgumentError(f"mount point {path!r} already in use")
+        covering = None
+        for existing_prefix, existing_fs in self._mounts:
+            if (len(existing_prefix) < len(prefix)
+                    and prefix[: len(existing_prefix)] == existing_prefix
+                    and (covering is None
+                         or len(existing_prefix) > len(covering[0]))):
+                covering = (existing_prefix, existing_fs)
+        if covering is not None:
+            rel = list(prefix[len(covering[0]):])
+            covering[1].mkdir(rel)
+        self._mounts.append((prefix, fs))
+        self._mounts.sort(key=lambda entry: len(entry[0]), reverse=True)
+
+    def mounts(self) -> list[tuple[str, FileSystem]]:
+        """(mount path, fs) pairs, most specific first."""
+        return [("/" + "/".join(prefix), fs) for prefix, fs in self._mounts]
+
+    def resolve(self, path: str) -> tuple[FileSystem, Inode, list[str]]:
+        """(fs, inode, fs-relative parts) for an absolute path."""
+        parts = split_path(path)
+        for prefix, fs in self._mounts:
+            if tuple(parts[: len(prefix)]) == prefix:
+                rel = parts[len(prefix):]
+                return fs, fs.resolve(rel), rel
+        raise FileNotFoundSimError(f"{path!r}: no filesystem mounted")
+
+    def fs_of(self, path: str) -> FileSystem:
+        """The filesystem an absolute path lives on."""
+        parts = split_path(path)
+        for prefix, fs in self._mounts:
+            if tuple(parts[: len(prefix)]) == prefix:
+                return fs
+        raise FileNotFoundSimError(f"{path!r}: no filesystem mounted")
+
+    # ------------------------------------------------------------------
+    # accounting helpers
+    # ------------------------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Start recording events into ``tracer`` (repro.sim.trace)."""
+        self.tracer = tracer
+
+    def detach_tracer(self) -> None:
+        self.tracer = None
+
+    def charge_cpu(self, seconds: float) -> None:
+        """Applications charge their processing time here."""
+        self.clock.advance(seconds, "cpu")
+
+    def _syscall(self, name: str = "syscall") -> None:
+        self.counters.syscalls += 1
+        self.clock.advance(self.syscall_overhead, "cpu")
+        if self.tracer is not None:
+            self.tracer.emit(self.clock.now, "syscall", name,
+                             self.syscall_overhead)
+
+    def _charge_memory(self, nbytes: int) -> None:
+        self.clock.advance(self.memory.read(0, nbytes), "memory")
+
+    def _noisy(self, seconds: float) -> float:
+        if self.noise <= 0.0 or seconds <= 0.0:
+            return seconds
+        factor = 1.0 + self.noise * float(
+            self.rng.stream("kernel-noise").exponential(1.0))
+        return seconds * factor
+
+    def _fd(self, fd: int) -> OpenFile:
+        try:
+            return self._fds[fd]
+        except KeyError:
+            raise BadFileDescriptorError(f"fd {fd} is not open") from None
+
+    # ------------------------------------------------------------------
+    # namespace syscalls
+    # ------------------------------------------------------------------
+
+    def open(self, path: str, mode: str = "r") -> int:
+        """Open ``path``; modes ``r``, ``r+``, ``w``, ``a``."""
+        self._syscall("open")
+        if mode not in ("r", "r+", "w", "a"):
+            raise InvalidArgumentError(f"unsupported open mode {mode!r}")
+        writable = mode != "r"
+        fs = self.fs_of(path)
+        if writable and fs.read_only:
+            raise ReadOnlyFilesystemError(
+                f"{path!r}: filesystem {fs.name!r} is read-only")
+        self.clock.advance(fs.stat_cost(), fs.device.time_category)
+        parts = split_path(path)
+        rel = parts[len(self._mount_prefix_of(fs)):]
+        try:
+            inode = fs.resolve(rel)
+        except FileNotFoundSimError:
+            if mode not in ("w", "a"):
+                raise
+            inode = fs.create_file(rel, size=0, content=ByteStoreContent())
+        if inode.is_dir:
+            raise IsADirectorySimError(path)
+        if mode == "w" and inode.size > 0:
+            self._truncate(fs, inode)
+        window = ReadaheadWindow(
+            min_pages=min(4, self.readahead_max_pages),
+            max_pages=self.readahead_max_pages)
+        of = OpenFile(
+            fd=self._next_fd, path=path, fs=fs, inode=inode,
+            writable=writable, append=(mode == "a"), readahead=window)
+        if mode == "a":
+            of.pos = inode.size
+        self._fds[of.fd] = of
+        self._next_fd += 1
+        inode.atime = self.clock.now
+        return of.fd
+
+    def _mount_prefix_of(self, fs: FileSystem) -> tuple[str, ...]:
+        for prefix, mounted in self._mounts:
+            if mounted is fs:
+                return prefix
+        raise InvalidArgumentError(f"filesystem {fs.name!r} is not mounted")
+
+    def _truncate(self, fs: FileSystem, inode: Inode) -> None:
+        self.page_cache.invalidate_inode(inode.id)
+        self._dirty.pop(inode.id, None)
+        inode.size = 0
+        if not isinstance(inode.content, ByteStoreContent):
+            inode.content = ByteStoreContent()
+
+    def close(self, fd: int) -> None:
+        self._syscall("close")
+        of = self._fd(fd)
+        self._flush_inode(of.inode.id)
+        del self._fds[fd]
+
+    def unlink(self, path: str) -> None:
+        """Remove a file, its cached pages, and pending dirty state."""
+        self._syscall("unlink")
+        fs, inode, rel = self.resolve(path)
+        if inode.is_dir:
+            raise IsADirectorySimError(path)
+        parent = fs.resolve(rel[:-1])
+        del parent.entries[rel[-1]]
+        self.page_cache.invalidate_inode(inode.id)
+        self._dirty.pop(inode.id, None)
+
+    def stat(self, path: str) -> StatResult:
+        self._syscall("stat")
+        fs, inode, _ = self.resolve(path)
+        self.clock.advance(fs.stat_cost(), fs.device.time_category)
+        return StatResult(path=path, size=inode.size,
+                          is_dir=inode.is_dir, inode_id=inode.id)
+
+    def listdir(self, path: str) -> list[str]:
+        """Names in a directory, including any mount points grafted there."""
+        self._syscall("listdir")
+        fs, inode, _ = self.resolve(path)
+        self.clock.advance(fs.stat_cost(), fs.device.time_category)
+        if not inode.is_dir:
+            raise InvalidArgumentError(f"{path!r} is not a directory")
+        names = set(inode.entries)
+        here = tuple(split_path(path))
+        for prefix, _ in self._mounts:
+            if len(prefix) == len(here) + 1 and prefix[: len(here)] == here:
+                names.add(prefix[-1])
+        return sorted(names)
+
+    # ------------------------------------------------------------------
+    # data syscalls
+    # ------------------------------------------------------------------
+
+    def lseek(self, fd: int, offset: int, whence: int = SEEK_SET) -> int:
+        self._syscall("lseek")
+        of = self._fd(fd)
+        if whence == SEEK_SET:
+            new = offset
+        elif whence == SEEK_CUR:
+            new = of.pos + offset
+        elif whence == SEEK_END:
+            new = of.inode.size + offset
+        else:
+            raise InvalidArgumentError(f"bad whence: {whence}")
+        if new < 0:
+            raise InvalidArgumentError(f"seek to negative offset: {new}")
+        if new != of.pos:
+            of.readahead.reset()
+        of.pos = new
+        return new
+
+    def read(self, fd: int, nbytes: int) -> bytes:
+        """Read up to ``nbytes`` at the current position."""
+        self._syscall("read")
+        if nbytes < 0:
+            raise InvalidArgumentError(f"negative read length: {nbytes}")
+        of = self._fd(fd)
+        inode = of.inode
+        nbytes = min(nbytes, max(0, inode.size - of.pos))
+        if nbytes == 0:
+            return b""
+        self._fault_in(of, of.pos, nbytes)
+        data = inode.content.read(of.pos, nbytes)
+        self._charge_memory(nbytes)
+        of.pos += nbytes
+        self.counters.bytes_read += nbytes
+        return data
+
+    def pread(self, fd: int, offset: int, nbytes: int) -> bytes:
+        """Positional read; does not move the file offset or readahead."""
+        self._syscall("pread")
+        if offset < 0 or nbytes < 0:
+            raise InvalidArgumentError(
+                f"negative offset/length: {offset}, {nbytes}")
+        of = self._fd(fd)
+        inode = of.inode
+        nbytes = min(nbytes, max(0, inode.size - offset))
+        if nbytes == 0:
+            return b""
+        self._fault_in(of, offset, nbytes, use_readahead=False)
+        data = inode.content.read(offset, nbytes)
+        self._charge_memory(nbytes)
+        self.counters.bytes_read += nbytes
+        return data
+
+    def _fault_in(self, of: OpenFile, offset: int, length: int,
+                  use_readahead: bool = True) -> None:
+        inode = of.inode
+        cache = self.page_cache
+        npages = inode.npages
+        for page in page_span(offset, length):
+            window = of.readahead.advise(page) if use_readahead else 1
+            key = (inode.id, page)
+            if cache.access(key):
+                continue
+            self.counters.hard_faults += 1
+            cluster = 1
+            limit = min(window, npages - page)
+            while (cluster < limit
+                   and not cache.peek((inode.id, page + cluster))):
+                cluster += 1
+            seconds = self._noisy(of.fs.read_pages(inode, page, cluster))
+            self.clock.advance(seconds, of.fs.device.time_category)
+            self.counters.pages_read += cluster
+            self.counters.readahead_pages += cluster - 1
+            if self.tracer is not None:
+                self.tracer.emit(self.clock.now, "fault",
+                                 of.fs.device.time_category, seconds,
+                                 page=page, cluster=cluster,
+                                 inode=inode.id)
+            for extra in range(page, page + cluster):
+                cache.insert((inode.id, extra))
+
+    def mmap(self, fd: int) -> "MappedRegion":
+        """Map an open file; reads through the mapping skip the
+        copy-to-user cost of ``read()``.
+
+        The paper's §5.2 notes its grep/wc ports "used read(), rather
+        than mmap(), which does not copy the data to meet application
+        alignment criteria.  An mmap-friendly SLEDs library is feasible,
+        which should reduce the CPU penalty."  This is that path: touched
+        pages fault in exactly like ``read()`` (same clusters, same
+        accounting), but delivering bytes costs only a per-page touch
+        rather than a bcopy of every byte.
+        """
+        self._syscall("mmap")
+        of = self._fd(fd)
+        return MappedRegion(self, of)
+
+    def write(self, fd: int, data: bytes) -> int:
+        self._syscall("write")
+        of = self._fd(fd)
+        if not of.writable:
+            raise BadFileDescriptorError(f"fd {fd} not open for writing")
+        if of.fs.read_only:
+            raise ReadOnlyFilesystemError(
+                f"filesystem {of.fs.name!r} is read-only")
+        if not data:
+            return 0
+        inode = of.inode
+        if of.append:
+            of.pos = inode.size
+        end = of.pos + len(data)
+        if end > inode.size:
+            of.fs.grow_file(inode, end)
+        try:
+            inode.content.write(of.pos, data)
+        except ReadOnlyFilesystemError:
+            # immutable content store (synthetic text, zeros): upgrade to
+            # a copy-on-write overlay the first time the file is written
+            from repro.fs.content import CowContent
+            inode.content = CowContent(inode.content)
+            inode.content.write(of.pos, data)
+        self._charge_memory(len(data))
+        dirty = self._dirty.setdefault(inode.id, (of.fs, inode, set()))[2]
+        for page in page_span(of.pos, len(data)):
+            self.page_cache.insert((inode.id, page))
+            dirty.add(page)
+        self.counters.bytes_written += len(data)
+        of.pos = end
+        inode.mtime = self.clock.now
+        if len(dirty) >= self.writeback_threshold_pages:
+            self._flush_inode(inode.id)
+        return len(data)
+
+    def pwrite(self, fd: int, offset: int, data: bytes) -> int:
+        """Positional write; does not move the file offset."""
+        self._syscall("pwrite")
+        of = self._fd(fd)
+        if not of.writable:
+            raise BadFileDescriptorError(f"fd {fd} not open for writing")
+        if of.fs.read_only:
+            raise ReadOnlyFilesystemError(
+                f"filesystem {of.fs.name!r} is read-only")
+        if offset < 0:
+            raise InvalidArgumentError(f"negative offset: {offset}")
+        if not data:
+            return 0
+        inode = of.inode
+        end = offset + len(data)
+        if end > inode.size:
+            of.fs.grow_file(inode, end)
+        try:
+            inode.content.write(offset, data)
+        except ReadOnlyFilesystemError:
+            from repro.fs.content import CowContent
+            inode.content = CowContent(inode.content)
+            inode.content.write(offset, data)
+        self._charge_memory(len(data))
+        dirty = self._dirty.setdefault(inode.id, (of.fs, inode, set()))[2]
+        for page in page_span(offset, len(data)):
+            self.page_cache.insert((inode.id, page))
+            dirty.add(page)
+        self.counters.bytes_written += len(data)
+        inode.mtime = self.clock.now
+        if len(dirty) >= self.writeback_threshold_pages:
+            self._flush_inode(inode.id)
+        return len(data)
+
+    def fsync(self, fd: int) -> None:
+        self._syscall("fsync")
+        of = self._fd(fd)
+        self._flush_inode(of.inode.id)
+
+    def sync(self) -> None:
+        """Flush every dirty page in the system.
+
+        Dirty runs from *all* files on a filesystem flush as one batch
+        through the I/O scheduler, so scattered cross-file writeback
+        becomes an elevator sweep rather than FCFS seek chains.
+        """
+        by_fs: dict[int, tuple[FileSystem, list]] = {}
+        for inode_id in list(self._dirty):
+            fs, inode, pages = self._dirty.pop(inode_id)
+            by_fs.setdefault(id(fs), (fs, []))[1].append((inode, pages))
+        for fs, dirty_files in by_fs.values():
+            try:
+                self._writeback(fs, dirty_files)
+            except Exception:
+                # a failed flush must not lose the dirty state: re-register
+                # so a retry (or the next sync) writes the data
+                for inode, pages in dirty_files:
+                    self._dirty.setdefault(
+                        inode.id, (fs, inode, set()))[2].update(pages)
+                raise
+
+    def _flush_inode(self, inode_id: int) -> None:
+        entry = self._dirty.pop(inode_id, None)
+        if entry is None:
+            return
+        fs, inode, pages = entry
+        try:
+            self._writeback(fs, [(inode, pages)])
+        except Exception:
+            self._dirty.setdefault(
+                inode_id, (fs, inode, set()))[2].update(pages)
+            raise
+
+    def _writeback(self, fs: FileSystem,
+                   dirty_files: list[tuple[Inode, set[int]]]) -> None:
+        """Flush dirty runs of one filesystem, batched via the scheduler
+        when the filesystem has no special write path of its own."""
+        from repro.block.scheduler import IoRequest, submit_batch
+
+        plain_write_path = type(fs).write_pages is FileSystem.write_pages
+        if not plain_write_path:
+            # HSM-style filesystems track staging state in write_pages;
+            # flush run by run through their own path.
+            for inode, pages in dirty_files:
+                for start, run in _contiguous_runs(sorted(pages)):
+                    seconds = fs.write_pages(inode, start, run)
+                    self.clock.advance(self._noisy(seconds),
+                                       fs.device.time_category)
+                    self.counters.pages_written += run
+            return
+        requests = []
+        total_pages = 0
+        for inode, pages in dirty_files:
+            for start, run in _contiguous_runs(sorted(pages)):
+                page = start
+                remaining = run
+                while remaining > 0:
+                    extent_run = inode.extent_map.contiguous_run(
+                        page, remaining)
+                    requests.append(IoRequest(
+                        addr=inode.extent_map.addr_of(page),
+                        nbytes=extent_run * PAGE_SIZE, is_write=True))
+                    page += extent_run
+                    remaining -= extent_run
+                total_pages += run
+        if not requests:
+            return
+        seconds = submit_batch(fs.device, requests, self.io_scheduler)
+        self.clock.advance(self._noisy(seconds), fs.device.time_category)
+        self.counters.pages_written += total_pages
+
+    # ------------------------------------------------------------------
+    # ioctl (the SLEDs kernel interface)
+    # ------------------------------------------------------------------
+
+    def ioctl(self, fd: int, cmd: int, arg=None):
+        """Dispatch ``FSLEDS_FILL`` / ``FSLEDS_GET``.
+
+        ``FSLEDS_FILL`` ignores ``fd`` (the boot script uses any handle);
+        ``FSLEDS_GET`` returns a :class:`~repro.core.sled.SledVector` and
+        charges the kernel page-walk CPU cost.
+        """
+        from repro.kernel.ioctl import COMMAND_NAMES
+        self._syscall(COMMAND_NAMES.get(cmd, f"ioctl:0x{cmd:04x}"))
+        if cmd == FSLEDS_FILL:
+            if not isinstance(arg, dict):
+                raise InvalidArgumentError(
+                    "FSLEDS_FILL needs {device_key: (latency, bandwidth)}")
+            self.sleds_table.fill(arg)
+            return None
+        if cmd == FSLEDS_GET:
+            of = self._fd(fd)
+            vector = build_sled_vector(
+                self.page_cache, of.fs, of.inode, self.sleds_table)
+            # kernel walks every page of the file: charge ~0.2 us per page
+            self.charge_cpu(of.inode.npages * 0.2 * USEC)
+            return vector
+        raise UnknownIoctlError(cmd)
+
+    def get_sleds(self, fd: int) -> SledVector:
+        """Convenience wrapper over ``ioctl(fd, FSLEDS_GET)``."""
+        return self.ioctl(fd, FSLEDS_GET)
+
+    # ------------------------------------------------------------------
+    # measurement
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def process(self) -> Iterator[ProcessRun]:
+        """Measure one application run (elapsed time, faults, categories)."""
+        run = ProcessRun(
+            _kernel=self,
+            _start_counters=self.counters.copy(),
+            _start_clock=self.clock.snapshot(),
+        )
+        try:
+            yield run
+        finally:
+            run.finalize(self)
+
+    # ------------------------------------------------------------------
+    # world-building helpers (not syscalls)
+    # ------------------------------------------------------------------
+
+    def warm_file(self, path: str, chunk: int = 64 * PAGE_SIZE) -> None:
+        """Read a file once linearly to warm the cache (setup helper)."""
+        fd = self.open(path)
+        while self.read(fd, chunk):
+            pass
+        self.close(fd)
+
+    def drop_caches(self) -> None:
+        """Cold-cache reset, like ``echo 3 > /proc/sys/vm/drop_caches``."""
+        self.sync()
+        self.page_cache.clear()
+
+
+class MappedRegion:
+    """A memory mapping of one open file (see :meth:`Kernel.mmap`).
+
+    ``read(offset, nbytes)`` returns bytes like ``pread`` but charges only
+    page-touch time (memory latency per newly touched page), not a full
+    copy — the mmap path's whole point.  The region stays valid until the
+    descriptor is closed; there is no separate ``munmap`` state to manage.
+    """
+
+    def __init__(self, kernel: Kernel, of: OpenFile) -> None:
+        self._kernel = kernel
+        self._of = of
+        self._touched: set[int] = set()
+
+    @property
+    def size(self) -> int:
+        return self._of.inode.size
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        """Access mapped bytes, faulting pages in as needed."""
+        if offset < 0 or nbytes < 0:
+            raise InvalidArgumentError(
+                f"negative offset/length: {offset}, {nbytes}")
+        kernel = self._kernel
+        inode = self._of.inode
+        nbytes = min(nbytes, max(0, inode.size - offset))
+        if nbytes == 0:
+            return b""
+        kernel._fault_in(self._of, offset, nbytes)
+        fresh = [p for p in page_span(offset, nbytes)
+                 if p not in self._touched]
+        if fresh:
+            # first touch of a mapped page costs a TLB/minor-fault latency
+            kernel.clock.advance(
+                len(fresh) * kernel.memory.spec.latency * 10, "memory")
+            self._touched.update(fresh)
+        kernel.counters.bytes_read += nbytes
+        return inode.content.read(offset, nbytes)
+
+
+def _contiguous_runs(sorted_pages: list[int]) -> Iterator[tuple[int, int]]:
+    """Group sorted page indices into (start, run_length) spans."""
+    start = None
+    prev = None
+    for page in sorted_pages:
+        if start is None:
+            start = prev = page
+            continue
+        if page == prev + 1:
+            prev = page
+            continue
+        yield start, prev - start + 1
+        start = prev = page
+    if start is not None:
+        yield start, prev - start + 1

@@ -1,0 +1,70 @@
+"""Per-run accounting, replacing the paper's use of ``time`` and page-fault
+counters.
+
+The paper validates its hypotheses by measuring (a) hard page faults and
+(b) elapsed time per application run.  :class:`ProcessRun` captures a delta
+of the kernel's counters and the virtual clock over a ``with`` block, so a
+benchmark run reads::
+
+    with kernel.process() as run:
+        wc(kernel, "/data/big.txt", use_sleds=True)
+    print(run.elapsed, run.hard_faults)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KernelCounters:
+    """Cumulative kernel-wide counters."""
+
+    syscalls: int = 0
+    hard_faults: int = 0
+    pages_read: int = 0
+    pages_written: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    readahead_pages: int = 0
+
+    def copy(self) -> "KernelCounters":
+        return KernelCounters(**vars(self))
+
+    def delta(self, earlier: "KernelCounters") -> "KernelCounters":
+        return KernelCounters(**{
+            name: getattr(self, name) - getattr(earlier, name)
+            for name in vars(self)
+        })
+
+
+@dataclass
+class ProcessRun:
+    """Measurement window over one application run."""
+
+    _kernel: object = field(repr=False, default=None)
+    _start_counters: KernelCounters | None = field(repr=False, default=None)
+    _start_clock: object = field(repr=False, default=None)
+    counters: KernelCounters | None = None
+    elapsed: float = 0.0
+    by_category: dict[str, float] = field(default_factory=dict)
+
+    def finalize(self, kernel) -> None:
+        self.counters = kernel.counters.delta(self._start_counters)
+        self.elapsed = kernel.clock.elapsed_since(self._start_clock)
+        self.by_category = kernel.clock.elapsed_by_category(self._start_clock)
+
+    # -- convenience views ------------------------------------------------
+
+    @property
+    def hard_faults(self) -> int:
+        assert self.counters is not None, "run not finalized"
+        return self.counters.hard_faults
+
+    @property
+    def cpu_time(self) -> float:
+        return self.by_category.get("cpu", 0.0)
+
+    @property
+    def io_time(self) -> float:
+        return self.elapsed - self.cpu_time - self.by_category.get("memory", 0.0)

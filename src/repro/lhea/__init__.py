@@ -1,0 +1,6 @@
+"""LHEASOFT ports: the two astronomy image tools the paper adapted."""
+
+from repro.lhea.fimgbin import FimgbinResult, fimgbin
+from repro.lhea.fimhisto import FimhistoResult, fimhisto
+
+__all__ = ["fimhisto", "FimhistoResult", "fimgbin", "FimgbinResult"]

@@ -1,0 +1,149 @@
+"""``fimhisto`` — copy a FITS image and append a histogram of its pixels.
+
+The paper (§5.3): "fimhisto copies an input data image file to an output
+file and appends an additional data column containing a histogram of the
+pixel values.  It is implemented in three passes.  The first pass copies
+the main data unit without any processing.  The second pass reads the data
+again (including performing a data format conversion, if necessary) to
+prepare for binning the data into the histogram.  The third pass performs
+the actual binning operation, then appends the histogram to the output
+file.  This three-pass algorithm resulted in observed cache behavior like
+that shown in Figure 3."
+
+"We adapted fimhisto to use SLEDs in the second and third passes over the
+data" — both are order-independent reductions (min/max, then counts), so
+the ``ff`` element-granular pick sessions drop in directly.  The copy pass
+stays linear in both modes, and the output write traffic (~1/4 of the I/O)
+is what SLEDs cannot help with — the reason fimhisto's gains are smaller
+than wc/grep's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.common import BINNING_CPU_PER_ELEMENT
+from repro.core.ffsleds import (
+    ffsleds_pick_finish,
+    ffsleds_pick_init,
+    ffsleds_pick_next_read,
+)
+from repro.fits.cfitsio import (
+    FitsImageInfo,
+    append_bintable,
+    open_image,
+    read_elements,
+)
+from repro.fits.format import BinTableHDU
+from repro.sim.errors import InvalidArgumentError
+
+#: per-element cost of the format-conversion scan (pass 2)
+CONVERT_CPU_PER_ELEMENT = 10.0e-9
+_COPY_CHUNK = 128 * 1024
+_ELEMENT_CHUNK_BYTES = 64 * 1024
+
+
+@dataclass
+class FimhistoResult:
+    """Histogram appended to the output file."""
+
+    out_path: str
+    bin_edges: np.ndarray
+    counts: np.ndarray
+    data_min: float
+    data_max: float
+
+
+def fimhisto(kernel, in_path: str, out_path: str, nbins: int = 64,
+             use_sleds: bool = False) -> FimhistoResult:
+    """Run the three-pass copy+histogram; returns the computed histogram."""
+    if nbins <= 0:
+        raise InvalidArgumentError(f"nbins must be positive: {nbins}")
+    _copy_file(kernel, in_path, out_path)
+    fd = kernel.open(in_path)
+    try:
+        info = open_image(kernel, fd, in_path)
+        data_min, data_max = _pass_minmax(kernel, fd, info, use_sleds)
+        counts, edges = _pass_bin(kernel, fd, info, data_min, data_max,
+                                  nbins, use_sleds)
+    finally:
+        kernel.close(fd)
+    table = BinTableHDU(columns={
+        "BIN_LO": edges[:-1].astype(">f8"),
+        "BIN_HI": edges[1:].astype(">f8"),
+        "COUNTS": counts.astype(">i4"),
+    })
+    append_bintable(kernel, out_path, table)
+    return FimhistoResult(out_path=out_path, bin_edges=edges, counts=counts,
+                          data_min=float(data_min), data_max=float(data_max))
+
+
+def _copy_file(kernel, in_path: str, out_path: str) -> None:
+    """Pass 1: byte-for-byte copy through the syscall layer."""
+    src = kernel.open(in_path)
+    dst = kernel.open(out_path, "w")
+    try:
+        while True:
+            blob = kernel.read(src, _COPY_CHUNK)
+            if not blob:
+                break
+            kernel.write(dst, blob)
+    finally:
+        kernel.close(dst)
+        kernel.close(src)
+
+
+def _element_ranges(kernel, fd: int, info: FitsImageInfo, use_sleds: bool):
+    """Yield (first_element, count) covering the image exactly once."""
+    per_chunk = max(1, _ELEMENT_CHUNK_BYTES // info.element_size)
+    if not use_sleds:
+        first = 0
+        while first < info.element_count:
+            count = min(per_chunk, info.element_count - first)
+            yield first, count
+            first += count
+        return
+    ffsleds_pick_init(kernel, fd, data_offset=info.data_offset,
+                      element_size=info.element_size,
+                      element_count=info.element_count,
+                      preferred_elements=per_chunk)
+    try:
+        while True:
+            advice = ffsleds_pick_next_read(kernel, fd)
+            if advice is None:
+                return
+            yield advice
+    finally:
+        ffsleds_pick_finish(kernel, fd)
+
+
+def _pass_minmax(kernel, fd: int, info: FitsImageInfo,
+                 use_sleds: bool) -> tuple[float, float]:
+    """Pass 2: scan with format conversion to find the data range."""
+    lo = np.inf
+    hi = -np.inf
+    for first, count in _element_ranges(kernel, fd, info, use_sleds):
+        values = read_elements(kernel, fd, info, first, count)
+        kernel.charge_cpu(count * CONVERT_CPU_PER_ELEMENT)
+        lo = min(lo, float(values.min()))
+        hi = max(hi, float(values.max()))
+    if not np.isfinite(lo):
+        lo = hi = 0.0
+    return lo, hi
+
+
+def _pass_bin(kernel, fd: int, info: FitsImageInfo, lo: float, hi: float,
+              nbins: int, use_sleds: bool) -> tuple[np.ndarray, np.ndarray]:
+    """Pass 3: histogram the pixel values."""
+    if hi <= lo:
+        hi = lo + 1.0
+    edges = np.linspace(lo, hi, nbins + 1)
+    counts = np.zeros(nbins, dtype=np.int64)
+    for first, count in _element_ranges(kernel, fd, info, use_sleds):
+        values = read_elements(kernel, fd, info, first, count)
+        kernel.charge_cpu(count * BINNING_CPU_PER_ELEMENT)
+        chunk_counts, _ = np.histogram(values, bins=edges)
+        counts += chunk_counts
+    return counts, edges

@@ -1,0 +1,83 @@
+"""Errno-style exception hierarchy for the simulated kernel.
+
+Mirrors the handful of POSIX failures the paper's applications can hit when
+run against the simulated syscall layer.  Each exception carries an ``errno``
+name so application code can report failures the way the real utilities do.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by the simulated storage stack."""
+
+    errno_name = "EIO"
+
+
+class FileNotFoundSimError(SimulationError):
+    """Path does not resolve to a file or directory (ENOENT)."""
+
+    errno_name = "ENOENT"
+
+
+class FileExistsSimError(SimulationError):
+    """Exclusive create of an existing path (EEXIST)."""
+
+    errno_name = "EEXIST"
+
+
+class NotADirectorySimError(SimulationError):
+    """A non-final path component is not a directory (ENOTDIR)."""
+
+    errno_name = "ENOTDIR"
+
+
+class IsADirectorySimError(SimulationError):
+    """Attempt to read/write a directory as a file (EISDIR)."""
+
+    errno_name = "EISDIR"
+
+
+class BadFileDescriptorError(SimulationError):
+    """Operation on a closed or never-opened descriptor (EBADF)."""
+
+    errno_name = "EBADF"
+
+
+class InvalidArgumentError(SimulationError):
+    """Invalid syscall argument, e.g. negative seek offset (EINVAL)."""
+
+    errno_name = "EINVAL"
+
+
+class ReadOnlyFilesystemError(SimulationError):
+    """Write to a read-only filesystem such as ISO9660 (EROFS)."""
+
+    errno_name = "EROFS"
+
+
+class IoSimError(SimulationError):
+    """A device-level I/O failure (EIO) — media error, bad block, parity
+    failure.  Raised by devices under failure injection and propagated
+    unchanged through the filesystem and syscall layers."""
+
+    errno_name = "EIO"
+
+    def __init__(self, device: str, addr: int, is_write: bool) -> None:
+        op = "write to" if is_write else "read from"
+        super().__init__(f"I/O error: {op} {device!r} at address {addr}")
+        self.device = device
+        self.addr = addr
+        self.is_write = is_write
+
+
+class CrossDeviceError(SimulationError):
+    """Operation spanning two mounted filesystems (EXDEV)."""
+
+    errno_name = "EXDEV"
+
+
+class NoSpaceError(SimulationError):
+    """Device out of capacity (ENOSPC)."""
+
+    errno_name = "ENOSPC"

@@ -1,0 +1,69 @@
+"""Byte, page and time unit helpers shared across the stack.
+
+The simulated kernel uses a 4 KB page, matching the Linux 2.2 kernel the
+paper modified.  All byte quantities are plain ints; all times are floats in
+seconds.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: Virtual-memory / buffer-cache page size (Linux 2.2 on i386 used 4 KB).
+PAGE_SIZE = 4 * KB
+
+MSEC = 1e-3
+USEC = 1e-6
+NSEC = 1e-9
+
+
+def bytes_to_pages(nbytes: int) -> int:
+    """Number of pages needed to hold ``nbytes`` (ceiling division)."""
+    if nbytes < 0:
+        raise ValueError(f"negative byte count: {nbytes}")
+    return (nbytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+def page_span(offset: int, length: int) -> range:
+    """The range of page indices touched by ``[offset, offset + length)``.
+
+    An empty length yields an empty range.
+    """
+    if offset < 0 or length < 0:
+        raise ValueError(f"negative offset/length: {offset}, {length}")
+    if length == 0:
+        return range(0)
+    first = offset // PAGE_SIZE
+    last = (offset + length - 1) // PAGE_SIZE
+    return range(first, last + 1)
+
+
+def align_down(offset: int, granularity: int = PAGE_SIZE) -> int:
+    """Largest multiple of ``granularity`` that is <= ``offset``."""
+    return (offset // granularity) * granularity
+
+
+def align_up(offset: int, granularity: int = PAGE_SIZE) -> int:
+    """Smallest multiple of ``granularity`` that is >= ``offset``."""
+    return ((offset + granularity - 1) // granularity) * granularity
+
+
+def human_bytes(nbytes: float) -> str:
+    """Render a byte count for reports, e.g. ``64.0 MB``."""
+    for unit, factor in (("GB", GB), ("MB", MB), ("KB", KB)):
+        if nbytes >= factor:
+            return f"{nbytes / factor:.1f} {unit}"
+    return f"{nbytes:.0f} B"
+
+
+def human_time(seconds: float) -> str:
+    """Render a duration for reports, choosing a sensible unit."""
+    if seconds >= 1.0:
+        return f"{seconds:.2f} s"
+    if seconds >= MSEC:
+        return f"{seconds / MSEC:.2f} ms"
+    if seconds >= USEC:
+        return f"{seconds / USEC:.2f} us"
+    return f"{seconds / NSEC:.0f} ns"

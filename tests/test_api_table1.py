@@ -1,0 +1,91 @@
+"""Conformance of the public library API to the paper's Table 1.
+
+Table 1 defines the library surface::
+
+    function                    arguments                              returns
+    sleds_pick_init             fd, preferred buffer size              buffer size
+    sleds_pick_next_read        fd, (buffer size, record flag)         read location, size
+    sleds_pick_finish           fd                                     (none)
+    sleds_total_delivery_time   fd, attack plan                        estimated delivery time
+
+(our calls take the kernel as the explicit first argument — the C library
+reached it implicitly through the process's kernel.)
+"""
+
+import inspect
+
+import pytest
+
+from repro.core import (
+    SLEDS_BEST,
+    SLEDS_LINEAR,
+    sleds_pick_finish,
+    sleds_pick_init,
+    sleds_pick_next_read,
+    sleds_total_delivery_time,
+)
+from repro.machine import Machine
+from repro.sim.units import PAGE_SIZE
+
+
+class TestTable1Signatures:
+    def test_pick_init_signature(self):
+        params = list(inspect.signature(sleds_pick_init).parameters)
+        assert params[:3] == ["kernel", "fd", "preferred_bufsize"]
+        assert "record_mode" in params  # the record flag
+        assert "separator" in params    # "the character used to identify
+        #                                  record boundaries"
+
+    def test_pick_next_read_signature(self):
+        params = list(inspect.signature(sleds_pick_next_read).parameters)
+        assert params == ["kernel", "fd"]
+
+    def test_pick_finish_signature(self):
+        params = list(inspect.signature(sleds_pick_finish).parameters)
+        assert params == ["kernel", "fd"]
+
+    def test_total_delivery_time_signature(self):
+        params = list(inspect.signature(sleds_total_delivery_time).parameters)
+        assert params[:2] == ["kernel", "fd"]
+        assert "attack_plan" in params
+
+    def test_attack_plan_constants(self):
+        assert SLEDS_LINEAR == "SLEDS_LINEAR"
+        assert SLEDS_BEST == "SLEDS_BEST"
+
+
+class TestTable1ReturnValues:
+    @pytest.fixture
+    def ready(self):
+        machine = Machine.unix_utilities(cache_pages=64, seed=401)
+        machine.boot()
+        machine.ext2.create_text_file("f", 4 * PAGE_SIZE, seed=1)
+        kernel = machine.kernel
+        fd = kernel.open("/mnt/ext2/f")
+        yield kernel, fd
+        kernel.close(fd)
+
+    def test_init_returns_buffer_size(self, ready):
+        kernel, fd = ready
+        assert sleds_pick_init(kernel, fd, 8192) == 8192
+        sleds_pick_finish(kernel, fd)
+
+    def test_next_read_returns_location_and_size(self, ready):
+        kernel, fd = ready
+        sleds_pick_init(kernel, fd, 8192)
+        location, size = sleds_pick_next_read(kernel, fd)
+        assert isinstance(location, int) and isinstance(size, int)
+        assert 0 < size <= 8192
+        sleds_pick_finish(kernel, fd)
+
+    def test_finish_returns_none(self, ready):
+        kernel, fd = ready
+        sleds_pick_init(kernel, fd, 8192)
+        assert sleds_pick_finish(kernel, fd) is None
+
+    def test_total_delivery_time_returns_seconds(self, ready):
+        kernel, fd = ready
+        for plan in (SLEDS_LINEAR, SLEDS_BEST):
+            estimate = sleds_total_delivery_time(kernel, fd, plan)
+            assert isinstance(estimate, float)
+            assert estimate > 0

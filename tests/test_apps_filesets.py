@@ -1,0 +1,102 @@
+"""Tests for file-set ordering (Steere-style, with live re-estimation)."""
+
+import pytest
+
+from repro.apps.filesets import estimate_set, fileset_wc, iterate_by_latency
+from repro.fs.content import SyntheticText
+from repro.machine import Machine
+from repro.sim.errors import InvalidArgumentError
+from repro.sim.units import PAGE_SIZE
+
+
+def _machine(cache_pages=128):
+    machine = Machine.unix_utilities(cache_pages=cache_pages, seed=1301)
+    machine.boot()
+    return machine
+
+
+class TestOrdering:
+    def test_cached_files_first(self):
+        machine = _machine()
+        paths = []
+        for i in range(4):
+            machine.ext2.create_text_file(f"s/f{i}.txt", 8 * PAGE_SIZE,
+                                          seed=i)
+            paths.append(f"/mnt/ext2/s/f{i}.txt")
+        machine.kernel.warm_file(paths[2])
+        order = list(iterate_by_latency(machine.kernel, paths))
+        assert order[0] == paths[2]
+        assert sorted(order) == sorted(paths)
+
+    def test_static_mode_orders_once(self):
+        machine = _machine()
+        paths = []
+        for i in range(3):
+            machine.ext2.create_text_file(f"s/f{i}.txt", 8 * PAGE_SIZE,
+                                          seed=i)
+            paths.append(f"/mnt/ext2/s/f{i}.txt")
+        machine.kernel.warm_file(paths[1])
+        order = list(iterate_by_latency(machine.kernel, paths,
+                                        reestimate=False))
+        assert order[0] == paths[1]
+
+    def test_duplicates_rejected(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f.txt", PAGE_SIZE, seed=1)
+        with pytest.raises(InvalidArgumentError):
+            list(iterate_by_latency(machine.kernel,
+                                    ["/mnt/ext2/f.txt"] * 2))
+
+    def test_estimate_set_shape(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f.txt", 4 * PAGE_SIZE, seed=1)
+        estimates = estimate_set(machine.kernel, ["/mnt/ext2/f.txt"])
+        assert len(estimates) == 1
+        assert estimates[0][1] > 0
+
+    def test_hsm_batches_by_cartridge(self):
+        """Re-estimation drains the mounted cartridge before swapping."""
+        machine = Machine.hsm(cache_pages=128, seed=1302)
+        machine.boot()
+        machine.hsmfs.autochanger.drives = \
+            machine.hsmfs.autochanger.drives[:1]
+        machine.hsmfs.autochanger._use_order = \
+            list(machine.hsmfs.autochanger.drives)
+        k = machine.kernel
+        paths = []
+        for i in range(4):
+            label = "VOL000" if i % 2 == 0 else "VOL001"
+            inode = machine.hsmfs.create_tape_file(f"s/f{i}.dat",
+                                                   4 * PAGE_SIZE, label)
+            inode.content = SyntheticText(seed=i, size=4 * PAGE_SIZE)
+            paths.append(f"/mnt/hsm/s/f{i}.dat")
+        from repro.apps.wc import wc
+        labels = []
+        for path in iterate_by_latency(k, paths):
+            wc(k, path)
+            labels.append(machine.hsmfs.autochanger.drives[0].loaded.label)
+        # one contiguous run per cartridge: at most one switch
+        switches = sum(1 for a, b in zip(labels, labels[1:]) if a != b)
+        assert switches == 1
+
+
+class TestFilesetWc:
+    def test_results_complete_and_correct(self):
+        machine = _machine()
+        paths = []
+        for i in range(3):
+            machine.ext2.create_text_file(f"s/f{i}.txt", 4 * PAGE_SIZE,
+                                          seed=i)
+            paths.append(f"/mnt/ext2/s/f{i}.txt")
+        results = fileset_wc(machine.kernel, paths)
+        assert set(results) == set(paths)
+        assert all(r.chars == 4 * PAGE_SIZE for r in results.values())
+
+    def test_plain_mode_keeps_given_order(self):
+        machine = _machine()
+        paths = []
+        for i in range(3):
+            machine.ext2.create_text_file(f"s/f{i}.txt", PAGE_SIZE, seed=i)
+            paths.append(f"/mnt/ext2/s/f{i}.txt")
+        results = fileset_wc(machine.kernel, paths, use_sleds=False)
+        assert list(results) == paths

@@ -1,0 +1,193 @@
+"""Tests for find: tree walk, -latency predicate, mount pruning."""
+
+import pytest
+
+from repro.apps.findutil import (
+    LatencyPredicate,
+    find,
+    find_exec_grep_cached_first,
+    parse_latency,
+)
+from repro.core.delivery import SLEDS_BEST
+from repro.machine import Machine
+from repro.sim.errors import InvalidArgumentError
+from repro.sim.units import PAGE_SIZE
+
+
+def _machine():
+    machine = Machine.unix_utilities(cache_pages=128, seed=81)
+    machine.boot()
+    return machine
+
+
+class TestParseLatency:
+    @pytest.mark.parametrize("spec,cmp,seconds", [
+        ("+5", "+", 5.0),
+        ("-5", "-", 5.0),
+        ("5", "=", 5.0),
+        ("+m200", "+", 0.2),
+        ("-M200", "-", 0.2),
+        ("u150", "=", 150e-6),
+        ("+U2", "+", 2e-6),
+        ("0.5", "=", 0.5),
+    ])
+    def test_valid_specs(self, spec, cmp, seconds):
+        pred = parse_latency(spec)
+        assert pred.comparison == cmp
+        assert pred.seconds == pytest.approx(seconds)
+
+    @pytest.mark.parametrize("spec", ["", "++5", "m", "xyz", "-", "+-3"])
+    def test_invalid_specs(self, spec):
+        with pytest.raises(InvalidArgumentError):
+            parse_latency(spec)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            parse_latency("+-5")
+
+    def test_predicate_comparisons(self):
+        assert LatencyPredicate("+", 1.0).matches(2.0)
+        assert not LatencyPredicate("+", 1.0).matches(0.5)
+        assert LatencyPredicate("-", 1.0).matches(0.5)
+        assert LatencyPredicate("=", 1.0).matches(1.0)
+        assert not LatencyPredicate("=", 1.0).matches(1.1)
+
+
+class TestTreeWalk:
+    def _populate(self, machine):
+        fs = machine.ext2
+        fs.create_text_file("src/a.c", 2 * PAGE_SIZE, seed=1)
+        fs.create_text_file("src/b.c", 2 * PAGE_SIZE, seed=2)
+        fs.create_text_file("src/deep/c.h", PAGE_SIZE, seed=3)
+        fs.create_text_file("doc/readme.txt", PAGE_SIZE, seed=4)
+
+    def test_finds_all_files(self):
+        machine = _machine()
+        self._populate(machine)
+        hits = find(machine.kernel, "/mnt/ext2")
+        assert len(hits) == 4
+
+    def test_name_glob(self):
+        machine = _machine()
+        self._populate(machine)
+        hits = find(machine.kernel, "/mnt/ext2", name="*.c")
+        assert sorted(h.path for h in hits) == [
+            "/mnt/ext2/src/a.c", "/mnt/ext2/src/b.c"]
+
+    def test_min_size(self):
+        machine = _machine()
+        self._populate(machine)
+        hits = find(machine.kernel, "/mnt/ext2",
+                    min_size=2 * PAGE_SIZE)
+        assert len(hits) == 2
+
+    def test_exec_fn_called_per_hit(self):
+        machine = _machine()
+        self._populate(machine)
+        seen = []
+        find(machine.kernel, "/mnt/ext2", name="*.c", exec_fn=seen.append)
+        assert len(seen) == 2
+
+    def test_cross_mounts_control(self):
+        machine = _machine()
+        self._populate(machine)
+        machine.nfs.create_text_file("remote.txt", PAGE_SIZE, seed=5)
+        everywhere = find(machine.kernel, "/")
+        assert any("nfs" in h.path for h in everywhere)
+        local_only = find(machine.kernel, "/", cross_mounts=False)
+        assert not any("nfs" in h.path for h in local_only)
+        assert not any("ext2" in h.path for h in local_only)
+
+
+class TestLatencyPredicate:
+    def test_prunes_uncached_files(self):
+        machine = _machine()
+        fs = machine.ext2
+        fs.create_text_file("cached.txt", 8 * PAGE_SIZE, seed=1)
+        fs.create_text_file("cold.txt", 8 * PAGE_SIZE, seed=2)
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/cached.txt")
+        fast = find(k, "/mnt/ext2", latency="-m10", attack_plan=SLEDS_BEST)
+        assert [h.path for h in fast] == ["/mnt/ext2/cached.txt"]
+        slow = find(k, "/mnt/ext2", latency="+m10", attack_plan=SLEDS_BEST)
+        assert [h.path for h in slow] == ["/mnt/ext2/cold.txt"]
+
+    def test_delivery_time_attached_to_hits(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f.txt", 4 * PAGE_SIZE, seed=1)
+        hits = find(machine.kernel, "/mnt/ext2", latency="+u1")
+        assert hits and hits[0].delivery_time > 0
+
+    def test_no_latency_means_none(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f.txt", PAGE_SIZE, seed=1)
+        hits = find(machine.kernel, "/mnt/ext2")
+        assert hits[0].delivery_time is None
+
+    def test_bad_attack_plan(self):
+        machine = _machine()
+        with pytest.raises(InvalidArgumentError):
+            find(machine.kernel, "/mnt/ext2", attack_plan="nope")
+
+    def test_hsm_pruning_avoids_tape(self, hsm_machine):
+        """The HSM story: -latency skips shelved-tape files entirely."""
+        fs = hsm_machine.hsmfs
+        k = hsm_machine.kernel
+        staged = fs.create_tape_file("staged.dat", 4 * PAGE_SIZE, "VOL000")
+        fs.create_tape_file("shelved.dat", 4 * PAGE_SIZE, "VOL001")
+        fs.read_pages(staged, 0, 4)  # stage one file in
+        quick = find(k, "/mnt/hsm", latency="-1", attack_plan=SLEDS_BEST)
+        assert [h.path for h in quick] == ["/mnt/hsm/staged.dat"]
+        tape_reads_before = sum(d.stats.reads
+                                for d in fs.autochanger.drives)
+        # pruning never touched the tape
+        assert sum(d.stats.reads
+                   for d in fs.autochanger.drives) == tape_reads_before
+
+
+class TestCachedFirstComposition:
+    def test_find_exec_grep_cached_first(self):
+        machine = _machine()
+        fs = machine.ext2
+        needle = b"XNEEDLEX"
+        fs.create_text_file("src/hot.c", 8 * PAGE_SIZE, seed=1,
+                            plants={1000: needle})
+        fs.create_text_file("src/cold.c", 8 * PAGE_SIZE, seed=2,
+                            plants={2000: needle})
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/src/hot.c")
+        cheap, expensive = find_exec_grep_cached_first(
+            k, "/mnt/ext2/src", needle, threshold_seconds=0.01,
+            name="*.c")
+        assert [r.path for r in cheap] == ["/mnt/ext2/src/hot.c"]
+        assert [r.path for r in expensive] == ["/mnt/ext2/src/cold.c"]
+        assert all(r.count == 1 for r in cheap + expensive)
+
+
+class TestExtraPredicates:
+    def test_max_size(self):
+        machine = _machine()
+        machine.ext2.create_text_file("small.txt", PAGE_SIZE, seed=1)
+        machine.ext2.create_text_file("large.txt", 8 * PAGE_SIZE, seed=2)
+        hits = find(machine.kernel, "/mnt/ext2", max_size=2 * PAGE_SIZE)
+        assert [h.path for h in hits] == ["/mnt/ext2/small.txt"]
+
+    def test_size_band(self):
+        machine = _machine()
+        for pages in (1, 4, 16):
+            machine.ext2.create_text_file(f"f{pages}.txt",
+                                          pages * PAGE_SIZE, seed=pages)
+        hits = find(machine.kernel, "/mnt/ext2",
+                    min_size=2 * PAGE_SIZE, max_size=8 * PAGE_SIZE)
+        assert [h.path for h in hits] == ["/mnt/ext2/f4.txt"]
+
+    def test_accessed_within(self):
+        machine = _machine()
+        machine.ext2.create_text_file("old.txt", PAGE_SIZE, seed=1)
+        machine.ext2.create_text_file("hot.txt", PAGE_SIZE, seed=2)
+        k = machine.kernel
+        # age the world, then touch only one file
+        k.charge_cpu(100.0)
+        k.warm_file("/mnt/ext2/hot.txt")
+        hits = find(k, "/mnt/ext2", accessed_within=50.0)
+        assert [h.path for h in hits] == ["/mnt/ext2/hot.txt"]

@@ -1,0 +1,101 @@
+"""Tests for the gmc properties-panel reporting."""
+
+from repro.apps.gmc import (
+    file_properties,
+    format_panel,
+    should_wait_prompt,
+)
+from repro.machine import Machine
+from repro.sim.units import PAGE_SIZE
+
+
+def _machine(cache_pages=64):
+    machine = Machine.unix_utilities(cache_pages=cache_pages, seed=91)
+    machine.boot()
+    return machine
+
+
+class TestPanel:
+    def test_panel_fields(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", 16 * PAGE_SIZE, seed=1)
+        panel = file_properties(machine.kernel, "/mnt/ext2/f")
+        assert panel.size == 16 * PAGE_SIZE
+        assert len(panel.sleds) >= 1
+        assert panel.total_time_best <= panel.total_time_linear
+
+    def test_cached_bytes_tracks_warming(self):
+        machine = _machine(cache_pages=8)
+        machine.ext2.create_text_file("f", 16 * PAGE_SIZE, seed=1)
+        k = machine.kernel
+        cold = file_properties(k, "/mnt/ext2/f")
+        k.warm_file("/mnt/ext2/f")
+        warm = file_properties(k, "/mnt/ext2/f")
+        assert warm.cached_bytes > 0
+        assert warm.cached_bytes <= 8 * PAGE_SIZE
+        assert warm.total_time_best < cold.total_time_best
+        # a cold disk file's "lowest latency" level is the disk itself
+        assert cold.cached_bytes == cold.size
+
+    def test_format_contains_each_sled(self):
+        machine = _machine(cache_pages=8)
+        machine.ext2.create_text_file("f", 16 * PAGE_SIZE, seed=1)
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f")
+        panel = file_properties(k, "/mnt/ext2/f")
+        text = format_panel(panel)
+        assert "/mnt/ext2/f" in text
+        assert text.count("MB/s") >= len(panel.sleds)
+        assert "delivery time" in text
+
+    def test_panel_on_nfs_reports_higher_times(self):
+        machine = _machine()
+        machine.ext2.create_text_file("local", 16 * PAGE_SIZE, seed=1)
+        machine.nfs.create_text_file("remote", 16 * PAGE_SIZE, seed=1)
+        local = file_properties(machine.kernel, "/mnt/ext2/local")
+        remote = file_properties(machine.kernel, "/mnt/nfs/remote")
+        assert remote.total_time_linear > local.total_time_linear
+
+
+class TestWaitPrompt:
+    def test_immediate(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", PAGE_SIZE, seed=1)
+        machine.kernel.warm_file("/mnt/ext2/f")
+        panel = file_properties(machine.kernel, "/mnt/ext2/f")
+        assert should_wait_prompt(panel) == "available immediately"
+
+    def test_short_wait(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", 4 * 1024 * 1024, seed=1)
+        panel = file_properties(machine.kernel, "/mnt/ext2/f")
+        assert "short wait" in should_wait_prompt(panel)
+
+    def test_long_retrieval_on_hsm(self, hsm_machine):
+        fs = hsm_machine.hsmfs
+        fs.create_tape_file("archive.dat", 64 * PAGE_SIZE, "VOL001")
+        panel = file_properties(hsm_machine.kernel, "/mnt/hsm/archive.dat")
+        assert "long retrieval" in should_wait_prompt(panel)
+
+
+class TestDirectoryPanel:
+    def test_listing_skips_directories(self):
+        machine = _machine()
+        machine.ext2.create_text_file("dir/a.txt", PAGE_SIZE, seed=1)
+        machine.ext2.create_text_file("dir/sub/b.txt", PAGE_SIZE, seed=2)
+        from repro.apps.gmc import directory_listing
+        panels = directory_listing(machine.kernel, "/mnt/ext2/dir")
+        assert [p.path for p in panels] == ["/mnt/ext2/dir/a.txt"]
+
+    def test_format_directory_shows_cached_fraction(self):
+        machine = _machine(cache_pages=64)
+        machine.ext2.create_text_file("dir/hot.txt", 8 * PAGE_SIZE, seed=1)
+        machine.ext2.create_text_file("dir/cold.txt", 8 * PAGE_SIZE, seed=2)
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/dir/hot.txt")
+        from repro.apps.gmc import format_directory
+        text = format_directory(k, "/mnt/ext2/dir")
+        lines = {line.split()[0]: line for line in text.splitlines()[2:]}
+        assert "100%" in lines["hot.txt"]
+        assert "0%" in lines["cold.txt"]
+        assert "available immediately" in lines["hot.txt"]

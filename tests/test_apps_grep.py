@@ -1,0 +1,171 @@
+"""Tests for grep: match equivalence, line numbers, -q early termination."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.grep import grep
+from repro.machine import Machine
+from repro.sim.errors import InvalidArgumentError
+from repro.sim.units import PAGE_SIZE
+
+NEEDLE = b"XNEEDLEX"
+
+
+def _machine(cache_pages=64):
+    machine = Machine.unix_utilities(cache_pages=cache_pages, seed=71)
+    machine.boot()
+    return machine
+
+
+def _signature(result):
+    return [(m.offset, m.line_number, m.line) for m in result.matches]
+
+
+class TestValidation:
+    def test_empty_pattern_rejected(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", PAGE_SIZE, seed=1)
+        with pytest.raises(InvalidArgumentError):
+            grep(machine.kernel, "/mnt/ext2/f", b"")
+
+    def test_newline_in_pattern_rejected(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", PAGE_SIZE, seed=1)
+        with pytest.raises(InvalidArgumentError):
+            grep(machine.kernel, "/mnt/ext2/f", b"a\nb")
+
+
+class TestMatching:
+    def test_finds_planted_needles(self):
+        machine = _machine()
+        plants = {10_000: NEEDLE, 30_000: NEEDLE}
+        machine.ext2.create_text_file("f", 16 * PAGE_SIZE, seed=2,
+                                      plants=plants)
+        result = grep(machine.kernel, "/mnt/ext2/f", NEEDLE)
+        assert result.count == 2
+        assert result.matches[0].offset < result.matches[1].offset
+
+    def test_no_match(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", 4 * PAGE_SIZE, seed=2)
+        result = grep(machine.kernel, "/mnt/ext2/f", NEEDLE)
+        assert result.count == 0
+        assert not result.truncated
+
+    def test_vocabulary_word_matches_common_lines(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", 4 * PAGE_SIZE, seed=2)
+        result = grep(machine.kernel, "/mnt/ext2/f", b"storage")
+        assert result.count > 0
+        assert all(b"storage" in m.line for m in result.matches)
+
+    def test_line_numbers_match_naive_count(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", 8 * PAGE_SIZE, seed=3,
+                                      plants={20_000: NEEDLE})
+        k = machine.kernel
+        result = grep(k, "/mnt/ext2/f", NEEDLE)
+        inode = machine.ext2.resolve(["f"])
+        blob = inode.content.read(0, inode.size)
+        expected_line = blob[:20_000].count(b"\n") + 1
+        assert result.matches[0].line_number == expected_line
+
+    def test_match_at_file_end_without_newline(self):
+        machine = _machine()
+        size = 2 * PAGE_SIZE
+        machine.ext2.create_text_file(
+            "f", size, seed=3, plants={size - len(NEEDLE): NEEDLE})
+        for use_sleds in (False, True):
+            result = grep(machine.kernel, "/mnt/ext2/f", NEEDLE,
+                          use_sleds=use_sleds)
+            assert result.count == 1
+
+
+class TestSledsEquivalence:
+    def test_same_matches_warm_cache(self):
+        machine = _machine(cache_pages=16)
+        plants = {5_000: NEEDLE, 100_000: NEEDLE, 200_000: NEEDLE}
+        machine.ext2.create_text_file("f", 64 * PAGE_SIZE, seed=4,
+                                      plants=plants)
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f")
+        plain = grep(k, "/mnt/ext2/f", NEEDLE)
+        sleds = grep(k, "/mnt/ext2/f", NEEDLE, use_sleds=True)
+        assert _signature(plain) == _signature(sleds)
+
+    @given(st.sets(st.integers(0, 31), max_size=8),
+           st.lists(st.integers(100, 120_000), min_size=1, max_size=5,
+                    unique=True))
+    @settings(max_examples=20, deadline=None)
+    def test_equivalence_property(self, cached, match_offsets):
+        machine = _machine()
+        size = 32 * PAGE_SIZE
+        plants = {}
+        for offset in match_offsets:
+            # keep needles on distinct lines (corpus lines are ~64 chars)
+            if all(abs(offset - o) > 200 for o in plants):
+                plants[offset] = NEEDLE
+        machine.ext2.create_text_file("f", size, seed=5, plants=plants)
+        k = machine.kernel
+        inode = machine.ext2.resolve(["f"])
+        for page in cached:
+            k.page_cache.insert((inode.id, page))
+        plain = grep(k, "/mnt/ext2/f", NEEDLE)
+        sleds = grep(k, "/mnt/ext2/f", NEEDLE, use_sleds=True)
+        assert _signature(plain) == _signature(sleds)
+        assert plain.count == len(plants)
+
+
+class TestFirstMatch:
+    def test_q_stops_early(self):
+        machine = _machine()
+        plants = {1_000: NEEDLE, 100_000: NEEDLE}
+        machine.ext2.create_text_file("f", 32 * PAGE_SIZE, seed=6,
+                                      plants=plants)
+        result = grep(machine.kernel, "/mnt/ext2/f", NEEDLE,
+                      first_match_only=True)
+        assert result.count == 1
+        assert result.truncated
+        # the match line contains the first needle; its start precedes it
+        assert result.matches[0].offset <= 1_000
+        assert NEEDLE in result.matches[0].line
+
+    def test_q_reads_less_than_full_pass(self):
+        machine = _machine()
+        plants = {2_000: NEEDLE}
+        machine.ext2.create_text_file("f", 64 * PAGE_SIZE, seed=6,
+                                      plants=plants)
+        k = machine.kernel
+        with k.process() as run:
+            grep(k, "/mnt/ext2/f", NEEDLE, first_match_only=True)
+        assert run.counters.bytes_read < 64 * PAGE_SIZE
+
+    def test_q_with_sleds_finds_cached_match_without_io(self):
+        """The paper's ideal case: the match is cached; SLEDs-grep -q
+        terminates without any physical I/O."""
+        machine = _machine(cache_pages=16)
+        size = 64 * PAGE_SIZE
+        match_offset = size - 3 * PAGE_SIZE  # near the end: stays cached
+        machine.ext2.create_text_file("f", size, seed=7,
+                                      plants={match_offset: NEEDLE})
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f")  # tail (incl. match) cached
+        with k.process() as run:
+            result = grep(k, "/mnt/ext2/f", NEEDLE, use_sleds=True,
+                          first_match_only=True)
+        assert result.count == 1
+        assert run.hard_faults == 0
+        assert run.by_category.get("disk", 0.0) == 0.0
+
+    def test_q_without_sleds_does_physical_io_for_same_case(self):
+        machine = _machine(cache_pages=16)
+        size = 64 * PAGE_SIZE
+        match_offset = size - 3 * PAGE_SIZE
+        machine.ext2.create_text_file("f", size, seed=7,
+                                      plants={match_offset: NEEDLE})
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f")
+        with k.process() as run:
+            grep(k, "/mnt/ext2/f", NEEDLE, first_match_only=True)
+        assert run.hard_faults > 0

@@ -1,0 +1,144 @@
+"""Tests for the grep regex engine, including differential tests vs
+Python's ``re`` on a restricted pattern family."""
+
+import re
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.grep import grep
+from repro.apps.regex import RegexError, compile_regex
+from repro.machine import Machine
+from repro.sim.units import PAGE_SIZE
+
+
+class TestBasics:
+    @pytest.mark.parametrize("pattern,line,expected", [
+        (b"abc", b"xxabcxx", True),
+        (b"abc", b"xxabx", False),
+        (b"a.c", b"axc", True),
+        (b"a.c", b"ac", False),
+        (b"a*b", b"b", True),
+        (b"a*b", b"aaab", True),
+        (b"a+b", b"b", False),
+        (b"a+b", b"ab", True),
+        (b"ab?c", b"ac", True),
+        (b"ab?c", b"abc", True),
+        (b"ab?c", b"abbc", False),
+        (b"[abc]x", b"bx", True),
+        (b"[abc]x", b"dx", False),
+        (b"[a-f]x", b"dx", True),
+        (b"[^abc]x", b"dx", True),
+        (b"[^abc]x", b"ax", False),
+        (b"cat|dog", b"hotdog", True),
+        (b"cat|dog", b"bird", False),
+        (b"^start", b"start here", True),
+        (b"^start", b"a start", False),
+        (b"end$", b"the end", True),
+        (b"end$", b"end it", False),
+        (b"^whole$", b"whole", True),
+        (b"^whole$", b"whole x", False),
+        (b"\\.", b"a.b", True),
+        (b"\\.", b"ab", False),
+        (b"(ab)+c", b"ababc", True),
+        (b"(ab)+c", b"c", False),
+        (b"x(a|b)*y", b"xabbay", True),
+        (b"x(a|b)*y", b"xy", True),
+        (b"x(a|b)*y", b"xcy", False),
+    ])
+    def test_matches(self, pattern, line, expected):
+        assert compile_regex(pattern).matches(line) == expected
+
+    def test_search_offset_leftmost(self):
+        compiled = compile_regex(b"o+")
+        assert compiled.search(b"fooboo") == 1
+
+    def test_search_none(self):
+        assert compile_regex(b"zz").search(b"abc") is None
+
+    def test_dot_does_not_match_newline_semantics(self):
+        # grep operates per line; '.' must not cross records
+        assert not compile_regex(b"a.b").matches(b"a\nb")
+
+    def test_empty_line_anchors(self):
+        assert compile_regex(b"^$").matches(b"")
+        assert not compile_regex(b"^$").matches(b"x")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("pattern", [
+        b"", b"*a", b"+a", b"?x"[0:1] + b"",  # leading quantifiers
+        b"(abc", b"a[bc", b"a\\", b"[z-a]",
+    ])
+    def test_malformed_rejected(self, pattern):
+        with pytest.raises(RegexError):
+            compile_regex(pattern)
+
+
+class TestDifferentialVsRe:
+    _ATOMS = st.sampled_from(
+        ["a", "b", "c", ".", "[ab]", "[^a]", "a*", "b+", "c?"])
+
+    @given(st.lists(_ATOMS, min_size=1, max_size=6),
+           st.text(alphabet="abcx", max_size=12))
+    @settings(max_examples=150, deadline=None)
+    def test_agrees_with_re(self, atoms, text):
+        pattern = "".join(atoms)
+        line = text.encode()
+        ours = compile_regex(pattern.encode()).matches(line)
+        theirs = re.search(pattern.encode(), line) is not None
+        assert ours == theirs, f"pattern={pattern!r} line={line!r}"
+
+    @given(st.lists(_ATOMS, min_size=1, max_size=4),
+           st.lists(_ATOMS, min_size=1, max_size=4),
+           st.text(alphabet="abcx", max_size=10))
+    @settings(max_examples=100, deadline=None)
+    def test_alternation_agrees_with_re(self, left, right, text):
+        pattern = "".join(left) + "|" + "".join(right)
+        line = text.encode()
+        ours = compile_regex(pattern.encode()).matches(line)
+        theirs = re.search(pattern.encode(), line) is not None
+        assert ours == theirs, f"pattern={pattern!r} line={line!r}"
+
+
+class TestGrepIntegration:
+    def _machine(self):
+        machine = Machine.unix_utilities(cache_pages=64, seed=1201)
+        machine.boot()
+        return machine
+
+    def test_regex_grep_finds_planted_pattern(self):
+        machine = self._machine()
+        machine.ext2.create_text_file("f", 16 * PAGE_SIZE, seed=1,
+                                      plants={20_000: b"ERR-4091:"})
+        result = grep(machine.kernel, "/mnt/ext2/f",
+                      b"ERR-[0-9]+:", regex=True)
+        assert result.count == 1
+        assert b"ERR-4091:" in result.matches[0].line
+
+    def test_regex_sleds_equals_linear(self):
+        machine = Machine.unix_utilities(cache_pages=16, seed=1202)
+        machine.boot()
+        machine.ext2.create_text_file(
+            "f", 32 * PAGE_SIZE, seed=2,
+            plants={5_000: b"tag=alpha;", 90_000: b"tag=beta;"})
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f")
+        plain = grep(k, "/mnt/ext2/f", b"tag=(alpha|beta);", regex=True)
+        sleds = grep(k, "/mnt/ext2/f", b"tag=(alpha|beta);", regex=True,
+                     use_sleds=True)
+        assert [(m.offset, m.line_number) for m in plain.matches] == \
+            [(m.offset, m.line_number) for m in sleds.matches]
+        assert plain.count == 2
+
+    def test_regex_costs_more_cpu(self):
+        machine = self._machine()
+        machine.ext2.create_text_file("f", 32 * PAGE_SIZE, seed=3)
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f")
+        with k.process() as literal:
+            grep(k, "/mnt/ext2/f", b"zzzz")
+        with k.process() as regexed:
+            grep(k, "/mnt/ext2/f", b"zz+z", regex=True)
+        assert regexed.cpu_time > literal.cpu_time

@@ -1,0 +1,90 @@
+"""Tests for the result-comparison (regression detection) tool."""
+
+import pytest
+
+from repro.bench.compare import compare_dirs, compare_files, main
+
+
+def _write(path, header, rows):
+    lines = [",".join(header)]
+    lines += [",".join(str(c) for c in row) for row in rows]
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestCompareFiles:
+    def test_identical_is_clean(self, tmp_path):
+        a = tmp_path / "fig7.csv"
+        b = tmp_path / "fig7_new.csv"
+        for path in (a, b):
+            _write(path, ["MB", "speedup"], [[8, 0.91], [64, 2.5]])
+        comparison = compare_files(a, b)
+        assert comparison.clean
+        assert "no drift" in comparison.summary()
+
+    def test_within_tolerance_is_clean(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        _write(a, ["MB", "speedup"], [[64, 2.0]])
+        _write(b, ["MB", "speedup"], [[64, 2.2]])
+        assert compare_files(a, b, rtol=0.25).clean
+
+    def test_drift_detected(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        _write(a, ["MB", "speedup"], [[64, 2.0]])
+        _write(b, ["MB", "speedup"], [[64, 3.5]])
+        comparison = compare_files(a, b, rtol=0.25)
+        assert not comparison.clean
+        assert comparison.drifts[0].column == "speedup"
+        assert comparison.drifts[0].relative == pytest.approx(0.75)
+
+    def test_non_numeric_change_is_shape_change(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        _write(a, ["mode", "t"], [["with", 1.0]])
+        _write(b, ["mode", "t"], [["without", 1.0]])
+        comparison = compare_files(a, b)
+        assert comparison.shape_changes
+
+    def test_column_change_detected(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        _write(a, ["MB", "speedup"], [[64, 2.0]])
+        _write(b, ["MB", "ratio"], [[64, 2.0]])
+        assert compare_files(a, b).shape_changes
+
+    def test_row_count_change_detected(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        _write(a, ["MB", "speedup"], [[64, 2.0], [96, 1.5]])
+        _write(b, ["MB", "speedup"], [[64, 2.0]])
+        assert compare_files(a, b).shape_changes
+
+
+class TestCompareDirs:
+    def test_missing_and_added(self, tmp_path):
+        old = tmp_path / "old"
+        new = tmp_path / "new"
+        old.mkdir()
+        new.mkdir()
+        _write(old / "fig7.csv", ["MB"], [[8]])
+        _write(new / "fig9.csv", ["MB"], [[8]])
+        comparison = compare_dirs(old, new)
+        assert comparison.missing == ["fig7.csv"]
+        assert comparison.added == ["fig9.csv"]
+        assert not comparison.clean
+
+    def test_clean_dirs(self, tmp_path):
+        old = tmp_path / "old"
+        new = tmp_path / "new"
+        old.mkdir()
+        new.mkdir()
+        for base in (old, new):
+            _write(base / "fig7.csv", ["MB", "s"], [[8, 1.0]])
+        assert compare_dirs(old, new).clean
+
+
+class TestCliEntry:
+    def test_exit_codes(self, tmp_path, capsys):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        _write(a, ["MB", "s"], [[8, 1.0]])
+        _write(b, ["MB", "s"], [[8, 1.0]])
+        assert main([str(a), str(b)]) == 0
+        _write(b, ["MB", "s"], [[8, 9.0]])
+        assert main([str(a), str(b)]) == 1
+        assert "->" in capsys.readouterr().out

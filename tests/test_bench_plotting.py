@@ -1,0 +1,88 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.plotting import Series, ascii_chart, chart_result
+from repro.bench.report import ExperimentResult
+
+
+class TestSeries:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Series("s", (1, 2), (1,))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", (), ())
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert ascii_chart([]) == "(no series)"
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            ascii_chart([Series("s", (1, 2), (1, 2))], width=4, height=2)
+
+    def test_contains_glyphs_axes_legend(self):
+        text = ascii_chart([Series("ratio", (0, 50, 100), (1, 5, 2))],
+                           width=40, height=10, x_label="MB")
+        assert "*" in text
+        assert "| " in text or "|*" in text
+        assert "MB" in text
+        assert "ratio" in text
+
+    def test_multiple_series_distinct_glyphs(self):
+        text = ascii_chart([
+            Series("a", (0, 1), (0, 1)),
+            Series("b", (0, 1), (1, 0)),
+        ], width=20, height=8)
+        assert "*" in text and "+" in text
+
+    def test_peak_lands_high(self):
+        """The peak of a spiky series must appear on the top grid row."""
+        text = ascii_chart([Series("s", (0, 1, 2), (0, 10, 0))],
+                           width=30, height=10)
+        rows = [line for line in text.splitlines() if "|" in line]
+        top_data_row = rows[0].split("|", 1)[1]
+        assert "*" in top_data_row
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_chart([Series("flat", (0, 1, 2), (5, 5, 5))],
+                           width=20, height=8)
+        assert "*" in text
+
+
+class TestChartResult:
+    def _result(self):
+        result = ExperimentResult("figX", "demo", columns=["MB", "speedup",
+                                                           "±", "label"])
+        result.add_row(8, 1.0, 0.1, "a")
+        result.add_row(64, 4.5, 0.2, "b")
+        result.add_row(128, 1.4, 0.3, "c")
+        return result
+
+    def test_charts_numeric_columns_only(self):
+        text = chart_result(self._result())
+        assert "speedup" in text
+        assert "label" not in text.splitlines()[-1]
+
+    def test_skips_error_bar_columns(self):
+        text = chart_result(self._result())
+        legend = text.splitlines()[-1]
+        assert "±" not in legend
+
+    def test_empty_result(self):
+        empty = ExperimentResult("x", "t", columns=["a", "b"])
+        assert chart_result(empty) == "(no rows to chart)"
+
+    def test_no_numeric_series(self):
+        result = ExperimentResult("x", "t", columns=["name", "verdict"])
+        result.add_row("a", "ok")
+        result.add_row("b", "ok")
+        assert chart_result(result) == "(no numeric series to chart)"
+
+    def test_explicit_columns(self):
+        text = chart_result(self._result(), x_column="MB",
+                            y_columns=["speedup"])
+        assert "speedup" in text

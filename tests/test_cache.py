@@ -1,0 +1,251 @@
+"""Unit and property tests for the page cache, policies, and readahead."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.page_cache import PageCache
+from repro.cache.policies import (
+    ClockPolicy,
+    LruPolicy,
+    TwoQPolicy,
+    make_policy,
+)
+from repro.cache.readahead import ReadaheadWindow
+
+
+class TestLruPolicy:
+    def test_evicts_least_recent(self):
+        lru = LruPolicy()
+        for key in "abc":
+            lru.on_insert(key)
+        lru.on_hit("a")
+        assert lru.choose_victim() == "b"
+
+    def test_duplicate_insert_rejected(self):
+        lru = LruPolicy()
+        lru.on_insert("a")
+        with pytest.raises(ValueError):
+            lru.on_insert("a")
+
+    def test_remove_forgets(self):
+        lru = LruPolicy()
+        lru.on_insert("a")
+        lru.on_insert("b")
+        lru.on_remove("a")
+        assert lru.choose_victim() == "b"
+        assert len(lru) == 0
+
+
+class TestClockPolicy:
+    def test_second_chance(self):
+        clock = ClockPolicy()
+        for key in "abc":
+            clock.on_insert(key)
+        clock.on_hit("a")  # already referenced on insert, stays referenced
+        # all referenced: hand clears a, b, c, then evicts a
+        assert clock.choose_victim() == "a"
+
+    def test_unreferenced_evicted_first(self):
+        clock = ClockPolicy()
+        for key in "abc":
+            clock.on_insert(key)
+        clock.choose_victim()  # clears and eventually pops 'a'
+        clock.on_insert("d")
+        # b and c had their bits cleared by the sweep; b is at the hand
+        assert clock.choose_victim() == "b"
+
+
+class TestTwoQPolicy:
+    def test_scan_does_not_evict_protected(self):
+        twoq = TwoQPolicy(a1in_fraction=0.25)
+        # promote "hot" into Am via ghost re-insert
+        twoq.on_insert("hot")
+        victim = twoq.choose_victim()
+        assert victim == "hot"  # through A1in into ghost
+        twoq.on_insert("hot")  # ghost hit -> Am
+        for i in range(12):
+            twoq.on_insert(f"scan{i}")
+        victims = [twoq.choose_victim() for _ in range(10)]
+        assert "hot" not in victims
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            TwoQPolicy(a1in_fraction=0.0)
+        with pytest.raises(ValueError):
+            TwoQPolicy(ghost_fraction=-0.1)
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize("name,cls", [
+        ("lru", LruPolicy), ("clock", ClockPolicy), ("2q", TwoQPolicy),
+        ("LRU", LruPolicy),
+    ])
+    def test_factory(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            make_policy("fifo")
+
+
+class TestPageCache:
+    def test_capacity_enforced(self):
+        cache = PageCache(capacity_pages=2)
+        cache.insert((1, 0))
+        cache.insert((1, 1))
+        evicted = cache.insert((1, 2))
+        assert evicted == (1, 0)
+        assert len(cache) == 2
+
+    def test_access_hit_and_miss_counters(self):
+        cache = PageCache(4)
+        assert cache.access((1, 0)) is False
+        cache.insert((1, 0))
+        assert cache.access((1, 0)) is True
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_peek_does_not_touch_recency(self):
+        cache = PageCache(2)
+        cache.insert((1, 0))
+        cache.insert((1, 1))
+        cache.peek((1, 0))  # must NOT refresh (1,0)
+        evicted = cache.insert((1, 2))
+        assert evicted == (1, 0)
+
+    def test_access_refreshes_recency(self):
+        cache = PageCache(2)
+        cache.insert((1, 0))
+        cache.insert((1, 1))
+        cache.access((1, 0))
+        evicted = cache.insert((1, 2))
+        assert evicted == (1, 1)
+
+    def test_reinsert_refreshes_without_eviction(self):
+        cache = PageCache(2)
+        cache.insert((1, 0))
+        cache.insert((1, 1))
+        assert cache.insert((1, 0)) is None
+        assert cache.insert((1, 2)) == (1, 1)
+
+    def test_invalidate(self):
+        cache = PageCache(2)
+        cache.insert((1, 0))
+        assert cache.invalidate((1, 0)) is True
+        assert cache.invalidate((1, 0)) is False
+        assert (1, 0) not in cache
+
+    def test_invalidate_inode_drops_only_that_inode(self):
+        cache = PageCache(8)
+        for p in range(3):
+            cache.insert((1, p))
+            cache.insert((2, p))
+        assert cache.invalidate_inode(1) == 3
+        assert cache.resident_count(2, 3) == 3
+        assert cache.resident_count(1, 3) == 0
+
+    def test_clear(self):
+        cache = PageCache(4)
+        cache.insert((1, 0))
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_resident_pages_bitmap(self):
+        cache = PageCache(4)
+        cache.insert((1, 0))
+        cache.insert((1, 2))
+        assert cache.resident_pages(1, 4) == [True, False, True, False]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PageCache(0)
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 20)),
+                    min_size=1, max_size=200),
+           st.sampled_from(["lru", "clock", "2q"]))
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_invariant_all_policies(self, accesses, policy):
+        cache = PageCache(capacity_pages=5, policy=policy)
+        for key in accesses:
+            if not cache.access(key):
+                cache.insert(key)
+            assert len(cache) <= 5
+            assert len(cache.policy) == len(cache)
+
+    @given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 15)),
+                    min_size=1, max_size=120))
+    @settings(max_examples=50, deadline=None)
+    def test_resident_set_matches_policy_lru(self, accesses):
+        cache = PageCache(capacity_pages=4, policy="lru")
+        for key in accesses:
+            if not cache.access(key):
+                cache.insert(key)
+        # every resident page is tracked and peekable
+        for inode in range(3):
+            for page, resident in enumerate(cache.resident_pages(inode, 16)):
+                assert resident == cache.peek((inode, page))
+
+
+class TestLinearScanPathology:
+    def test_two_pass_lru_gains_nothing(self):
+        """The paper's Figure 3: 5-block file through a 3-block cache."""
+        cache = PageCache(3)
+        faults_pass1 = faults_pass2 = 0
+        for block in range(5):
+            if not cache.access((1, block)):
+                cache.insert((1, block))
+                faults_pass1 += 1
+        for block in range(5):
+            if not cache.access((1, block)):
+                cache.insert((1, block))
+                faults_pass2 += 1
+        assert faults_pass1 == 5
+        assert faults_pass2 == 5  # LRU throws the tail out as we go
+
+    def test_cached_first_order_wins(self):
+        cache = PageCache(3)
+        for block in range(5):
+            if not cache.access((1, block)):
+                cache.insert((1, block))
+        cached = [b for b in range(5) if cache.peek((1, b))]
+        uncached = [b for b in range(5) if not cache.peek((1, b))]
+        faults = 0
+        for block in cached + uncached:
+            if not cache.access((1, block)):
+                cache.insert((1, block))
+                faults += 1
+        assert faults == 2  # only the two uncached blocks
+
+
+class TestReadahead:
+    def test_window_grows_on_sequential(self):
+        window = ReadaheadWindow(min_pages=4, max_pages=16)
+        assert window.advise(0) == 4
+        assert window.advise(1) == 8
+        assert window.advise(2) == 16
+        assert window.advise(3) == 16  # capped
+
+    def test_window_collapses_on_random(self):
+        window = ReadaheadWindow(min_pages=4, max_pages=16)
+        for page in range(3):
+            window.advise(page)
+        assert window.advise(100) == 4
+
+    def test_reset(self):
+        window = ReadaheadWindow()
+        window.advise(0)
+        window.advise(1)
+        window.reset()
+        assert window.window_pages == window.min_pages
+
+    def test_negative_page_rejected(self):
+        with pytest.raises(ValueError):
+            ReadaheadWindow().advise(-1)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError):
+            ReadaheadWindow(min_pages=8, max_pages=4)
+        with pytest.raises(ValueError):
+            ReadaheadWindow(min_pages=0, max_pages=4)

@@ -1,0 +1,100 @@
+"""Unit and property tests for kernel-side SLED vector construction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.page_cache import PageCache
+from repro.core.builder import build_sled_vector, page_level
+from repro.core.sled_table import SledTable
+from repro.devices.disk import DiskDevice
+from repro.fs.filesystem import Ext2Like
+from repro.sim.units import MB, PAGE_SIZE
+
+import numpy as np
+
+
+def _setup(file_pages=16, cache_pages=64):
+    fs = Ext2Like(DiskDevice(rng=np.random.default_rng(1)))
+    inode = fs.create_file("f", file_pages * PAGE_SIZE)
+    cache = PageCache(cache_pages)
+    table = SledTable()
+    table.fill({"memory": (1e-7, 48 * MB), "ext2": (0.018, 9 * MB)})
+    return fs, inode, cache, table
+
+
+class TestPageLevel:
+    def test_uncached_page_uses_table_row(self):
+        fs, inode, cache, table = _setup()
+        latency, bandwidth = page_level(cache, fs, inode, 0, table)
+        assert latency == 0.018
+        assert bandwidth == 9 * MB
+
+    def test_cached_page_is_memory(self):
+        fs, inode, cache, table = _setup()
+        cache.insert((inode.id, 3))
+        latency, _ = page_level(cache, fs, inode, 3, table)
+        assert latency == 1e-7
+
+
+class TestBuildVector:
+    def test_cold_file_single_sled(self):
+        fs, inode, cache, table = _setup()
+        vector = build_sled_vector(cache, fs, inode, table)
+        assert len(vector) == 1
+        assert vector[0].latency == 0.018
+
+    def test_fully_cached_single_sled(self):
+        fs, inode, cache, table = _setup()
+        for page in range(inode.npages):
+            cache.insert((inode.id, page))
+        vector = build_sled_vector(cache, fs, inode, table)
+        assert len(vector) == 1
+        assert vector[0].latency == 1e-7
+
+    def test_interleaved_residency_alternates(self):
+        fs, inode, cache, table = _setup(file_pages=8)
+        for page in (0, 1, 4, 5):
+            cache.insert((inode.id, page))
+        vector = build_sled_vector(cache, fs, inode, table)
+        assert len(vector) == 4
+        assert [s.latency for s in vector] == [1e-7, 0.018, 1e-7, 0.018]
+
+    def test_last_sled_clamped_to_file_size(self):
+        fs = Ext2Like(DiskDevice(rng=np.random.default_rng(1)))
+        inode = fs.create_file("f", 3 * PAGE_SIZE + 100)
+        cache = PageCache(16)
+        table = SledTable()
+        table.fill({"memory": (1e-7, 48 * MB), "ext2": (0.018, 9 * MB)})
+        vector = build_sled_vector(cache, fs, inode, table)
+        assert vector.file_size == 3 * PAGE_SIZE + 100
+        assert vector[len(vector) - 1].end == 3 * PAGE_SIZE + 100
+
+    def test_empty_file(self):
+        fs, _, cache, table = _setup()
+        inode = fs.create_file("empty", 0)
+        vector = build_sled_vector(cache, fs, inode, table)
+        assert len(vector) == 0
+
+    @given(st.sets(st.integers(0, 31)), st.integers(1, 32 * PAGE_SIZE))
+    @settings(max_examples=60, deadline=None)
+    def test_vector_matches_residency_exactly(self, cached_pages, size):
+        """For any cache state, the vector covers the file exactly and
+        each byte's level matches its page's residency."""
+        fs = Ext2Like(DiskDevice(rng=np.random.default_rng(1)))
+        inode = fs.create_file("f", size)
+        cache = PageCache(64)
+        table = SledTable()
+        table.fill({"memory": (1e-7, 48 * MB), "ext2": (0.018, 9 * MB)})
+        for page in cached_pages:
+            if page < inode.npages:
+                cache.insert((inode.id, page))
+        vector = build_sled_vector(cache, fs, inode, table)
+        assert sum(s.length for s in vector) == size
+        for page in range(inode.npages):
+            sled = vector.sled_at(page * PAGE_SIZE)
+            expected = 1e-7 if cache.peek((inode.id, page)) else 0.018
+            assert sled.latency == expected
+        # SLED boundaries sit on page boundaries (except the file end)
+        for sled in vector:
+            assert sled.offset % PAGE_SIZE == 0

@@ -1,0 +1,141 @@
+"""Unit and property tests for total-delivery-time estimation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.delivery import (
+    SLEDS_BEST,
+    SLEDS_LINEAR,
+    estimate_delivery_time,
+    sleds_total_delivery_time,
+    sleds_total_delivery_time_path,
+)
+from repro.core.sled import Sled, SledVector
+from repro.machine import Machine
+from repro.sim.errors import InvalidArgumentError
+from repro.sim.units import PAGE_SIZE
+
+
+def _vector(pieces):
+    sleds = []
+    offset = 0
+    for length, latency, bandwidth in pieces:
+        sleds.append(Sled(offset, length, latency, bandwidth))
+        offset += length
+    return SledVector(sleds, file_size=offset, coalesce=False)
+
+
+class TestEstimates:
+    def test_linear_sums_each_sled(self):
+        vector = _vector([(1000, 0.5, 1000), (2000, 0.1, 1000)])
+        expected = (0.5 + 1.0) + (0.1 + 2.0)
+        assert estimate_delivery_time(vector, SLEDS_LINEAR) == pytest.approx(
+            expected)
+
+    def test_best_charges_level_latency_once(self):
+        vector = _vector([(1000, 0.5, 1000), (2000, 0.001, 1e6),
+                          (3000, 0.5, 1000)])
+        expected = (0.5 + 4000 / 1000) + (0.001 + 2000 / 1e6)
+        assert estimate_delivery_time(vector, SLEDS_BEST) == pytest.approx(
+            expected)
+
+    def test_empty_vector_is_zero(self):
+        empty = SledVector([], file_size=0)
+        assert estimate_delivery_time(empty, SLEDS_LINEAR) == 0.0
+        assert estimate_delivery_time(empty, SLEDS_BEST) == 0.0
+
+    def test_unknown_plan_rejected(self):
+        vector = _vector([(1000, 0.5, 1000)])
+        with pytest.raises(InvalidArgumentError):
+            estimate_delivery_time(vector, "SLEDS_WORST")
+
+    @given(st.lists(st.tuples(st.integers(1, 10_000),
+                              st.sampled_from([1e-7, 0.018, 0.13, 0.27]),
+                              st.sampled_from([1e6, 9e6, 48e6])),
+                    min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_best_never_exceeds_linear(self, pieces):
+        vector = _vector(pieces)
+        best = estimate_delivery_time(vector, SLEDS_BEST)
+        linear = estimate_delivery_time(vector, SLEDS_LINEAR)
+        assert best <= linear + 1e-12
+
+    @given(st.lists(st.tuples(st.integers(1, 10_000),
+                              st.sampled_from([1e-7, 0.018]),
+                              st.sampled_from([1e6, 48e6])),
+                    min_size=1, max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_estimates_lower_bounded_by_transfer_time(self, pieces):
+        vector = _vector(pieces)
+        transfer = sum(length / bw for length, _, bw in pieces)
+        assert estimate_delivery_time(vector, SLEDS_BEST) >= transfer - 1e-12
+
+
+class TestKernelIntegration:
+    def test_delivery_time_falls_after_warming(self):
+        machine = Machine.unix_utilities(cache_pages=256, seed=41)
+        machine.boot()
+        machine.ext2.create_text_file("f", 64 * PAGE_SIZE, seed=1)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/f")
+        cold = sleds_total_delivery_time(k, fd)
+        k.warm_file("/mnt/ext2/f")
+        warm = sleds_total_delivery_time(k, fd)
+        k.close(fd)
+        assert warm < cold / 5
+
+    def test_path_convenience_closes_fd(self):
+        machine = Machine.unix_utilities(cache_pages=64, seed=41)
+        machine.boot()
+        machine.ext2.create_text_file("f", PAGE_SIZE, seed=1)
+        t = sleds_total_delivery_time_path(machine.kernel, "/mnt/ext2/f")
+        assert t > 0
+        # fd table is empty again: opening yields the next fd and closing works
+        fd = machine.kernel.open("/mnt/ext2/f")
+        machine.kernel.close(fd)
+
+
+class TestRangeEstimates:
+    def _vector(self):
+        return _vector([(1000, 0.5, 1000), (2000, 0.001, 1e6),
+                        (3000, 0.5, 1000)])
+
+    def test_whole_file_matches_total(self):
+        from repro.core.delivery import estimate_range_delivery
+        vector = _vector([(1000, 0.5, 1000), (2000, 0.001, 1e6)])
+        assert estimate_range_delivery(vector, 0, 3000) == pytest.approx(
+            estimate_delivery_time(vector, SLEDS_LINEAR))
+
+    def test_partial_range_intersects_sleds(self):
+        from repro.core.delivery import estimate_range_delivery
+        vector = _vector([(1000, 0.5, 1000), (2000, 0.001, 1e6)])
+        # 500 bytes of the first sled + 100 of the second
+        t = estimate_range_delivery(vector, 500, 600)
+        assert t == pytest.approx(0.5 + 500 / 1000 + 0.001 + 100 / 1e6)
+
+    def test_range_past_eof_clamped(self):
+        from repro.core.delivery import estimate_range_delivery
+        vector = _vector([(1000, 0.5, 1000)])
+        assert estimate_range_delivery(vector, 900, 10_000) == \
+            pytest.approx(0.5 + 100 / 1000)
+
+    def test_empty_range_is_zero(self):
+        from repro.core.delivery import estimate_range_delivery
+        vector = _vector([(1000, 0.5, 1000)])
+        assert estimate_range_delivery(vector, 200, 0) == 0.0
+
+    def test_best_plan_charges_levels_once(self):
+        from repro.core.delivery import estimate_range_delivery
+        vector = _vector([(1000, 0.5, 1000), (2000, 0.001, 1e6),
+                          (3000, 0.5, 1000)])
+        best = estimate_range_delivery(vector, 0, 6000, SLEDS_BEST)
+        linear = estimate_range_delivery(vector, 0, 6000, SLEDS_LINEAR)
+        assert best == pytest.approx(linear - 0.5)  # one fewer 0.5s charge
+
+    def test_negative_range_rejected(self):
+        from repro.core.delivery import estimate_range_delivery
+        from repro.sim.errors import InvalidArgumentError
+        vector = _vector([(1000, 0.5, 1000)])
+        with pytest.raises(InvalidArgumentError):
+            estimate_range_delivery(vector, -1, 10)

@@ -1,0 +1,129 @@
+"""Unit and property tests for the element-granular (ff) SLEDs wrapper."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ffsleds import (
+    ff_active_session,
+    ffsleds_pick_finish,
+    ffsleds_pick_init,
+    ffsleds_pick_next_read,
+)
+from repro.core.pick import sleds_pick_init
+from repro.machine import Machine
+from repro.sim.errors import InvalidArgumentError
+from repro.sim.units import PAGE_SIZE
+
+
+def _machine(cache_pages=64):
+    machine = Machine.unix_utilities(cache_pages=cache_pages, seed=51)
+    machine.boot()
+    return machine
+
+
+def _drain(kernel, fd):
+    ranges = []
+    while True:
+        advice = ffsleds_pick_next_read(kernel, fd)
+        if advice is None:
+            return ranges
+        ranges.append(advice)
+
+
+class TestLifecycle:
+    def test_conflicts_with_byte_session(self):
+        machine = _machine()
+        machine.ext2.create_file("f", 8 * PAGE_SIZE)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/f")
+        sleds_pick_init(k, fd, 4096)
+        with pytest.raises(InvalidArgumentError):
+            ffsleds_pick_init(k, fd, 0, 4, 100, 16)
+
+    def test_bad_parameters(self):
+        machine = _machine()
+        machine.ext2.create_file("f", 8 * PAGE_SIZE)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/f")
+        with pytest.raises(InvalidArgumentError):
+            ffsleds_pick_init(k, fd, 0, 0, 100, 16)
+        with pytest.raises(InvalidArgumentError):
+            ffsleds_pick_init(k, fd, -1, 4, 100, 16)
+        with pytest.raises(InvalidArgumentError):
+            ffsleds_pick_init(k, fd, 0, 4, 100, 0)
+
+    def test_next_without_init(self):
+        machine = _machine()
+        with pytest.raises(InvalidArgumentError):
+            ffsleds_pick_next_read(machine.kernel, 42)
+
+    def test_finish_releases(self):
+        machine = _machine()
+        machine.ext2.create_file("f", 8 * PAGE_SIZE)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/f")
+        ffsleds_pick_init(k, fd, 0, 4, 100, 16)
+        assert ff_active_session(k, fd) is not None
+        ffsleds_pick_finish(k, fd)
+        assert ff_active_session(k, fd) is None
+
+    def test_byte_range_mapping(self):
+        machine = _machine()
+        machine.ext2.create_file("f", 8 * PAGE_SIZE)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/f")
+        ffsleds_pick_init(k, fd, data_offset=2880, element_size=4,
+                          element_count=100, preferred_elements=16)
+        session = ff_active_session(k, fd)
+        assert session.byte_range(0, 10) == (2880, 40)
+        assert session.byte_range(5, 2) == (2880 + 20, 8)
+        ffsleds_pick_finish(k, fd)
+
+
+class TestElementPartition:
+    @pytest.mark.parametrize("element_size,data_offset", [
+        (2, 0), (4, 2880), (8, 2880), (12, 2880), (4, 5760), (3, 2880),
+    ])
+    def test_elements_partitioned_exactly_once(self, element_size,
+                                               data_offset):
+        machine = _machine(cache_pages=32)
+        file_size = 64 * PAGE_SIZE
+        element_count = (file_size - data_offset) // element_size - 5
+        machine.ext2.create_file("f", file_size)
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f")  # partial cache -> interesting order
+        fd = k.open("/mnt/ext2/f")
+        ffsleds_pick_init(k, fd, data_offset, element_size, element_count,
+                          preferred_elements=1000)
+        ranges = sorted(_drain(k, fd))
+        ffsleds_pick_finish(k, fd)
+        pos = 0
+        for first, count in ranges:
+            assert first == pos, "element gap or overlap"
+            pos += count
+        assert pos == element_count
+
+    @given(st.integers(1, 16), st.integers(0, 3 * PAGE_SIZE),
+           st.sets(st.integers(0, 15)))
+    @settings(max_examples=25, deadline=None)
+    def test_partition_property(self, element_size, data_offset, cached):
+        machine = _machine(cache_pages=64)
+        file_size = 16 * PAGE_SIZE
+        element_count = max(
+            1, (file_size - data_offset) // element_size - 1)
+        machine.ext2.create_file("f", file_size)
+        k = machine.kernel
+        inode = machine.ext2.resolve(["f"])
+        for page in cached:
+            k.page_cache.insert((inode.id, page))
+        fd = k.open("/mnt/ext2/f")
+        ffsleds_pick_init(k, fd, data_offset, element_size, element_count,
+                          preferred_elements=64)
+        ranges = sorted(_drain(k, fd))
+        ffsleds_pick_finish(k, fd)
+        pos = 0
+        for first, count in ranges:
+            assert first == pos
+            pos += count
+        assert pos == element_count

@@ -1,0 +1,231 @@
+"""Unit and property tests for the SLEDs pick library."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pick import (
+    active_session,
+    sleds_pick_finish,
+    sleds_pick_init,
+    sleds_pick_next_read,
+)
+from repro.machine import Machine
+from repro.sim.errors import InvalidArgumentError
+from repro.sim.units import PAGE_SIZE
+
+
+def _machine(cache_pages=64):
+    machine = Machine.unix_utilities(cache_pages=cache_pages, seed=21)
+    machine.boot()
+    return machine
+
+
+def _drain(kernel, fd):
+    """Collect every advised (offset, nbytes) without reading."""
+    chunks = []
+    while True:
+        advice = sleds_pick_next_read(kernel, fd)
+        if advice is None:
+            return chunks
+        chunks.append(advice)
+
+
+class TestSessionLifecycle:
+    def test_init_returns_bufsize(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", 8 * PAGE_SIZE, seed=1)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/f")
+        assert sleds_pick_init(k, fd, 8192) == 8192
+        sleds_pick_finish(k, fd)
+
+    def test_double_init_rejected(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", 8 * PAGE_SIZE, seed=1)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/f")
+        sleds_pick_init(k, fd, 8192)
+        with pytest.raises(InvalidArgumentError):
+            sleds_pick_init(k, fd, 8192)
+        sleds_pick_finish(k, fd)
+
+    def test_next_without_init_rejected(self):
+        machine = _machine()
+        with pytest.raises(InvalidArgumentError):
+            sleds_pick_next_read(machine.kernel, 99)
+
+    def test_finish_is_idempotent(self):
+        machine = _machine()
+        sleds_pick_finish(machine.kernel, 99)  # no-op
+
+    def test_bad_parameters(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", PAGE_SIZE, seed=1)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/f")
+        with pytest.raises(InvalidArgumentError):
+            sleds_pick_init(k, fd, 0)
+        with pytest.raises(InvalidArgumentError):
+            sleds_pick_init(k, fd, 100, order="bogus")
+        with pytest.raises(InvalidArgumentError):
+            sleds_pick_init(k, fd, 100, refresh_every=-1)
+
+    def test_active_session_visibility(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", PAGE_SIZE, seed=1)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/f")
+        assert active_session(k, fd) is None
+        sleds_pick_init(k, fd, 4096)
+        assert active_session(k, fd) is not None
+        sleds_pick_finish(k, fd)
+        assert active_session(k, fd) is None
+
+
+class TestChunkCoverage:
+    def test_cold_file_degenerates_to_linear(self):
+        """Paper: with a cold cache the algorithm degenerates to linear
+        access of the file."""
+        machine = _machine()
+        machine.ext2.create_text_file("f", 16 * PAGE_SIZE, seed=1)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/f")
+        sleds_pick_init(k, fd, 2 * PAGE_SIZE)
+        chunks = _drain(k, fd)
+        sleds_pick_finish(k, fd)
+        offsets = [c[0] for c in chunks]
+        assert offsets == sorted(offsets)
+        assert offsets[0] == 0
+
+    def test_cached_chunks_come_first(self):
+        machine = _machine(cache_pages=32)
+        machine.ext2.create_text_file("f", 64 * PAGE_SIZE, seed=1)
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f")  # tail cached
+        fd = k.open("/mnt/ext2/f")
+        vector = k.get_sleds(fd)
+        memory_latency = k.sleds_table.memory.latency
+        cached_bytes = sum(s.length for s in vector
+                           if s.latency == memory_latency)
+        sleds_pick_init(k, fd, 2 * PAGE_SIZE)
+        chunks = _drain(k, fd)
+        sleds_pick_finish(k, fd)
+        first = chunks[: max(1, cached_bytes // (2 * PAGE_SIZE))]
+        for offset, length in first:
+            assert vector.sled_at(offset).latency == memory_latency
+
+    def test_exactly_once_coverage_warm(self):
+        machine = _machine(cache_pages=32)
+        size = 64 * PAGE_SIZE + 777
+        machine.ext2.create_text_file("f", size, seed=1)
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f")
+        fd = k.open("/mnt/ext2/f")
+        sleds_pick_init(k, fd, 3 * PAGE_SIZE)
+        chunks = sorted(_drain(k, fd))
+        sleds_pick_finish(k, fd)
+        pos = 0
+        for offset, length in chunks:
+            assert offset == pos, "gap or overlap in chunk coverage"
+            pos += length
+        assert pos == size
+
+    def test_chunks_respect_bufsize(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", 10 * PAGE_SIZE, seed=1)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/f")
+        sleds_pick_init(k, fd, 4096)
+        chunks = _drain(k, fd)
+        sleds_pick_finish(k, fd)
+        assert all(length <= 4096 for _, length in chunks)
+
+    @given(st.sets(st.integers(0, 31)), st.integers(1, 6 * PAGE_SIZE),
+           st.sampled_from(["sleds", "linear", "random"]))
+    @settings(max_examples=25, deadline=None)
+    def test_exactly_once_any_cache_state_any_order(self, cached, bufsize,
+                                                    order):
+        """The library returns each byte exactly once regardless of cache
+        state, buffer size, or pick order."""
+        machine = _machine(cache_pages=64)
+        size = 32 * PAGE_SIZE - 123
+        machine.ext2.create_text_file("f", size, seed=1)
+        k = machine.kernel
+        inode = machine.ext2.resolve(["f"])
+        for page in cached:
+            k.page_cache.insert((inode.id, page))
+        fd = k.open("/mnt/ext2/f")
+        sleds_pick_init(k, fd, bufsize, order=order)
+        chunks = sorted(_drain(k, fd))
+        sleds_pick_finish(k, fd)
+        pos = 0
+        for offset, length in chunks:
+            assert offset == pos
+            pos += length
+        assert pos == size
+
+
+class TestRefresh:
+    def test_refresh_preserves_exactly_once(self):
+        machine = _machine(cache_pages=32)
+        size = 64 * PAGE_SIZE
+        machine.ext2.create_text_file("f", size, seed=1)
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f")
+        fd = k.open("/mnt/ext2/f")
+        sleds_pick_init(k, fd, PAGE_SIZE, refresh_every=5)
+        seen = sorted(_drain(k, fd))
+        sleds_pick_finish(k, fd)
+        pos = 0
+        for offset, length in seen:
+            assert offset == pos
+            pos += length
+        assert pos == size
+
+    def test_remaining_counters(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", 4 * PAGE_SIZE, seed=1)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/f")
+        sleds_pick_init(k, fd, PAGE_SIZE)
+        session = active_session(k, fd)
+        assert session.remaining_chunks() == 4
+        assert session.remaining_bytes() == 4 * PAGE_SIZE
+        sleds_pick_next_read(k, fd)
+        assert session.remaining_chunks() == 3
+        sleds_pick_finish(k, fd)
+
+
+class TestDeviceTrafficNeverWorse:
+    @given(st.sets(st.integers(0, 63), max_size=48),
+           st.sampled_from([PAGE_SIZE, 3 * PAGE_SIZE, 16 * PAGE_SIZE]))
+    @settings(max_examples=20, deadline=None)
+    def test_sleds_device_pages_at_most_linear(self, cached, bufsize):
+        """For any initial cache state, a SLEDs-ordered single pass never
+        reads more device pages than a linear pass from the same state —
+        the 'better citizen' guarantee at page granularity."""
+        def run(order_by_sleds):
+            machine = _machine(cache_pages=48)
+            size = 64 * PAGE_SIZE
+            machine.ext2.create_text_file("f", size, seed=2)
+            k = machine.kernel
+            inode = machine.ext2.resolve(["f"])
+            for page in sorted(cached):
+                k.page_cache.insert((inode.id, page))
+            fd = k.open("/mnt/ext2/f")
+            before = k.counters.pages_read
+            if order_by_sleds:
+                sleds_pick_init(k, fd, bufsize)
+                while (advice := sleds_pick_next_read(k, fd)) is not None:
+                    offset, nbytes = advice
+                    k.lseek(fd, offset)
+                    k.read(fd, nbytes)
+                sleds_pick_finish(k, fd)
+            else:
+                while k.read(fd, bufsize):
+                    pass
+            k.close(fd)
+            return k.counters.pages_read - before
+
+        assert run(True) <= run(False)

@@ -1,0 +1,150 @@
+"""Unit and property tests for Sled and SledVector invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sled import Sled, SledVector
+
+
+def _sled(offset, length, latency=0.01, bandwidth=1e6):
+    return Sled(offset, length, latency, bandwidth)
+
+
+class TestSled:
+    def test_end(self):
+        assert _sled(100, 50).end == 150
+
+    def test_delivery_time(self):
+        sled = Sled(0, 1000, latency=0.5, bandwidth=1000)
+        assert sled.delivery_time() == pytest.approx(1.5)
+
+    def test_same_level(self):
+        assert _sled(0, 10).same_level(_sled(10, 10))
+        assert not _sled(0, 10).same_level(_sled(10, 10, latency=0.02))
+
+    def test_split_at(self):
+        left, right = _sled(0, 100).split_at(40)
+        assert (left.offset, left.length) == (0, 40)
+        assert (right.offset, right.length) == (40, 60)
+        assert left.same_level(right)
+
+    def test_split_outside_rejected(self):
+        with pytest.raises(ValueError):
+            _sled(0, 100).split_at(0)
+        with pytest.raises(ValueError):
+            _sled(0, 100).split_at(100)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(offset=-1, length=1, latency=0.1, bandwidth=1.0),
+        dict(offset=0, length=0, latency=0.1, bandwidth=1.0),
+        dict(offset=0, length=1, latency=-0.1, bandwidth=1.0),
+        dict(offset=0, length=1, latency=0.1, bandwidth=0.0),
+    ])
+    def test_invalid_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            Sled(**kwargs)
+
+
+class TestSledVectorValidation:
+    def test_empty_vector_for_empty_file(self):
+        vector = SledVector([], file_size=0)
+        assert len(vector) == 0
+
+    def test_empty_vector_for_nonempty_file_rejected(self):
+        with pytest.raises(ValueError):
+            SledVector([], file_size=10)
+
+    def test_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            SledVector([_sled(10, 10)], file_size=20)
+
+    def test_gap_rejected(self):
+        with pytest.raises(ValueError):
+            SledVector([_sled(0, 10), _sled(20, 10)], file_size=30)
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            SledVector([_sled(0, 10), _sled(5, 10)], file_size=15)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            SledVector([_sled(0, 10)], file_size=20)
+
+    def test_unsorted_input_is_sorted(self):
+        vector = SledVector([_sled(10, 10, latency=0.2), _sled(0, 10)],
+                            file_size=20)
+        assert [s.offset for s in vector] == [0, 10]
+
+
+class TestCoalescing:
+    def test_adjacent_same_level_merged(self):
+        vector = SledVector([_sled(0, 10), _sled(10, 10)], file_size=20)
+        assert len(vector) == 1
+        assert vector[0].length == 20
+
+    def test_different_levels_kept(self):
+        vector = SledVector([_sled(0, 10), _sled(10, 10, latency=0.5)],
+                            file_size=20)
+        assert len(vector) == 2
+
+    def test_coalesce_disabled(self):
+        vector = SledVector([_sled(0, 10), _sled(10, 10)], file_size=20,
+                            coalesce=False)
+        assert len(vector) == 2
+
+    @given(st.lists(st.tuples(st.integers(1, 20),
+                              st.sampled_from([0.001, 0.02, 0.5])),
+                    min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_coalesced_vector_properties(self, pieces):
+        """Any contiguous latency labelling coalesces into a valid vector
+        where adjacent sleds differ and coverage is exact."""
+        sleds = []
+        offset = 0
+        for length, latency in pieces:
+            sleds.append(Sled(offset, length, latency, 1e6))
+            offset += length
+        vector = SledVector(sleds, file_size=offset)
+        # exact, gapless coverage
+        assert vector[0].offset == 0
+        assert vector[len(vector) - 1].end == offset
+        for a, b in zip(vector, list(vector)[1:]):
+            assert a.end == b.offset
+            assert not a.same_level(b)
+        assert sum(s.length for s in vector) == offset
+
+
+class TestQueries:
+    def _vector(self):
+        return SledVector([
+            _sled(0, 100, latency=0.5),
+            _sled(100, 100, latency=0.001),
+            _sled(200, 50, latency=0.5),
+        ], file_size=250)
+
+    def test_sled_at(self):
+        vector = self._vector()
+        assert vector.sled_at(0).latency == 0.5
+        assert vector.sled_at(150).latency == 0.001
+        assert vector.sled_at(249).offset == 200
+
+    def test_sled_at_outside_rejected(self):
+        with pytest.raises(ValueError):
+            self._vector().sled_at(250)
+
+    def test_levels(self):
+        assert len(self._vector().levels()) == 2
+
+    def test_bytes_at_or_below_latency(self):
+        assert self._vector().bytes_at_or_below_latency(0.01) == 100
+        assert self._vector().bytes_at_or_below_latency(1.0) == 250
+
+    def test_min_max_latency(self):
+        vector = self._vector()
+        assert vector.min_latency() == 0.001
+        assert vector.max_latency() == 0.5
+
+    def test_equality(self):
+        assert self._vector() == self._vector()
+        assert self._vector() != SledVector([_sled(0, 250)], file_size=250)

@@ -1,0 +1,101 @@
+"""Tests for the flash device and its drop-in use under the SLEDs stack."""
+
+import numpy as np
+import pytest
+
+from repro.devices.flash import FlashDevice
+from repro.fs.filesystem import Ext2Like
+from repro.kernel.kernel import Kernel
+from repro.machine import Machine
+from repro.sim.rng import RngStreams
+from repro.sim.units import GB, KB, MB, PAGE_SIZE
+
+
+def _flash(**kwargs):
+    return FlashDevice(rng=np.random.default_rng(1), **kwargs)
+
+
+class TestFlashModel:
+    def test_uniform_read_latency(self):
+        flash = _flash()
+        near = flash.read(0, PAGE_SIZE)
+        far = flash.read(20 * GB, PAGE_SIZE)
+        assert near == pytest.approx(far)
+
+    def test_read_faster_than_write(self):
+        flash = _flash()
+        read = flash.read(0, 64 * KB)
+        write = flash.write(0, 64 * KB)
+        assert read < write
+
+    def test_small_write_pays_erase_penalty(self):
+        flash = _flash()
+        aligned_full = flash.write(0, flash.erase_block)
+        small = flash.write(flash.erase_block * 2, PAGE_SIZE)
+        per_byte_full = aligned_full / flash.erase_block
+        assert small > flash.program_latency + flash.erase_penalty * 0.99
+        assert small > per_byte_full * PAGE_SIZE
+
+    def test_aligned_block_write_avoids_penalty(self):
+        flash = _flash()
+        t = flash.write(0, flash.erase_block)
+        expected = (flash.program_latency
+                    + flash.erase_block / flash.write_bandwidth)
+        assert t == pytest.approx(expected)
+
+    def test_misaligned_large_write_pays_half_penalty(self):
+        flash = _flash()
+        t = flash.write(PAGE_SIZE, 2 * flash.erase_block)
+        expected = (flash.program_latency + flash.erase_penalty / 2
+                    + 2 * flash.erase_block / flash.write_bandwidth)
+        assert t == pytest.approx(expected)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FlashDevice(read_latency=-1)
+        with pytest.raises(ValueError):
+            FlashDevice(read_bandwidth=0)
+        with pytest.raises(ValueError):
+            FlashDevice(erase_block=0)
+
+
+class TestFlashUnderSleds:
+    def _flash_machine(self):
+        rng = RngStreams(71)
+        kernel = Kernel(cache_pages=128, rng=rng)
+        machine = Machine(kernel=kernel)
+        from repro.devices.disk import DiskDevice
+        machine.mount("/", Ext2Like(DiskDevice(
+            name="root", rng=rng.stream("root")), name="rootfs"))
+        machine.mount("/mnt/ext2", Ext2Like(
+            _flash(), name="ext2"))
+        machine.boot()
+        return machine
+
+    def test_boot_characterises_flash(self):
+        machine = self._flash_machine()
+        latency, bandwidth = machine.kernel.sleds_table.lookup(
+            "ext2").latency, machine.kernel.sleds_table.lookup(
+            "ext2").bandwidth
+        assert latency < 1e-3           # no seeks: sub-millisecond
+        assert bandwidth > 100 * MB
+
+    def test_sled_vector_reports_flash_level(self):
+        machine = self._flash_machine()
+        machine.ext2.create_text_file("f", 16 * PAGE_SIZE, seed=1)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/f")
+        vector = k.get_sleds(fd)
+        k.close(fd)
+        assert len(vector) == 1
+        assert vector[0].latency == k.sleds_table.lookup("ext2").latency
+
+    def test_wc_correct_on_flash(self):
+        machine = self._flash_machine()
+        machine.ext2.create_text_file("f", 32 * PAGE_SIZE, seed=2)
+        from repro.apps.wc import wc
+        k = machine.kernel
+        plain = wc(k, "/mnt/ext2/f")
+        sleds = wc(k, "/mnt/ext2/f", use_sleds=True)
+        assert (plain.lines, plain.words, plain.chars) == \
+            (sleds.lines, sleds.words, sleds.chars)

@@ -1,0 +1,120 @@
+"""Property tests over the device models' timing invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices.cdrom import CdromDevice
+from repro.devices.disk import DiskDevice
+from repro.devices.flash import FlashDevice
+from repro.devices.memory import MemoryDevice
+from repro.devices.network import NfsDevice
+from repro.devices.tape import TapeCartridge, TapeDevice
+from repro.sim.units import GB, KB, MB, PAGE_SIZE
+
+ADDRS = st.integers(0, 8 * GB)
+SIZES = st.integers(1, 4 * MB)
+
+
+def _devices(seed=0):
+    rng = lambda: np.random.default_rng(seed)  # noqa: E731
+    tape = TapeDevice(rng=rng())
+    tape.load(TapeCartridge("P"))
+    return [
+        MemoryDevice(),
+        DiskDevice(rng=rng()),
+        CdromDevice(rng=rng()),
+        NfsDevice(rng=rng()),
+        FlashDevice(rng=rng()),
+        tape,
+    ]
+
+
+class TestUniversalInvariants:
+    @given(st.lists(st.tuples(ADDRS, SIZES), min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_all_access_times_positive_and_finite(self, accesses):
+        for device in _devices():
+            for addr, nbytes in accesses:
+                addr = min(addr, device.capacity - 1)
+                nbytes = min(nbytes, device.capacity - addr)
+                if nbytes <= 0:
+                    continue
+                seconds = device.read(addr, nbytes)
+                assert 0 < seconds < 3600
+                assert np.isfinite(seconds)
+
+    @given(ADDRS, st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_bigger_reads_never_cheaper_same_state(self, addr, pages):
+        """From identical state, reading more bytes costs at least as
+        much as reading fewer."""
+        for seed in (1, 2):
+            small = DiskDevice(rng=np.random.default_rng(seed))
+            large = DiskDevice(rng=np.random.default_rng(seed))
+            addr2 = min(addr, small.capacity - 65 * PAGE_SIZE)
+            t_small = small.read(addr2, pages * PAGE_SIZE)
+            t_large = large.read(addr2, (pages + 1) * PAGE_SIZE)
+            assert t_large >= t_small - 1e-12
+
+    @given(ADDRS, ADDRS)
+    @settings(max_examples=40, deadline=None)
+    def test_sequential_never_dearer_than_seek(self, a, b):
+        """Continuing a stream is never more expensive than jumping."""
+        seed = 7
+        stream = DiskDevice(rng=np.random.default_rng(seed))
+        jump = DiskDevice(rng=np.random.default_rng(seed))
+        a = min(a, stream.capacity - 2 * PAGE_SIZE)
+        b = min(b, stream.capacity - 2 * PAGE_SIZE)
+        stream.read(a, PAGE_SIZE)
+        jump.read(a, PAGE_SIZE)
+        t_stream = stream.read(a + PAGE_SIZE, PAGE_SIZE)
+        if b != a + PAGE_SIZE:
+            t_jump = jump.read(b, PAGE_SIZE)
+            assert t_stream <= t_jump + 1e-12
+
+
+class TestTimingConsistency:
+    def test_deterministic_given_seed(self):
+        def trace(seed):
+            disk = DiskDevice(rng=np.random.default_rng(seed))
+            return [disk.read((i * 977) % (disk.capacity - MB), 64 * KB)
+                    for i in range(20)]
+
+        assert trace(3) == trace(3)
+        assert trace(3) != trace(4)
+
+    @given(st.integers(1, 200))
+    @settings(max_examples=30, deadline=None)
+    def test_streaming_total_matches_bandwidth(self, chunks):
+        """A long sequential disk stream converges to the zone rate."""
+        disk = DiskDevice(rng=np.random.default_rng(5))
+        chunk = 64 * KB
+        total = sum(disk.read(i * chunk, chunk) for i in range(chunks))
+        effective = chunks * chunk / total
+        zone_rate = disk.bandwidth_at(0)
+        # within 20% of the zone's rate (per-access overhead + first seek)
+        assert effective > 0.6 * zone_rate
+        assert effective <= zone_rate * 1.001
+
+    def test_nfs_sequential_vs_random_gap_is_large(self):
+        nfs = NfsDevice(rng=np.random.default_rng(6))
+        nfs.read(0, 64 * KB)
+        sequential = nfs.read(64 * KB, 64 * KB)
+        rng = np.random.default_rng(7)
+        randoms = []
+        for _ in range(10):
+            device = NfsDevice(rng=np.random.default_rng(8))
+            addr = int(rng.integers(1 * GB, 8 * GB)) & ~4095
+            device.read(0, 4096)
+            randoms.append(device.read(addr, 64 * KB))
+        assert np.mean(randoms) > 3 * sequential
+
+    def test_tape_streaming_never_locates_mid_stream(self):
+        tape = TapeDevice(rng=np.random.default_rng(9))
+        tape.load(TapeCartridge("Q"))
+        tape.read(0, MB)
+        seeks_before = tape.stats.seeks
+        for i in range(1, 30):
+            tape.read(i * MB, MB)
+        assert tape.stats.seeks == seeks_before

@@ -1,0 +1,151 @@
+"""Unit tests for the tape drive and autochanger models."""
+
+import numpy as np
+import pytest
+
+from repro.devices.autochanger import Autochanger, UnknownCartridgeError
+from repro.devices.tape import TapeCartridge, TapeDevice, TapeNotLoadedError
+from repro.sim.units import GB, MB
+
+
+def _drive(name="tape0"):
+    return TapeDevice(name=name, rng=np.random.default_rng(3))
+
+
+class TestTapeDevice:
+    def test_access_requires_loaded_tape(self):
+        with pytest.raises(TapeNotLoadedError):
+            _drive().read(0, 4096)
+
+    def test_load_unload_cycle(self):
+        drive = _drive()
+        cart = TapeCartridge("VOL001")
+        assert drive.load(cart) == drive.load_time
+        assert drive.loaded is cart
+        assert drive.unload() == drive.unload_time
+        assert drive.loaded is None
+
+    def test_double_load_rejected(self):
+        drive = _drive()
+        drive.load(TapeCartridge("A"))
+        with pytest.raises(TapeNotLoadedError):
+            drive.load(TapeCartridge("B"))
+
+    def test_unload_empty_rejected(self):
+        with pytest.raises(TapeNotLoadedError):
+            _drive().unload()
+
+    def test_unload_rewinds(self):
+        drive = _drive()
+        cart = TapeCartridge("A")
+        drive.load(cart)
+        drive.read(0, MB)
+        assert cart.position > 0
+        drive.unload()
+        assert cart.position == 0
+
+    def test_sequential_streaming_no_locate(self):
+        drive = _drive()
+        drive.load(TapeCartridge("A"))
+        drive.read(0, MB)
+        t = drive.read(MB, MB)
+        assert t == pytest.approx(MB / drive.spec.bandwidth)
+
+    def test_random_access_pays_locate(self):
+        drive = _drive()
+        drive.load(TapeCartridge("A"))
+        drive.read(0, 4096)
+        t = drive.read(20 * GB, 4096)
+        assert t > drive.locate_startup
+
+    def test_locate_time_grows_with_longitudinal_distance(self):
+        drive = _drive()
+        drive.load(TapeCartridge("A", capacity=35 * GB))
+        wrap_len = 35 * GB // drive.wraps
+        near = drive.locate_time(0, wrap_len // 10)
+        far = drive.locate_time(0, wrap_len // 2)
+        assert near < far
+
+    def test_locate_time_zero_in_place(self):
+        drive = _drive()
+        drive.load(TapeCartridge("A"))
+        assert drive.locate_time(5000, 5000) == 0.0
+
+    def test_estimate_unloaded_includes_load(self):
+        drive = _drive()
+        assert drive.estimate_latency(0) >= drive.load_time
+
+    def test_estimate_loaded_is_locate(self):
+        drive = _drive()
+        cart = TapeCartridge("A")
+        drive.load(cart)
+        assert drive.estimate_latency(0) == drive.locate_time(0, 0)
+
+    def test_read_beyond_cartridge_rejected(self):
+        drive = _drive()
+        drive.load(TapeCartridge("A", capacity=MB))
+        with pytest.raises(ValueError):
+            drive.read(0, 2 * MB)
+
+
+class TestAutochanger:
+    def _changer(self, drives=2, carts=4):
+        return Autochanger(
+            [TapeDevice(name=f"t{i}", rng=np.random.default_rng(i))
+             for i in range(drives)],
+            [TapeCartridge(f"VOL{i}") for i in range(carts)],
+            rng=np.random.default_rng(9))
+
+    def test_unknown_cartridge(self):
+        with pytest.raises(UnknownCartridgeError):
+            self._changer().cartridge("NOPE")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            Autochanger([_drive()], [TapeCartridge("A"), TapeCartridge("A")])
+
+    def test_needs_a_drive(self):
+        with pytest.raises(ValueError):
+            Autochanger([], [TapeCartridge("A")])
+
+    def test_mount_costs_exchange_plus_load(self):
+        changer = self._changer()
+        drive, seconds = changer.mount("VOL0")
+        assert seconds == changer.exchange_time + drive.load_time
+
+    def test_remount_is_free(self):
+        changer = self._changer()
+        changer.mount("VOL0")
+        _, seconds = changer.mount("VOL0")
+        assert seconds == 0.0
+
+    def test_lru_drive_eviction(self):
+        changer = self._changer(drives=2)
+        changer.mount("VOL0")
+        changer.mount("VOL1")
+        changer.mount("VOL0")  # touch VOL0
+        changer.mount("VOL2")  # must evict VOL1 (LRU)
+        assert set(changer.mounted_labels()) == {"VOL0", "VOL2"}
+
+    def test_eviction_pays_unload(self):
+        changer = self._changer(drives=1)
+        changer.mount("VOL0")
+        _, seconds = changer.mount("VOL1")
+        drive = changer.drives[0]
+        assert seconds == (drive.unload_time + changer.exchange_time
+                           + drive.load_time)
+
+    def test_access_reads_through(self):
+        changer = self._changer()
+        t = changer.access("VOL0", 0, MB)
+        assert t > MB / changer.drives[0].spec.bandwidth
+
+    def test_estimate_mounted_cheaper_than_shelved(self):
+        changer = self._changer()
+        changer.mount("VOL0")
+        assert (changer.estimate_latency("VOL0", 0)
+                < changer.estimate_latency("VOL3", 0))
+
+    def test_negative_exchange_rejected(self):
+        with pytest.raises(ValueError):
+            Autochanger([_drive()], [TapeCartridge("A")], exchange_time=-1)

@@ -1,0 +1,353 @@
+"""Tests for the future-work extensions: mmap path, page pinning,
+zone-aware SLEDs, and client/server SLEDs over NFS."""
+
+import numpy as np
+import pytest
+
+from repro.apps.grep import grep
+from repro.apps.wc import wc
+from repro.core.pick import (
+    sleds_pick_finish,
+    sleds_pick_init,
+    sleds_pick_next_read,
+)
+from repro.devices.disk import DiskDevice
+from repro.devices.network import SERVER_BLOCK, NfsDevice
+from repro.fs.filesystem import Ext2Like
+from repro.fs.nfs import NfsLike
+from repro.kernel.kernel import Kernel
+from repro.machine import Machine
+from repro.sim.errors import InvalidArgumentError
+from repro.sim.rng import RngStreams
+from repro.sim.units import KB, MB, PAGE_SIZE
+
+NEEDLE = b"XNEEDLEX"
+
+
+def _machine(cache_pages=64):
+    machine = Machine.unix_utilities(cache_pages=cache_pages, seed=301)
+    machine.boot()
+    return machine
+
+
+class TestMmap:
+    def test_mmap_reads_same_bytes_as_pread(self, ext2_file):
+        machine, path, _ = ext2_file
+        k = machine.kernel
+        fd = k.open(path)
+        region = k.mmap(fd)
+        assert region.read(5000, 200) == k.pread(fd, 5000, 200)
+        k.close(fd)
+
+    def test_mmap_faults_pages_like_read(self, ext2_file):
+        machine, path, size = ext2_file
+        k = machine.kernel
+        fd = k.open(path)
+        region = k.mmap(fd)
+        with k.process() as run:
+            region.read(0, size)
+        assert run.counters.pages_read == size // PAGE_SIZE
+        k.close(fd)
+
+    def test_mmap_cheaper_than_read_on_cached_data(self, ext2_file):
+        machine, path, size = ext2_file
+        k = machine.kernel
+        k.warm_file(path)
+        fd = k.open(path)
+        with k.process() as via_read:
+            pos = 0
+            while pos < size:
+                pos += len(k.pread(fd, pos, 64 * KB))
+        region = k.mmap(fd)
+        with k.process() as via_mmap:
+            pos = 0
+            while pos < size:
+                pos += len(region.read(pos, 64 * KB))
+        k.close(fd)
+        assert via_mmap.elapsed < via_read.elapsed
+
+    def test_mmap_size_and_bounds(self, ext2_file):
+        machine, path, size = ext2_file
+        k = machine.kernel
+        fd = k.open(path)
+        region = k.mmap(fd)
+        assert region.size == size
+        assert region.read(size - 10, 100) == k.pread(fd, size - 10, 10)
+        assert region.read(size + 5, 10) == b""
+        with pytest.raises(InvalidArgumentError):
+            region.read(-1, 10)
+        k.close(fd)
+
+    def test_wc_via_mmap_same_counts(self):
+        machine = _machine(cache_pages=32)
+        machine.ext2.create_text_file("f", 64 * PAGE_SIZE, seed=1)
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f")
+        plain = wc(k, "/mnt/ext2/f")
+        mapped = wc(k, "/mnt/ext2/f", use_sleds=True, via_mmap=True)
+        assert (plain.lines, plain.words, plain.chars) == \
+            (mapped.lines, mapped.words, mapped.chars)
+
+    def test_grep_via_mmap_same_matches_and_cheaper(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", 32 * PAGE_SIZE, seed=2,
+                                      plants={50_000: NEEDLE})
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f")
+        with k.process() as read_run:
+            via_read = grep(k, "/mnt/ext2/f", NEEDLE, use_sleds=True)
+        with k.process() as mmap_run:
+            via_mmap = grep(k, "/mnt/ext2/f", NEEDLE, use_sleds=True,
+                            via_mmap=True)
+        assert [(m.offset, m.line_number) for m in via_read.matches] == \
+            [(m.offset, m.line_number) for m in via_mmap.matches]
+        assert mmap_run.elapsed < read_run.elapsed
+
+
+class TestPinning:
+    def test_pin_requires_residency(self):
+        machine = _machine()
+        cache = machine.kernel.page_cache
+        assert cache.pin((1, 0)) is False
+        cache.insert((1, 0))
+        assert cache.pin((1, 0)) is True
+        assert cache.is_pinned((1, 0))
+
+    def test_pinned_page_survives_eviction_pressure(self):
+        from repro.cache.page_cache import PageCache
+        cache = PageCache(4)
+        cache.insert((1, 0))
+        cache.pin((1, 0))
+        for page in range(1, 10):
+            cache.insert((1, page))
+        assert (1, 0) in cache
+        assert cache.stats.forced_pinned_evictions == 0
+
+    def test_unpin_restores_evictability(self):
+        from repro.cache.page_cache import PageCache
+        cache = PageCache(2)
+        cache.insert((1, 0))
+        cache.pin((1, 0))
+        cache.unpin((1, 0))
+        cache.insert((1, 1))
+        cache.insert((1, 2))
+        assert (1, 0) not in cache
+
+    def test_pin_budget_enforced(self):
+        from repro.cache.page_cache import PageCache
+        cache = PageCache(10, max_pinned_fraction=0.5)
+        for page in range(10):
+            cache.insert((1, page))
+        pins = sum(cache.pin((1, page)) for page in range(10))
+        assert pins == 5
+
+    def test_forced_eviction_when_all_pinned(self):
+        from repro.cache.page_cache import PageCache
+        cache = PageCache(2, max_pinned_fraction=1.0)
+        cache.insert((1, 0))
+        cache.insert((1, 1))
+        cache.pin((1, 0))
+        cache.pin((1, 1))
+        cache.insert((1, 2))
+        assert cache.stats.forced_pinned_evictions == 1
+        assert len(cache) == 2
+
+    def test_invalidate_drops_pin(self):
+        from repro.cache.page_cache import PageCache
+        cache = PageCache(4)
+        cache.insert((1, 0))
+        cache.pin((1, 0))
+        cache.invalidate((1, 0))
+        assert cache.pinned_count == 0
+
+    def test_pick_session_pins_and_releases(self):
+        machine = _machine(cache_pages=32)
+        machine.ext2.create_text_file("f", 64 * PAGE_SIZE, seed=3)
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f")
+        fd = k.open("/mnt/ext2/f")
+        sleds_pick_init(k, fd, PAGE_SIZE, pin_cached=True)
+        assert k.page_cache.pinned_count > 0
+        sleds_pick_finish(k, fd)
+        assert k.page_cache.pinned_count == 0
+        k.close(fd)
+
+    def test_pins_release_as_chunks_are_consumed(self):
+        machine = _machine(cache_pages=32)
+        machine.ext2.create_text_file("f", 64 * PAGE_SIZE, seed=3)
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f")
+        fd = k.open("/mnt/ext2/f")
+        sleds_pick_init(k, fd, PAGE_SIZE, pin_cached=True)
+        initial = k.page_cache.pinned_count
+        for _ in range(5):
+            sleds_pick_next_read(k, fd)
+        assert k.page_cache.pinned_count < initial
+        sleds_pick_finish(k, fd)
+        k.close(fd)
+
+    def test_pinned_session_still_exactly_once(self):
+        machine = _machine(cache_pages=32)
+        size = 64 * PAGE_SIZE - 55
+        machine.ext2.create_text_file("f", size, seed=3)
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f")
+        fd = k.open("/mnt/ext2/f")
+        sleds_pick_init(k, fd, 3 * PAGE_SIZE, pin_cached=True)
+        chunks = []
+        while (advice := sleds_pick_next_read(k, fd)) is not None:
+            chunks.append(advice)
+        sleds_pick_finish(k, fd)
+        pos = 0
+        for offset, length in sorted(chunks):
+            assert offset == pos
+            pos += length
+        assert pos == size
+
+
+class TestZoneAwareSleds:
+    def _fs(self, zone_aware):
+        rng = RngStreams(55)
+        return Ext2Like(DiskDevice(name="zd", rng=rng.stream("zd")),
+                        zone_aware=zone_aware)
+
+    def test_zone_index_and_range(self):
+        disk = DiskDevice(rng=np.random.default_rng(1))
+        assert disk.zone_index(0) == 0
+        assert disk.zone_index(disk.capacity - 1) == len(disk.zones) - 1
+        for i in range(len(disk.zones)):
+            start, end = disk.zone_range(i)
+            assert start < end
+            assert disk.zone_index(start) == i
+        with pytest.raises(ValueError):
+            disk.zone_range(len(disk.zones))
+
+    def test_page_estimate_names_zone(self):
+        fs = self._fs(zone_aware=True)
+        inode = fs.create_file("f", 4 * PAGE_SIZE)
+        est = fs.page_estimate(inode, 0)
+        assert est.device_key == "ext2:z0"
+
+    def test_zone_unaware_single_key(self):
+        fs = self._fs(zone_aware=False)
+        assert list(fs.device_table()) == ["ext2"]
+
+    def test_characterization_jobs_cover_zones(self):
+        fs = self._fs(zone_aware=True)
+        jobs = fs.characterization_jobs()
+        assert len(jobs) == len(fs._disk().zones)
+        for key, (device, start, end) in jobs.items():
+            assert start < end <= device.capacity
+
+    def test_boot_measures_zone_gradient(self):
+        rng = RngStreams(56)
+        kernel = Kernel(cache_pages=64, rng=rng)
+        machine = Machine(kernel=kernel)
+        machine.mount("/", Ext2Like(DiskDevice(
+            name="root", rng=rng.stream("root")), name="rootfs"))
+        machine.mount("/mnt/ext2", self._fs(zone_aware=True))
+        entries = machine.boot()
+        bw = [entries[f"ext2:z{i}"][1] for i in range(3)]
+        assert bw[0] > bw[1] > bw[2]  # outer zones faster
+
+    def test_delivery_estimate_tracks_zone(self):
+        from repro.core.delivery import sleds_total_delivery_time_path
+        rng = RngStreams(57)
+        disk = DiskDevice(name="zd", rng=rng.stream("zd"))
+        kernel = Kernel(cache_pages=64, rng=rng)
+        machine = Machine(kernel=kernel)
+        machine.mount("/", Ext2Like(DiskDevice(
+            name="root", rng=rng.stream("root")), name="rootfs"))
+        fs = Ext2Like(disk, zone_aware=True)
+        machine.mount("/mnt/ext2", fs)
+        machine.boot()
+        fs.create_text_file("outer.txt", MB, seed=1)
+        fs._alloc.cursor = disk.zone_range(2)[0]
+        fs.create_text_file("inner.txt", MB, seed=2)
+        outer = sleds_total_delivery_time_path(kernel, "/mnt/ext2/outer.txt")
+        inner = sleds_total_delivery_time_path(kernel, "/mnt/ext2/inner.txt")
+        assert inner > outer  # inner zone is slower, estimate knows
+
+
+class TestServerSleds:
+    def test_server_cache_hit_cheaper_than_miss(self):
+        device = NfsDevice(server_cache_bytes=8 * MB,
+                           rng=np.random.default_rng(1))
+        addr = 512 * MB
+        device.warm_server_cache(addr, SERVER_BLOCK)
+        hit = device.read(addr, SERVER_BLOCK)
+        device.reset_state()
+        miss = device.read(1024 * MB, SERVER_BLOCK)
+        assert hit < miss
+
+    def test_server_cache_lru(self):
+        device = NfsDevice(server_cache_bytes=2 * SERVER_BLOCK,
+                           rng=np.random.default_rng(1))
+        device.warm_server_cache(0, SERVER_BLOCK)
+        device.warm_server_cache(10 * SERVER_BLOCK, SERVER_BLOCK)
+        device.warm_server_cache(20 * SERVER_BLOCK, SERVER_BLOCK)
+        assert not device.server_cached(0, SERVER_BLOCK)
+        assert device.server_cached(20 * SERVER_BLOCK, SERVER_BLOCK)
+
+    def test_disabled_cache_reports_cold(self):
+        device = NfsDevice(rng=np.random.default_rng(1))
+        device.warm_server_cache(0, SERVER_BLOCK)
+        assert not device.server_cached(0, SERVER_BLOCK)
+
+    def test_page_estimate_reports_warm_level(self):
+        rng = RngStreams(58)
+        device = NfsDevice(server_cache_bytes=8 * MB,
+                           rng=rng.stream("nfs"))
+        fs = NfsLike(device, server_sleds=True)
+        inode = fs.create_text_file("f.txt", 8 * PAGE_SIZE, seed=1)
+        assert fs.page_estimate(inode, 0).device_key == "nfs"
+        base = inode.extent_map.addr_of(0)
+        device.warm_server_cache(base, 8 * PAGE_SIZE)
+        assert fs.page_estimate(inode, 0).device_key == "nfs-warm"
+
+    def test_static_levels_declared_only_when_enabled(self):
+        device = NfsDevice(server_cache_bytes=8 * MB,
+                           rng=np.random.default_rng(2))
+        assert NfsLike(device).static_levels() == {}
+        warm = NfsLike(device, server_sleds=True).static_levels()
+        assert "nfs-warm" in warm
+        latency, bandwidth = warm["nfs-warm"]
+        assert latency < device.spec.latency
+        assert bandwidth == device.link_bandwidth
+
+
+class TestNewExperiments:
+    def test_extD_zone_accuracy(self):
+        from repro.bench.ablations import run_extD
+        from repro.bench.workloads import BenchConfig
+        result = run_extD(BenchConfig(scale=64, runs=2, noise=0.0))
+        errors = {(row[0], row[1]): row[4] for row in result.rows}
+        # per-zone entries must improve the inner-zone estimate
+        assert errors[("per-zone", "inner")] < errors[("per-device", "inner")]
+
+    def test_extE_server_sleds(self):
+        from repro.bench.ablations import run_extE
+        from repro.bench.workloads import BenchConfig
+        result = run_extE(BenchConfig(scale=64, runs=2, noise=0.0),
+                          paper_mb=64, trials=4)
+        times = dict(zip(result.column("mode"),
+                         result.column("time s (paper-eq)")))
+        assert times["server SLEDs"] < times["client-only SLEDs"]
+
+    def test_abl_mmap_recovers_overhead(self):
+        from repro.bench.ablations import run_abl_mmap
+        from repro.bench.workloads import BenchConfig
+        result = run_abl_mmap(BenchConfig(scale=64, runs=2, noise=0.0),
+                              sizes_mb=(24,))
+        row = result.rows[0]
+        plain, via_read, via_mmap = row[1], row[2], row[3]
+        assert via_mmap < via_read  # mmap cheaper than read()-based SLEDs
+
+    def test_abl_pin_reduces_device_traffic(self):
+        from repro.bench.ablations import run_abl_pin
+        from repro.bench.workloads import BenchConfig
+        result = run_abl_pin(BenchConfig(scale=64, runs=3, noise=0.0),
+                             paper_mb=64)
+        pages = dict(zip(result.column("pinning"),
+                         result.column("device pages")))
+        assert pages["pinned"] < pages["unpinned"]

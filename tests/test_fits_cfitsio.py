@@ -1,0 +1,180 @@
+"""Tests for the cfitsio-like layer over the simulated syscall interface."""
+
+import numpy as np
+import pytest
+
+from repro.fits.cfitsio import (
+    append_bintable,
+    create_image,
+    open_image,
+    read_bintable,
+    read_elements,
+)
+from repro.fits.format import BinTableHDU, FitsFormatError
+from repro.machine import Machine
+
+
+def _machine():
+    machine = Machine.lheasoft(cache_pages=256, seed=101)
+    machine.boot()
+    return machine
+
+
+def _image(shape=(32, 64), dtype=np.int16, seed=0):
+    rng = np.random.default_rng(seed)
+    if np.issubdtype(np.dtype(dtype), np.integer):
+        return rng.integers(0, 1000, size=shape).astype(dtype)
+    return rng.normal(size=shape).astype(dtype)
+
+
+class TestImageRoundtrip:
+    @pytest.mark.parametrize("dtype", [np.int16, np.int32, np.float32,
+                                       np.float64, np.uint8])
+    def test_roundtrip_dtypes(self, dtype):
+        machine = _machine()
+        image = _image(dtype=dtype)
+        create_image(machine.kernel, "/mnt/ext2/img.fits", image)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/img.fits")
+        info = open_image(k, fd, "img.fits")
+        assert info.shape == [64, 32]
+        back = read_elements(k, fd, info, 0, info.element_count)
+        k.close(fd)
+        assert np.array_equal(back.reshape(32, 64), image)
+
+    def test_partial_element_reads(self):
+        machine = _machine()
+        image = _image()
+        create_image(machine.kernel, "/mnt/ext2/img.fits", image)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/img.fits")
+        info = open_image(k, fd, "img.fits")
+        flat = image.reshape(-1)
+        chunk = read_elements(k, fd, info, 100, 50)
+        assert np.array_equal(chunk, flat[100:150])
+        k.close(fd)
+
+    def test_out_of_range_elements_rejected(self):
+        machine = _machine()
+        create_image(machine.kernel, "/mnt/ext2/img.fits", _image())
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/img.fits")
+        info = open_image(k, fd, "img.fits")
+        with pytest.raises(FitsFormatError):
+            read_elements(k, fd, info, info.element_count - 1, 2)
+        k.close(fd)
+
+    def test_non_fits_rejected(self):
+        machine = _machine()
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/junk", "w")
+        k.write(fd, b"not a fits file" * 400)
+        k.close(fd)
+        fd = k.open("/mnt/ext2/junk")
+        with pytest.raises(FitsFormatError):
+            open_image(k, fd, "junk")
+        k.close(fd)
+
+    def test_truncated_header_rejected(self):
+        machine = _machine()
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/tiny", "w")
+        k.write(fd, b"SIMPLE")
+        k.close(fd)
+        fd = k.open("/mnt/ext2/tiny")
+        with pytest.raises(FitsFormatError):
+            open_image(k, fd, "tiny")
+        k.close(fd)
+
+
+class TestBinTableAppend:
+    def test_append_and_read_back(self):
+        machine = _machine()
+        create_image(machine.kernel, "/mnt/ext2/img.fits", _image())
+        counts = np.arange(16, dtype=">i4")
+        append_bintable(machine.kernel, "/mnt/ext2/img.fits",
+                        BinTableHDU(columns={"COUNTS": counts}))
+        table = read_bintable(machine.kernel, "/mnt/ext2/img.fits", 1)
+        assert np.array_equal(table.columns["COUNTS"], np.arange(16))
+
+    def test_primary_image_intact_after_append(self):
+        machine = _machine()
+        image = _image(seed=3)
+        create_image(machine.kernel, "/mnt/ext2/img.fits", image)
+        append_bintable(machine.kernel, "/mnt/ext2/img.fits",
+                        BinTableHDU(columns={"C": np.zeros(4, dtype=">i4")}))
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/img.fits")
+        info = open_image(k, fd, "img.fits")
+        back = read_elements(k, fd, info, 0, info.element_count)
+        k.close(fd)
+        assert np.array_equal(back.reshape(image.shape), image)
+
+    def test_missing_hdu_rejected(self):
+        machine = _machine()
+        create_image(machine.kernel, "/mnt/ext2/img.fits", _image())
+        with pytest.raises(FitsFormatError):
+            read_bintable(machine.kernel, "/mnt/ext2/img.fits", 1)
+
+
+class TestBscaleBzero:
+    def test_scaled_reads_return_physical_values(self):
+        machine = _machine()
+        raw = np.array([[0, 100], [200, 300]], dtype=np.int16)
+        create_image(machine.kernel, "/mnt/ext2/sc.fits", raw,
+                     bscale=0.5, bzero=10.0)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/sc.fits")
+        info = open_image(k, fd, "sc.fits")
+        assert info.scaled
+        physical = read_elements(k, fd, info, 0, 4)
+        assert np.allclose(physical, raw.reshape(-1) * 0.5 + 10.0)
+        rawback = read_elements(k, fd, info, 0, 4, apply_scaling=False)
+        assert np.array_equal(rawback, raw.reshape(-1))
+        k.close(fd)
+
+    def test_unscaled_files_untouched(self):
+        machine = _machine()
+        raw = np.arange(8, dtype=np.int16).reshape(2, 4)
+        create_image(machine.kernel, "/mnt/ext2/plain.fits", raw)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/plain.fits")
+        info = open_image(k, fd, "plain.fits")
+        assert not info.scaled
+        assert read_elements(k, fd, info, 0, 8).dtype == np.int16
+        k.close(fd)
+
+    def test_fimhisto_bins_physical_values(self):
+        from repro.lhea.fimhisto import fimhisto
+        machine = _machine()
+        raw = np.full((16, 16), 100, dtype=np.int16)
+        raw[:8] = 0
+        create_image(machine.kernel, "/mnt/ext2/sch.fits", raw,
+                     bscale=2.0, bzero=1.0)
+        result = fimhisto(machine.kernel, "/mnt/ext2/sch.fits",
+                          "/mnt/ext2/scho.fits", nbins=4)
+        # physical range is [1, 201], not the raw [0, 100]
+        assert result.data_min == 1.0
+        assert result.data_max == 201.0
+        assert result.counts.sum() == raw.size
+
+    def test_fimgbin_preserves_scaling_cards(self):
+        from repro.lhea.fimgbin import fimgbin
+        machine = _machine()
+        rng = np.random.default_rng(1)
+        raw = rng.integers(0, 100, size=(16, 16), dtype=np.int16)
+        create_image(machine.kernel, "/mnt/ext2/scb.fits", raw,
+                     bscale=0.25, bzero=5.0)
+        fimgbin(machine.kernel, "/mnt/ext2/scb.fits",
+                "/mnt/ext2/scbo.fits", factor=4)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/scbo.fits")
+        info = open_image(k, fd, "scbo.fits")
+        assert info.bscale == 0.25
+        assert info.bzero == 5.0
+        # physical mean of the output equals the physical mean of the input
+        physical = read_elements(k, fd, info, 0, info.element_count)
+        expected = raw.astype(float).reshape(8, 2, 8, 2).mean(axis=(1, 3))
+        expected_physical = np.rint(expected).astype(np.int16) * 0.25 + 5.0
+        assert np.allclose(physical.reshape(8, 8), expected_physical)
+        k.close(fd)

@@ -1,0 +1,168 @@
+"""Unit and property tests for the FITS encoder/decoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fits.format import (
+    BLOCK_SIZE,
+    BinTableHDU,
+    Card,
+    FitsFormatError,
+    FitsHeader,
+    ImageHDU,
+    image_params,
+    padded,
+)
+
+
+class TestCard:
+    def test_card_is_80_bytes(self):
+        assert len(Card("SIMPLE", True).to_bytes()) == 80
+
+    @pytest.mark.parametrize("value", [True, False, 42, -7, 3.5, "hello"])
+    def test_value_roundtrip(self, value):
+        card = Card("KEY", value)
+        parsed = Card.from_bytes(card.to_bytes())
+        assert parsed.keyword == "KEY"
+        assert parsed.value == value
+
+    def test_comment_roundtrip(self):
+        card = Card("KEY", 1, "a comment")
+        parsed = Card.from_bytes(card.to_bytes())
+        assert parsed.comment == "a comment"
+
+    def test_string_with_quote(self):
+        card = Card("KEY", "it's")
+        assert Card.from_bytes(card.to_bytes()).value == "it's"
+
+    def test_long_keyword_rejected(self):
+        with pytest.raises(FitsFormatError):
+            Card("TOOLONGKEY", 1).to_bytes()
+
+    def test_wrong_size_rejected(self):
+        with pytest.raises(FitsFormatError):
+            Card.from_bytes(b"short")
+
+    @given(st.integers(-10**15, 10**15))
+    @settings(max_examples=50, deadline=None)
+    def test_integer_roundtrip_property(self, value):
+        assert Card.from_bytes(Card("K", value).to_bytes()).value == value
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32,
+                                          max_codepoint=126),
+                   max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_string_roundtrip_property(self, text):
+        parsed = Card.from_bytes(Card("K", text).to_bytes())
+        assert parsed.value == text.rstrip()
+
+
+class TestHeader:
+    def test_block_aligned(self):
+        header = FitsHeader([Card("SIMPLE", True), Card("BITPIX", 16)])
+        raw = header.to_bytes()
+        assert len(raw) % BLOCK_SIZE == 0
+
+    def test_roundtrip(self):
+        header = FitsHeader([Card("SIMPLE", True), Card("BITPIX", 16),
+                             Card("NAXIS", 2), Card("NAXIS1", 100),
+                             Card("NAXIS2", 50)])
+        parsed, consumed = FitsHeader.from_bytes(header.to_bytes())
+        assert consumed == len(header.to_bytes())
+        assert parsed["BITPIX"] == 16
+        assert parsed["NAXIS2"] == 50
+
+    def test_missing_end_detected(self):
+        with pytest.raises(FitsFormatError):
+            FitsHeader.from_bytes(b" " * BLOCK_SIZE)
+
+    def test_get_set(self):
+        header = FitsHeader()
+        header.set("BITPIX", 16)
+        header.set("BITPIX", 32)  # replaces
+        assert header["BITPIX"] == 32
+        assert header.get("MISSING", "dflt") == "dflt"
+        assert "BITPIX" in header
+        with pytest.raises(KeyError):
+            header["MISSING"]
+
+    def test_many_cards_multiple_blocks(self):
+        header = FitsHeader([Card(f"K{i:06d}"[:8], i) for i in range(50)])
+        raw = header.to_bytes()
+        assert len(raw) == 2 * BLOCK_SIZE
+        parsed, _ = FitsHeader.from_bytes(raw)
+        assert len(parsed.cards) == 50
+
+
+class TestImageHDU:
+    def test_standard_cards_generated(self):
+        data = np.zeros((4, 8), dtype=np.int16)
+        hdu = ImageHDU(data)
+        assert hdu.header["SIMPLE"] is True
+        assert hdu.header["BITPIX"] == 16
+        assert hdu.header["NAXIS"] == 2
+        assert hdu.header["NAXIS1"] == 8  # fastest axis = width
+        assert hdu.header["NAXIS2"] == 4
+
+    def test_serialised_size_padded(self):
+        data = np.zeros((10, 10), dtype=np.int16)
+        blob = ImageHDU(data).to_bytes()
+        assert len(blob) % BLOCK_SIZE == 0
+
+    def test_data_is_big_endian(self):
+        data = np.array([[256]], dtype=np.int16)
+        blob = ImageHDU(data).to_bytes()
+        payload = blob[BLOCK_SIZE:BLOCK_SIZE + 2]
+        assert payload == b"\x01\x00"
+
+    def test_image_params(self):
+        hdu = ImageHDU(np.zeros((4, 8), dtype=np.float32))
+        bitpix, axes, nbytes = image_params(hdu.header)
+        assert bitpix == -32
+        assert axes == [8, 4]
+        assert nbytes == 4 * 8 * 4
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(FitsFormatError):
+            ImageHDU(np.zeros(4, dtype=np.complex64))
+
+
+class TestBinTable:
+    def test_roundtrip(self):
+        table = BinTableHDU(columns={
+            "COUNTS": np.arange(10, dtype=">i4"),
+            "VALUE": np.linspace(0, 1, 10).astype(">f8"),
+        })
+        blob = table.to_bytes()
+        header, consumed = FitsHeader.from_bytes(blob)
+        parsed = BinTableHDU.parse(header, blob[consumed:])
+        assert np.array_equal(parsed.columns["COUNTS"], np.arange(10))
+        assert np.allclose(parsed.columns["VALUE"], np.linspace(0, 1, 10))
+
+    def test_header_describes_layout(self):
+        table = BinTableHDU(columns={"A": np.zeros(5, dtype=">i2")})
+        header, _ = FitsHeader.from_bytes(table.to_bytes())
+        assert header["XTENSION"] == "BINTABLE"
+        assert header["TFIELDS"] == 1
+        assert header["NAXIS1"] == 2
+        assert header["NAXIS2"] == 5
+        assert header["TTYPE1"] == "A"
+
+    def test_unequal_columns_rejected(self):
+        with pytest.raises(FitsFormatError):
+            BinTableHDU(columns={"A": np.zeros(5), "B": np.zeros(6)})
+
+    def test_empty_rejected(self):
+        with pytest.raises(FitsFormatError):
+            BinTableHDU(columns={})
+
+
+class TestPadded:
+    @given(st.integers(0, 10 * BLOCK_SIZE))
+    @settings(max_examples=50, deadline=None)
+    def test_padded_properties(self, nbytes):
+        out = padded(nbytes)
+        assert out % BLOCK_SIZE == 0
+        assert 0 <= out - nbytes < BLOCK_SIZE

@@ -1,0 +1,156 @@
+"""Unit tests for the filesystem types (ext2-like, ISO9660-like, NFS-like)."""
+
+import numpy as np
+import pytest
+
+from repro.devices.cdrom import CdromDevice
+from repro.devices.disk import DiskDevice
+from repro.devices.network import NfsDevice
+from repro.fs.filesystem import Ext2Like, Iso9660Like, split_path
+from repro.fs.nfs import NfsLike
+from repro.sim.errors import (
+    FileExistsSimError,
+    FileNotFoundSimError,
+    InvalidArgumentError,
+    NotADirectorySimError,
+)
+from repro.sim.units import MB, PAGE_SIZE
+
+
+def _ext2():
+    return Ext2Like(DiskDevice(rng=np.random.default_rng(1)))
+
+
+class TestSplitPath:
+    def test_basic(self):
+        assert split_path("/a/b/c") == ["a", "b", "c"]
+
+    def test_ignores_empty_components(self):
+        assert split_path("//a///b/") == ["a", "b"]
+
+    def test_root(self):
+        assert split_path("/") == []
+
+
+class TestNamespace:
+    def test_create_and_resolve(self):
+        fs = _ext2()
+        inode = fs.create_file("dir/sub/file.txt", size=100)
+        assert fs.resolve(["dir", "sub", "file.txt"]) is inode
+
+    def test_create_without_dirs_fails(self):
+        fs = _ext2()
+        with pytest.raises(FileNotFoundSimError):
+            fs.create_file("missing/file.txt", 10, create_dirs=False)
+
+    def test_duplicate_create_rejected(self):
+        fs = _ext2()
+        fs.create_file("a.txt", 10)
+        with pytest.raises(FileExistsSimError):
+            fs.create_file("a.txt", 10)
+
+    def test_resolve_missing_raises(self):
+        with pytest.raises(FileNotFoundSimError):
+            _ext2().resolve(["nope"])
+
+    def test_resolve_through_file_raises(self):
+        fs = _ext2()
+        fs.create_file("a.txt", 10)
+        with pytest.raises(NotADirectorySimError):
+            fs.resolve(["a.txt", "child"])
+
+    def test_mkdir_idempotent(self):
+        fs = _ext2()
+        d1 = fs.mkdir("x/y")
+        d2 = fs.mkdir("x/y")
+        assert d1 is d2
+
+    def test_mkdir_over_file_rejected(self):
+        fs = _ext2()
+        fs.create_file("x", 1)
+        with pytest.raises(FileExistsSimError):
+            fs.mkdir("x")
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(InvalidArgumentError):
+            _ext2().create_file("", 10)
+
+    def test_create_text_file_has_content(self):
+        fs = _ext2()
+        inode = fs.create_text_file("t.txt", 10_000, seed=3)
+        assert len(inode.content.read(0, 100)) == 100
+
+
+class TestPageIo:
+    def test_read_pages_charges_device_time(self):
+        fs = _ext2()
+        inode = fs.create_file("f", 64 * PAGE_SIZE)
+        seconds = fs.read_pages(inode, 0, 64)
+        assert seconds > 0
+        assert fs.device.stats.reads >= 1
+
+    def test_contiguous_pages_batched_into_one_access(self):
+        fs = _ext2()
+        inode = fs.create_file("f", 64 * PAGE_SIZE)
+        before = fs.device.stats.reads
+        fs.read_pages(inode, 0, 64)
+        assert fs.device.stats.reads == before + 1
+
+    def test_zero_pages_is_free(self):
+        fs = _ext2()
+        inode = fs.create_file("f", PAGE_SIZE)
+        assert fs.read_pages(inode, 0, 0) == 0.0
+
+    def test_grow_file_extends_layout(self):
+        fs = _ext2()
+        inode = fs.create_file("f", PAGE_SIZE)
+        fs.grow_file(inode, 5 * PAGE_SIZE)
+        assert inode.size == 5 * PAGE_SIZE
+        assert inode.extent_map.npages == 5
+
+    def test_grow_file_cannot_shrink(self):
+        fs = _ext2()
+        inode = fs.create_file("f", 2 * PAGE_SIZE)
+        with pytest.raises(InvalidArgumentError):
+            fs.grow_file(inode, PAGE_SIZE)
+
+    def test_write_pages_charges_time(self):
+        fs = _ext2()
+        inode = fs.create_file("f", 8 * PAGE_SIZE)
+        assert fs.write_pages(inode, 0, 8) > 0
+
+
+class TestPageEstimate:
+    def test_default_estimate_names_the_fs(self):
+        fs = _ext2()
+        inode = fs.create_file("f", PAGE_SIZE)
+        est = fs.page_estimate(inode, 0)
+        assert est.device_key == fs.name
+        assert est.latency is None and est.bandwidth is None
+
+    def test_device_table_keys_match_estimates(self):
+        fs = _ext2()
+        inode = fs.create_file("f", PAGE_SIZE)
+        key = fs.page_estimate(inode, 0).device_key
+        assert key in fs.device_table()
+
+
+class TestIso9660:
+    def test_read_only_flag(self):
+        fs = Iso9660Like(CdromDevice(rng=np.random.default_rng(2)))
+        assert fs.read_only
+
+    def test_mastering_still_allowed(self):
+        fs = Iso9660Like(CdromDevice(rng=np.random.default_rng(2)))
+        inode = fs.create_file("disc/file.dat", MB)
+        assert inode.size == MB
+
+
+class TestNfsLike:
+    def test_stat_costs_a_round_trip(self):
+        fs = NfsLike(NfsDevice(rng=np.random.default_rng(3)))
+        device = fs.device
+        assert fs.stat_cost() == device.rtt + device.request_overhead
+
+    def test_local_fs_stat_is_free(self):
+        assert _ext2().stat_cost() == 0.0

@@ -1,0 +1,162 @@
+"""Unit tests for the HSM filesystem: staging, estimates, migration."""
+
+import numpy as np
+import pytest
+
+from repro.devices.autochanger import Autochanger
+from repro.devices.disk import DiskDevice
+from repro.devices.tape import TapeCartridge, TapeDevice
+from repro.fs.hsmfs import HsmFs
+from repro.hsm.migration import MigrationDaemon
+from repro.sim.errors import InvalidArgumentError, NoSpaceError
+from repro.sim.units import MB, PAGE_SIZE
+
+
+def _hsm(stage_pages=64):
+    rng = np.random.default_rng(5)
+    changer = Autochanger(
+        [TapeDevice(name="t0", rng=rng), TapeDevice(name="t1", rng=rng)],
+        [TapeCartridge("VOL0"), TapeCartridge("VOL1")],
+        rng=rng)
+    return HsmFs(changer, stage_device=DiskDevice(name="stage", rng=rng),
+                 stage_pages=stage_pages)
+
+
+class TestPlacement:
+    def test_create_tape_file(self):
+        fs = _hsm()
+        inode = fs.create_tape_file("a/f.dat", MB, "VOL0")
+        state = fs.state_of(inode)
+        assert state.cartridge_label == "VOL0"
+        assert state.tape_addr == 0
+
+    def test_sequential_tape_layout(self):
+        fs = _hsm()
+        fs.create_tape_file("f1", MB, "VOL0")
+        inode2 = fs.create_tape_file("f2", MB, "VOL0")
+        assert fs.state_of(inode2).tape_addr == MB
+
+    def test_unplaced_inode_rejected(self):
+        fs = _hsm()
+        inode = fs.create_file("plain", MB)
+        with pytest.raises(InvalidArgumentError):
+            fs.state_of(inode)
+
+    def test_cartridge_capacity_enforced(self):
+        fs = _hsm()
+        small = TapeCartridge("TINY", capacity=MB)
+        fs.autochanger.shelf["TINY"] = small
+        fs._tape_cursor["TINY"] = 0
+        fs.create_tape_file("ok", MB, "TINY")
+        with pytest.raises(NoSpaceError):
+            fs.create_tape_file("over", MB, "TINY")
+
+
+class TestStaging:
+    def test_read_stages_pages(self):
+        fs = _hsm()
+        inode = fs.create_tape_file("f", 8 * PAGE_SIZE, "VOL0")
+        assert fs.staged_count(inode) == 0
+        fs.read_pages(inode, 0, 8)
+        assert fs.staged_count(inode) == 8
+
+    def test_staged_read_avoids_tape(self):
+        fs = _hsm()
+        inode = fs.create_tape_file("f", 8 * PAGE_SIZE, "VOL0")
+        fs.read_pages(inode, 0, 8)
+        tape_reads = sum(d.stats.reads for d in fs.autochanger.drives)
+        fs.read_pages(inode, 0, 8)
+        assert sum(d.stats.reads
+                   for d in fs.autochanger.drives) == tape_reads
+
+    def test_stage_lru_eviction(self):
+        fs = _hsm(stage_pages=4)
+        inode = fs.create_tape_file("f", 8 * PAGE_SIZE, "VOL0")
+        fs.read_pages(inode, 0, 8)
+        assert fs.staged_count(inode) == 4
+        assert fs.is_staged(inode, 7)
+        assert not fs.is_staged(inode, 0)
+
+    def test_write_lands_in_stage(self):
+        fs = _hsm()
+        inode = fs.create_tape_file("f", 4 * PAGE_SIZE, "VOL0")
+        fs.write_pages(inode, 0, 2)
+        assert fs.is_staged(inode, 0)
+        assert not fs.is_staged(inode, 3)
+
+    def test_evict_staged(self):
+        fs = _hsm()
+        inode = fs.create_tape_file("f", 4 * PAGE_SIZE, "VOL0")
+        fs.read_pages(inode, 0, 4)
+        assert fs.evict_staged(inode) == 4
+        assert fs.staged_count(inode) == 0
+
+
+class TestEstimates:
+    def test_staged_page_is_disk_level(self):
+        fs = _hsm()
+        inode = fs.create_tape_file("f", 4 * PAGE_SIZE, "VOL0")
+        fs.read_pages(inode, 0, 1)
+        assert fs.page_estimate(inode, 0).device_key == "hsm-disk"
+
+    def test_unstaged_shelved_is_expensive(self):
+        fs = _hsm()
+        inode = fs.create_tape_file("f", 4 * PAGE_SIZE, "VOL0")
+        est = fs.page_estimate(inode, 0)
+        assert est.device_key == "hsm-tape-shelved"
+        assert est.latency >= fs.autochanger.drives[0].load_time
+
+    def test_mounted_cheaper_than_shelved(self):
+        fs = _hsm()
+        inode = fs.create_tape_file("f", 8 * PAGE_SIZE, "VOL0")
+        shelved = fs.page_estimate(inode, 4).latency
+        fs.read_pages(inode, 0, 1)  # mounts VOL0
+        est = fs.page_estimate(inode, 4)
+        assert est.device_key == "hsm-tape-mounted"
+        assert est.latency < shelved
+
+    def test_estimates_coalesce_per_region(self):
+        """Adjacent unstaged pages must share one latency estimate, or the
+        SLED vector fragments into per-page tape locates."""
+        fs = _hsm()
+        inode = fs.create_tape_file("f", 16 * PAGE_SIZE, "VOL0")
+        estimates = {fs.page_estimate(inode, p).latency for p in range(16)}
+        assert len(estimates) == 1
+
+    def test_device_table_has_all_levels(self):
+        table = _hsm().device_table()
+        assert {"hsm-disk", "hsm-tape-mounted",
+                "hsm-tape-shelved"} <= set(table)
+
+
+class TestMigration:
+    def test_migrate_to_tape_clears_stage(self):
+        fs = _hsm()
+        inode = fs.create_tape_file("f", 4 * PAGE_SIZE, "VOL0")
+        fs.read_pages(inode, 0, 4)
+        seconds = fs.migrate_to_tape(inode)
+        assert seconds > 0
+        assert fs.staged_count(inode) == 0
+
+    def test_daemon_sweeps_cold_files(self):
+        fs = _hsm()
+        inode = fs.create_tape_file("dir/cold.dat", 4 * PAGE_SIZE, "VOL0")
+        fs.read_pages(inode, 0, 4)
+        inode.atime = 0.0
+        daemon = MigrationDaemon(fs, cold_after=100.0)
+        report = daemon.sweep(now=1000.0)
+        assert report.migrated == ["/dir/cold.dat"]
+        assert fs.staged_count(inode) == 0
+
+    def test_daemon_spares_hot_files(self):
+        fs = _hsm()
+        inode = fs.create_tape_file("hot.dat", 4 * PAGE_SIZE, "VOL0")
+        fs.read_pages(inode, 0, 4)
+        inode.atime = 990.0
+        daemon = MigrationDaemon(fs, cold_after=100.0)
+        assert daemon.sweep(now=1000.0).migrated == []
+        assert fs.staged_count(inode) == 4
+
+    def test_daemon_bad_threshold(self):
+        with pytest.raises(ValueError):
+            MigrationDaemon(_hsm(), cold_after=-1)

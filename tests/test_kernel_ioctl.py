@@ -1,0 +1,105 @@
+"""Tests for the FSLEDS_FILL / FSLEDS_GET ioctls."""
+
+import pytest
+
+from repro.core.sled import SledVector
+from repro.kernel.ioctl import FSLEDS_FILL, FSLEDS_GET, UnknownIoctlError
+from repro.machine import Machine
+from repro.sim.errors import InvalidArgumentError
+from repro.sim.units import MB, PAGE_SIZE
+
+
+def _machine():
+    machine = Machine.unix_utilities(cache_pages=128, seed=11)
+    return machine
+
+
+class TestFsledsFill:
+    def test_fill_installs_levels(self):
+        machine = _machine()
+        machine.kernel.ioctl(-1, FSLEDS_FILL,
+                             {"memory": (1e-7, 50 * MB),
+                              "ext2": (0.018, 9 * MB)})
+        assert "ext2" in machine.kernel.sleds_table
+        assert machine.kernel.sleds_table.memory.bandwidth == 50 * MB
+
+    def test_fill_requires_dict(self):
+        with pytest.raises(InvalidArgumentError):
+            _machine().kernel.ioctl(-1, FSLEDS_FILL, "nope")
+
+    def test_boot_fills_every_mounted_level(self):
+        machine = _machine()
+        entries = machine.boot()
+        for key in entries:
+            assert key in machine.kernel.sleds_table
+
+
+class TestFsledsGet:
+    def test_get_returns_validated_vector(self):
+        machine = _machine()
+        machine.boot()
+        machine.ext2.create_text_file("f.txt", 300_000, seed=2)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/f.txt")
+        vector = k.ioctl(fd, FSLEDS_GET)
+        assert isinstance(vector, SledVector)
+        assert vector.file_size == 300_000
+        k.close(fd)
+
+    def test_get_without_boot_fails(self):
+        machine = _machine()  # no boot: sleds table empty
+        machine.ext2.create_text_file("f.txt", PAGE_SIZE, seed=2)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/f.txt")
+        with pytest.raises(KeyError):
+            k.ioctl(fd, FSLEDS_GET)
+
+    def test_get_reflects_cache_state(self):
+        machine = _machine()
+        machine.boot()
+        machine.ext2.create_text_file("f.txt", 64 * PAGE_SIZE, seed=2)
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/f.txt")
+        cold = k.get_sleds(fd)
+        k.warm_file("/mnt/ext2/f.txt")
+        warm = k.get_sleds(fd)
+        memory_latency = k.sleds_table.memory.latency
+        assert all(s.latency > memory_latency for s in cold)
+        assert all(s.latency == memory_latency for s in warm)
+        k.close(fd)
+
+    def test_get_on_closed_fd(self):
+        from repro.sim.errors import BadFileDescriptorError
+        machine = _machine()
+        machine.boot()
+        with pytest.raises(BadFileDescriptorError):
+            machine.kernel.ioctl(77, FSLEDS_GET)
+
+    def test_get_does_not_perturb_cache(self):
+        machine = _machine()
+        machine.boot()
+        machine.ext2.create_text_file("f.txt", 64 * PAGE_SIZE, seed=2)
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f.txt")
+        hits_before = k.page_cache.stats.hits
+        misses_before = k.page_cache.stats.misses
+        fd = k.open("/mnt/ext2/f.txt")
+        k.get_sleds(fd)
+        k.close(fd)
+        assert k.page_cache.stats.hits == hits_before
+        assert k.page_cache.stats.misses == misses_before
+
+    def test_unknown_ioctl(self):
+        machine = _machine()
+        with pytest.raises(UnknownIoctlError):
+            machine.kernel.ioctl(-1, 0x9999)
+
+    def test_empty_file_vector(self):
+        machine = _machine()
+        machine.boot()
+        k = machine.kernel
+        fd = k.open("/mnt/ext2/empty.txt", "w")
+        vector = k.get_sleds(fd)
+        assert len(vector) == 0
+        assert vector.file_size == 0
+        k.close(fd)

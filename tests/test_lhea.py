@@ -1,0 +1,165 @@
+"""Tests for the LHEASOFT ports: fimhisto and fimgbin."""
+
+import numpy as np
+import pytest
+
+from repro.fits.cfitsio import create_image, open_image, read_bintable, read_elements
+from repro.lhea.fimgbin import fimgbin
+from repro.lhea.fimhisto import fimhisto
+from repro.machine import Machine
+from repro.sim.errors import InvalidArgumentError
+
+
+def _machine(cache_pages=256):
+    machine = Machine.lheasoft(cache_pages=cache_pages, seed=111)
+    machine.boot()
+    return machine
+
+
+def _make_image(machine, shape=(64, 128), seed=0, path="/mnt/ext2/in.fits"):
+    rng = np.random.default_rng(seed)
+    image = rng.integers(0, 4096, size=shape, dtype=np.int16)
+    create_image(machine.kernel, path, image)
+    return image
+
+
+def _read_image(machine, path):
+    k = machine.kernel
+    fd = k.open(path)
+    info = open_image(k, fd, path)
+    data = read_elements(k, fd, info, 0, info.element_count)
+    k.close(fd)
+    width, height = info.shape
+    return data.reshape(height, width)
+
+
+class TestFimhisto:
+    def test_histogram_matches_numpy(self):
+        machine = _machine()
+        image = _make_image(machine)
+        result = fimhisto(machine.kernel, "/mnt/ext2/in.fits",
+                          "/mnt/ext2/out.fits", nbins=32)
+        expected, _ = np.histogram(
+            image.astype(float),
+            bins=np.linspace(image.min(), image.max(), 33))
+        assert np.array_equal(result.counts, expected)
+        assert result.counts.sum() == image.size
+
+    def test_sleds_mode_identical_histogram(self):
+        machine = _machine(cache_pages=32)
+        _make_image(machine, shape=(128, 128))
+        k = machine.kernel
+        plain = fimhisto(k, "/mnt/ext2/in.fits", "/mnt/ext2/o1.fits")
+        sleds = fimhisto(k, "/mnt/ext2/in.fits", "/mnt/ext2/o2.fits",
+                         use_sleds=True)
+        assert np.array_equal(plain.counts, sleds.counts)
+        assert plain.data_min == sleds.data_min
+        assert plain.data_max == sleds.data_max
+
+    def test_output_file_is_copy_plus_histogram(self):
+        machine = _machine()
+        image = _make_image(machine)
+        result = fimhisto(machine.kernel, "/mnt/ext2/in.fits",
+                          "/mnt/ext2/out.fits", nbins=16)
+        copied = _read_image(machine, "/mnt/ext2/out.fits")
+        assert np.array_equal(copied, image)
+        table = read_bintable(machine.kernel, "/mnt/ext2/out.fits", 1)
+        assert np.array_equal(table.columns["COUNTS"],
+                              result.counts.astype(np.int32))
+        assert np.allclose(table.columns["BIN_LO"], result.bin_edges[:-1])
+
+    def test_bad_nbins(self):
+        machine = _machine()
+        _make_image(machine)
+        with pytest.raises(InvalidArgumentError):
+            fimhisto(machine.kernel, "/mnt/ext2/in.fits",
+                     "/mnt/ext2/out.fits", nbins=0)
+
+    def test_constant_image(self):
+        machine = _machine()
+        create_image(machine.kernel, "/mnt/ext2/flat.fits",
+                     np.full((16, 16), 7, dtype=np.int16))
+        result = fimhisto(machine.kernel, "/mnt/ext2/flat.fits",
+                          "/mnt/ext2/out.fits", nbins=8)
+        assert result.counts.sum() == 256
+        assert result.data_min == result.data_max == 7.0
+
+
+class TestFimgbin:
+    def _expected(self, image, side):
+        h, w = image.shape
+        binned = image.astype(np.float64).reshape(
+            h // side, side, w // side, side).sum(axis=(1, 3)) / (side * side)
+        return np.rint(binned).astype(np.int16)
+
+    @pytest.mark.parametrize("factor,side", [(1, 1), (4, 2), (16, 4)])
+    def test_rebin_matches_reference(self, factor, side):
+        machine = _machine()
+        image = _make_image(machine, shape=(32, 64))
+        result = fimgbin(machine.kernel, "/mnt/ext2/in.fits",
+                         "/mnt/ext2/out.fits", factor=factor)
+        assert result.out_shape == (64 // side, 32 // side)
+        out = _read_image(machine, "/mnt/ext2/out.fits")
+        assert np.array_equal(out, self._expected(image, side))
+
+    def test_sleds_mode_identical_output(self):
+        machine = _machine(cache_pages=32)
+        _make_image(machine, shape=(128, 128))
+        k = machine.kernel
+        fimgbin(k, "/mnt/ext2/in.fits", "/mnt/ext2/o1.fits", 4)
+        fimgbin(k, "/mnt/ext2/in.fits", "/mnt/ext2/o2.fits", 4,
+                use_sleds=True)
+        assert np.array_equal(_read_image(machine, "/mnt/ext2/o1.fits"),
+                              _read_image(machine, "/mnt/ext2/o2.fits"))
+
+    def test_float_image(self):
+        machine = _machine()
+        rng = np.random.default_rng(5)
+        image = rng.normal(size=(16, 32)).astype(np.float32)
+        create_image(machine.kernel, "/mnt/ext2/fin.fits", image)
+        fimgbin(machine.kernel, "/mnt/ext2/fin.fits",
+                "/mnt/ext2/fout.fits", 4)
+        out = _read_image(machine, "/mnt/ext2/fout.fits")
+        expected = image.astype(np.float64).reshape(8, 2, 16, 2).sum(
+            axis=(1, 3)) / 4
+        assert np.allclose(out, expected.astype(np.float32))
+
+    def test_non_square_factor_rejected(self):
+        machine = _machine()
+        _make_image(machine)
+        with pytest.raises(InvalidArgumentError):
+            fimgbin(machine.kernel, "/mnt/ext2/in.fits",
+                    "/mnt/ext2/out.fits", factor=8)
+
+    def test_indivisible_image_rejected(self):
+        machine = _machine()
+        create_image(machine.kernel, "/mnt/ext2/odd.fits",
+                     np.zeros((15, 30), dtype=np.int16))
+        with pytest.raises(InvalidArgumentError):
+            fimgbin(machine.kernel, "/mnt/ext2/odd.fits",
+                    "/mnt/ext2/out.fits", factor=4)
+
+    def test_one_dimensional_rejected(self):
+        from repro.fits.format import FitsFormatError
+        machine = _machine()
+        create_image(machine.kernel, "/mnt/ext2/vec.fits",
+                     np.zeros(64, dtype=np.int16))
+        with pytest.raises(FitsFormatError):
+            fimgbin(machine.kernel, "/mnt/ext2/vec.fits",
+                    "/mnt/ext2/out.fits", factor=4)
+
+
+class TestPerformanceShape:
+    def test_sleds_reduces_faults_for_large_files(self):
+        """The paper's Figure 14 mechanism at small scale."""
+        machine = _machine(cache_pages=64)  # image >> cache
+        _make_image(machine, shape=(512, 512))  # 512 KB
+        k = machine.kernel
+        fimhisto(k, "/mnt/ext2/in.fits", "/mnt/ext2/w.fits")  # warm
+        with k.process() as plain:
+            fimhisto(k, "/mnt/ext2/in.fits", "/mnt/ext2/p.fits")
+        with k.process() as sleds:
+            fimhisto(k, "/mnt/ext2/in.fits", "/mnt/ext2/s.fits",
+                     use_sleds=True)
+        assert sleds.counters.pages_read < plain.counters.pages_read
+        assert sleds.elapsed < plain.elapsed

@@ -1,0 +1,83 @@
+"""Tests for the machine profiles and boot characterisation."""
+
+import pytest
+
+from repro.bench.lmbench import characterize_levels
+from repro.machine import FULL_SCALE_CACHE_PAGES, Machine
+from repro.sim.units import MB
+
+
+class TestProfiles:
+    def test_unix_profile_mounts(self):
+        machine = Machine.unix_utilities(cache_pages=64)
+        mounts = dict(machine.kernel.mounts())
+        assert {"/", "/mnt/ext2", "/mnt/cdrom", "/mnt/nfs"} <= set(mounts)
+
+    def test_lheasoft_profile_mounts(self):
+        machine = Machine.lheasoft(cache_pages=64)
+        mounts = dict(machine.kernel.mounts())
+        assert "/mnt/ext2" in mounts
+        assert "/mnt/cdrom" not in mounts
+
+    def test_hsm_profile(self):
+        machine = Machine.hsm(cache_pages=64, stage_pages=128)
+        assert machine.hsmfs.stage_pages == 128
+        assert len(machine.hsmfs.autochanger.drives) == 2
+
+    def test_full_scale_cache_default(self):
+        assert FULL_SCALE_CACHE_PAGES == (42 * MB) // 4096
+
+    def test_accessors(self):
+        machine = Machine.unix_utilities(cache_pages=64)
+        assert machine.ext2 is machine.filesystems["/mnt/ext2"]
+        assert machine.cdrom is machine.filesystems["/mnt/cdrom"]
+        assert machine.nfs is machine.filesystems["/mnt/nfs"]
+
+    def test_same_seed_reproducible(self):
+        a = Machine.unix_utilities(cache_pages=64, seed=5)
+        b = Machine.unix_utilities(cache_pages=64, seed=5)
+        a.boot()
+        b.boot()
+        assert a.kernel.sleds_table.entries() == b.kernel.sleds_table.entries()
+
+
+class TestBootCharacterisation:
+    def test_boot_matches_paper_table2(self):
+        machine = Machine.unix_utilities(cache_pages=64)
+        entries = machine.boot()
+        assert machine.booted
+        lat, bw = entries["ext2"]
+        assert 0.014 <= lat <= 0.022           # paper: 18 ms
+        assert 7.5 * MB <= bw <= 10.5 * MB     # paper: 9.0 MB/s
+        lat, bw = entries["iso9660"]
+        assert 0.10 <= lat <= 0.16             # paper: 130 ms
+        assert 2.2 * MB <= bw <= 3.2 * MB      # paper: 2.8 MB/s
+        lat, bw = entries["nfs"]
+        assert 0.20 <= lat <= 0.36             # paper: 270 ms
+        assert 0.8 * MB <= bw <= 1.2 * MB      # paper: 1.0 MB/s
+        lat, bw = entries["memory"]
+        assert lat == pytest.approx(175e-9)
+        assert bw == pytest.approx(48 * MB)
+
+    def test_boot_matches_paper_table3(self):
+        machine = Machine.lheasoft(cache_pages=64)
+        entries = machine.boot()
+        lat, bw = entries["ext2"]
+        assert 0.013 <= lat <= 0.020           # paper: 16.5 ms
+        assert 5.8 * MB <= bw <= 8.2 * MB      # paper: 7.0 MB/s
+        lat, bw = entries["memory"]
+        assert lat == pytest.approx(210e-9)
+        assert bw == pytest.approx(87 * MB)
+
+    def test_characterize_levels_covers_all_mounts(self):
+        machine = Machine.hsm(cache_pages=64)
+        entries = characterize_levels(machine.kernel)
+        assert {"memory", "hsm-disk", "hsm-tape-mounted",
+                "hsm-tape-shelved"} <= set(entries)
+
+    def test_tape_levels_use_nominal_spec(self):
+        machine = Machine.hsm(cache_pages=64)
+        entries = characterize_levels(machine.kernel)
+        drive = machine.hsmfs.autochanger.drives[0]
+        assert entries["hsm-tape-mounted"] == (
+            drive.spec.latency, drive.spec.bandwidth)

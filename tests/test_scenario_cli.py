@@ -1,0 +1,153 @@
+"""Tests for the scenario loader and the sleds-run CLI."""
+
+import json
+
+import pytest
+
+from repro.apps.cli import main
+from repro.bench.scenario import (
+    DEFAULT_SCENARIO,
+    ScenarioError,
+    build_scenario,
+    load_scenario,
+)
+from repro.sim.units import KB, MB, PAGE_SIZE
+
+
+class TestBuildScenario:
+    def test_default_scenario_builds(self):
+        machine = build_scenario(DEFAULT_SCENARIO)
+        assert machine.booted
+        st = machine.kernel.stat("/mnt/ext2/demo/big.txt")
+        assert st.size == 8 * MB
+
+    def test_file_sizes_and_plants(self):
+        machine = build_scenario({
+            "profile": "unix",
+            "cache_mb": 1,
+            "files": [
+                {"path": "/mnt/ext2/a.txt", "size_kb": 64, "seed": 1,
+                 "plants": {"1000": "MARKER"}},
+            ],
+        })
+        fd = machine.kernel.open("/mnt/ext2/a.txt")
+        assert machine.kernel.pread(fd, 1000, 6) == b"MARKER"
+        machine.kernel.close(fd)
+
+    def test_warm_applies(self):
+        machine = build_scenario({
+            "profile": "unix", "cache_mb": 4,
+            "files": [{"path": "/mnt/ext2/w.txt", "size_kb": 64}],
+            "warm": ["/mnt/ext2/w.txt"],
+        })
+        inode = machine.kernel.resolve("/mnt/ext2/w.txt")[1]
+        assert machine.kernel.page_cache.resident_count(
+            inode.id, inode.npages) == inode.npages
+
+    def test_hsm_tape_files(self):
+        machine = build_scenario({
+            "profile": "hsm", "cache_mb": 1,
+            "tape_files": [
+                {"path": "/mnt/hsm/arch.dat", "size_kb": 128,
+                 "cartridge": "VOL001"},
+            ],
+        })
+        inode = machine.kernel.resolve("/mnt/hsm/arch.dat")[1]
+        state = machine.hsmfs.state_of(inode)
+        assert state.cartridge_label == "VOL001"
+
+    @pytest.mark.parametrize("spec,fragment", [
+        ("not a dict", "must be a dict"),
+        ({"profile": "vms"}, "unknown profile"),
+        ({"cache_mb": -1}, "bad cache_mb"),
+        ({"files": [{"size_kb": 4}]}, "missing path"),
+        ({"files": [{"path": "/mnt/ext2/x", "size_kb": 4, "size_mb": 4}]},
+         "exactly one"),
+        ({"files": [{"path": "/mnt/ext2/x", "size_kb": 4,
+                     "plants": {"junk": "A"}}]}, "not an int"),
+        ({"files": [{"path": "/mnt/ext2/x", "size": 100,
+                     "plants": {"5000": "A"}}]}, "escapes"),
+        ({"tape_files": [{"path": "/mnt/ext2/x", "size_kb": 4}]},
+         "not on an HSM"),
+    ])
+    def test_malformed_specs_rejected(self, spec, fragment):
+        if isinstance(spec, dict) and "tape_files" in spec:
+            spec = {"profile": "unix", **spec}
+        with pytest.raises(ScenarioError, match=fragment):
+            build_scenario(spec)
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(json.dumps({
+            "profile": "unix", "cache_mb": 1,
+            "files": [{"path": "/mnt/ext2/f.txt", "size_kb": 16}],
+        }))
+        machine = load_scenario(path)
+        assert machine.kernel.stat("/mnt/ext2/f.txt").size == 16 * KB
+
+    def test_load_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ScenarioError, match="invalid JSON"):
+            load_scenario(path)
+
+
+class TestCli:
+    def test_wc(self, capsys):
+        assert main(["wc", "/mnt/ext2/demo/big.txt", "--sleds"]) == 0
+        out = capsys.readouterr().out
+        assert "8388608" in out
+        assert "virtual time" in out
+
+    def test_grep_found_and_missing(self, capsys):
+        assert main(["grep", "XNEEDLEX", "/mnt/ext2/demo/big.txt",
+                     "-q", "--sleds"]) == 0
+        assert main(["grep", "ZZZABSENT", "/mnt/ext2/demo/small.txt"]) == 1
+
+    def test_grep_line_numbers(self, capsys):
+        main(["grep", "XNEEDLEX", "/mnt/ext2/demo/big.txt", "-n"])
+        out = capsys.readouterr().out
+        first_line = out.splitlines()[0]
+        line_no = int(first_line.split(":", 1)[0])
+        assert line_no > 0
+
+    def test_find_latency(self, capsys):
+        assert main(["find", "/mnt/ext2", "-latency", "+u1"]) == 0
+        out = capsys.readouterr().out
+        assert "/mnt/ext2/demo/big.txt" in out
+
+    def test_gmc(self, capsys):
+        assert main(["gmc", "/mnt/ext2/demo/big.txt"]) == 0
+        out = capsys.readouterr().out
+        assert "delivery time" in out
+
+    def test_sleds_dump(self, capsys):
+        assert main(["sleds", "/mnt/ext2/demo/big.txt"]) == 0
+        out = capsys.readouterr().out
+        assert "SLED(s) over 8388608 bytes" in out
+
+    def test_timeline(self, capsys):
+        assert main(["timeline", "/mnt/ext2/demo/big.txt"]) == 0
+        out = capsys.readouterr().out
+        assert "fault" in out
+
+    def test_scenario_file(self, capsys, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({
+            "profile": "unix", "cache_mb": 1,
+            "files": [{"path": "/mnt/ext2/t.txt", "size_kb": 16}],
+        }))
+        assert main(["--scenario", str(path), "wc", "/mnt/ext2/t.txt"]) == 0
+
+    def test_progress_command(self, capsys):
+        assert main(["progress", "/mnt/nfs/pub/dataset.txt",
+                     "--samples", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "initial SLEDs estimate" in out
+        assert "dynamic ETA" in out
+
+    def test_gmc_directory(self, capsys):
+        assert main(["gmc", "/mnt/ext2/demo"]) == 0
+        out = capsys.readouterr().out
+        assert "big.txt" in out and "small.txt" in out
+        assert "cached" in out

@@ -1,0 +1,87 @@
+"""Unit tests for the virtual clock."""
+
+import pytest
+
+from repro.sim.clock import ClockError, VirtualClock
+
+
+class TestAdvance:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(1.5)
+        clock.advance(0.5)
+        assert clock.now == 2.0
+
+    def test_advance_returns_new_time(self):
+        clock = VirtualClock()
+        assert clock.advance(3.0) == 3.0
+
+    def test_zero_advance_is_allowed(self):
+        clock = VirtualClock()
+        clock.advance(0.0)
+        assert clock.now == 0.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ClockError):
+            VirtualClock().advance(-1e-9)
+
+
+class TestCategories:
+    def test_category_totals(self):
+        clock = VirtualClock()
+        clock.advance(1.0, "disk")
+        clock.advance(2.0, "cpu")
+        clock.advance(3.0, "disk")
+        assert clock.category_total("disk") == 4.0
+        assert clock.category_total("cpu") == 2.0
+
+    def test_unknown_category_is_zero(self):
+        assert VirtualClock().category_total("never") == 0.0
+
+    def test_categories_snapshot_is_a_copy(self):
+        clock = VirtualClock()
+        clock.advance(1.0, "disk")
+        cats = clock.categories()
+        cats["disk"] = 99.0
+        assert clock.category_total("disk") == 1.0
+
+    def test_default_category_is_other(self):
+        clock = VirtualClock()
+        clock.advance(1.0)
+        assert clock.category_total("other") == 1.0
+
+
+class TestSnapshots:
+    def test_elapsed_since(self):
+        clock = VirtualClock()
+        clock.advance(1.0)
+        snap = clock.snapshot()
+        clock.advance(2.5)
+        assert clock.elapsed_since(snap) == 2.5
+
+    def test_elapsed_by_category_omits_zero_deltas(self):
+        clock = VirtualClock()
+        clock.advance(1.0, "disk")
+        snap = clock.snapshot()
+        clock.advance(2.0, "cpu")
+        deltas = clock.elapsed_by_category(snap)
+        assert deltas == {"cpu": 2.0}
+
+    def test_elapsed_by_category_tracks_increments(self):
+        clock = VirtualClock()
+        clock.advance(1.0, "disk")
+        snap = clock.snapshot()
+        clock.advance(0.5, "disk")
+        assert clock.elapsed_by_category(snap) == {"disk": 0.5}
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        clock = VirtualClock()
+        clock.advance(5.0, "disk")
+        clock.reset()
+        assert clock.now == 0.0
+        assert clock.categories() == {}

@@ -1,0 +1,54 @@
+"""Unit tests for deterministic named RNG streams."""
+
+from repro.sim.rng import RngStreams
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(1).stream("disk")
+        b = RngStreams(1).stream("disk")
+        assert a.integers(0, 1 << 30) == b.integers(0, 1 << 30)
+
+    def test_different_names_are_independent(self):
+        streams = RngStreams(1)
+        a = streams.stream("disk")
+        b = streams.stream("tape")
+        assert list(a.integers(0, 1 << 30, 8)) != list(
+            b.integers(0, 1 << 30, 8))
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("disk")
+        b = RngStreams(2).stream("disk")
+        assert list(a.integers(0, 1 << 30, 8)) != list(
+            b.integers(0, 1 << 30, 8))
+
+    def test_stream_is_cached(self):
+        streams = RngStreams(1)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        solo = RngStreams(5)
+        first_alone = list(solo.stream("a").integers(0, 100, 10))
+        both = RngStreams(5)
+        both.stream("b")  # created before "a" this time
+        first_with_other = list(both.stream("a").integers(0, 100, 10))
+        assert first_alone == first_with_other
+
+
+class TestReseedFork:
+    def test_reseed_restarts(self):
+        streams = RngStreams(1)
+        first = streams.stream("x").integers(0, 1 << 30)
+        streams.reseed(1)
+        assert streams.stream("x").integers(0, 1 << 30) == first
+
+    def test_fork_is_deterministic(self):
+        a = RngStreams(9).fork("run1").stream("s")
+        b = RngStreams(9).fork("run1").stream("s")
+        assert a.integers(0, 1 << 30) == b.integers(0, 1 << 30)
+
+    def test_fork_differs_from_parent(self):
+        parent = RngStreams(9)
+        child = parent.fork("run1")
+        assert (parent.stream("s").integers(0, 1 << 30)
+                != child.stream("s").integers(0, 1 << 30))

@@ -1,0 +1,174 @@
+"""Tests for the cooperative multiprogramming layer."""
+
+import pytest
+
+from repro.apps.grep import grep
+from repro.apps.wc import wc
+from repro.machine import Machine
+from repro.sim.errors import InvalidArgumentError
+from repro.sim.tasks import (
+    RoundRobin,
+    Task,
+    grep_task,
+    make_task,
+    reader_task,
+    wc_task,
+)
+from repro.sim.units import PAGE_SIZE
+
+NEEDLE = b"XNEEDLEX"
+
+
+def _machine(cache_pages=128):
+    machine = Machine.unix_utilities(cache_pages=cache_pages, seed=901)
+    machine.boot()
+    return machine
+
+
+class TestTaskMechanics:
+    def test_task_runs_to_completion(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", 8 * PAGE_SIZE, seed=1)
+        task = Task("r", reader_task(machine.kernel, "/mnt/ext2/f"))
+        while task.step(machine.kernel):
+            pass
+        assert task.done
+        assert task.stats.steps > 1
+        assert task.stats.virtual_time > 0
+
+    def test_task_result_captured(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", 8 * PAGE_SIZE, seed=1)
+        task = Task("wc", wc_task(machine.kernel, "/mnt/ext2/f"))
+        while task.step(machine.kernel):
+            pass
+        reference = wc(machine.kernel, "/mnt/ext2/f")
+        assert task.stats.result == (reference.lines, reference.words,
+                                     reference.chars)
+
+    def test_step_after_done_is_noop(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", PAGE_SIZE, seed=1)
+        task = Task("r", reader_task(machine.kernel, "/mnt/ext2/f"))
+        while task.step(machine.kernel):
+            pass
+        assert task.step(machine.kernel) is False
+
+    def test_make_task(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", PAGE_SIZE, seed=1)
+        task = make_task("r", lambda: reader_task(machine.kernel,
+                                                  "/mnt/ext2/f"))
+        assert task.name == "r"
+
+
+class TestRoundRobin:
+    def test_needs_tasks(self):
+        machine = _machine()
+        with pytest.raises(InvalidArgumentError):
+            RoundRobin(machine.kernel, [])
+
+    def test_duplicate_names_rejected(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", PAGE_SIZE, seed=1)
+        tasks = [Task("x", reader_task(machine.kernel, "/mnt/ext2/f")),
+                 Task("x", reader_task(machine.kernel, "/mnt/ext2/f"))]
+        with pytest.raises(InvalidArgumentError):
+            RoundRobin(machine.kernel, tasks)
+
+    def test_interleaves_and_finishes_all(self):
+        machine = _machine()
+        for name in ("a", "b", "c"):
+            machine.ext2.create_text_file(f"{name}.txt", 16 * PAGE_SIZE,
+                                          seed=ord(name))
+        tasks = [Task(name, reader_task(machine.kernel,
+                                        f"/mnt/ext2/{name}.txt"))
+                 for name in ("a", "b", "c")]
+        stats = RoundRobin(machine.kernel, tasks).run()
+        assert set(stats) == {"a", "b", "c"}
+        assert all(s.finished_at is not None for s in stats.values())
+
+    def test_per_task_accounting_sums_to_total(self):
+        machine = _machine()
+        for name in ("a", "b"):
+            machine.ext2.create_text_file(f"{name}.txt", 32 * PAGE_SIZE,
+                                          seed=ord(name))
+        k = machine.kernel
+        tasks = [Task(name, wc_task(k, f"/mnt/ext2/{name}.txt"))
+                 for name in ("a", "b")]
+        with k.process() as run:
+            stats = RoundRobin(k, tasks).run()
+        per_task_time = sum(s.virtual_time for s in stats.values())
+        assert per_task_time == pytest.approx(run.elapsed, rel=1e-9)
+        per_task_faults = sum(s.hard_faults for s in stats.values())
+        assert per_task_faults == run.hard_faults
+
+    def test_round_limit(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", 64 * PAGE_SIZE, seed=1)
+        task = Task("r", reader_task(machine.kernel, "/mnt/ext2/f",
+                                     bufsize=PAGE_SIZE))
+        with pytest.raises(RuntimeError):
+            RoundRobin(machine.kernel, [task]).run(max_rounds=3)
+
+
+class TestGrepTask:
+    def test_finds_match_across_chunk_boundary(self):
+        machine = _machine()
+        bufsize = 8 * 1024
+        # plant the needle straddling a chunk boundary
+        offset = bufsize - 3
+        machine.ext2.create_text_file("f", 8 * PAGE_SIZE, seed=1,
+                                      plants={offset: NEEDLE})
+        task = Task("g", grep_task(machine.kernel, "/mnt/ext2/f", NEEDLE,
+                                   bufsize=bufsize))
+        while task.step(machine.kernel):
+            pass
+        assert task.stats.result == offset
+
+    def test_no_match_returns_none(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", 4 * PAGE_SIZE, seed=1)
+        task = Task("g", grep_task(machine.kernel, "/mnt/ext2/f", NEEDLE))
+        while task.step(machine.kernel):
+            pass
+        assert task.stats.result is None
+
+    def test_sleds_task_agrees_with_app(self):
+        machine = _machine(cache_pages=32)
+        machine.ext2.create_text_file("f", 64 * PAGE_SIZE, seed=2,
+                                      plants={200_000: NEEDLE})
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f")
+        task = Task("g", grep_task(k, "/mnt/ext2/f", NEEDLE,
+                                   use_sleds=True))
+        while task.step(k):
+            pass
+        reference = grep(k, "/mnt/ext2/f", NEEDLE, use_sleds=True,
+                         first_match_only=True)
+        line = reference.matches[0]
+        assert line.offset <= task.stats.result < line.offset + len(
+            line.line) + 1
+
+
+class TestBetterCitizen:
+    def test_concurrent_sleds_scans_reduce_system_load(self):
+        """The extH mechanism at unit-test scale."""
+        def run(use_sleds):
+            machine = Machine.unix_utilities(cache_pages=128, seed=902)
+            machine.boot()
+            k = machine.kernel
+            size = 96 * PAGE_SIZE  # each file ~3/4 of the cache
+            machine.ext2.create_text_file("a.txt", size, seed=1)
+            machine.ext2.create_text_file("b.txt", size, seed=2)
+            k.warm_file("/mnt/ext2/a.txt")
+            k.warm_file("/mnt/ext2/b.txt")
+            before = k.counters.pages_read
+            tasks = [Task("a", wc_task(k, "/mnt/ext2/a.txt",
+                                       use_sleds=use_sleds)),
+                     Task("b", wc_task(k, "/mnt/ext2/b.txt",
+                                       use_sleds=use_sleds))]
+            RoundRobin(k, tasks).run()
+            return k.counters.pages_read - before
+
+        assert run(True) < run(False)

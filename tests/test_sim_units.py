@@ -1,0 +1,84 @@
+"""Unit and property tests for byte/page helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.units import (
+    PAGE_SIZE,
+    align_down,
+    align_up,
+    bytes_to_pages,
+    human_bytes,
+    human_time,
+    page_span,
+)
+
+
+class TestBytesToPages:
+    def test_zero(self):
+        assert bytes_to_pages(0) == 0
+
+    def test_one_byte(self):
+        assert bytes_to_pages(1) == 1
+
+    def test_exact_page(self):
+        assert bytes_to_pages(PAGE_SIZE) == 1
+
+    def test_page_plus_one(self):
+        assert bytes_to_pages(PAGE_SIZE + 1) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_pages(-1)
+
+    @given(st.integers(min_value=0, max_value=1 << 40))
+    def test_covers_exactly(self, nbytes):
+        pages = bytes_to_pages(nbytes)
+        assert pages * PAGE_SIZE >= nbytes
+        assert (pages - 1) * PAGE_SIZE < nbytes or pages == 0
+
+
+class TestPageSpan:
+    def test_empty_length(self):
+        assert list(page_span(100, 0)) == []
+
+    def test_single_page(self):
+        assert list(page_span(0, 1)) == [0]
+
+    def test_straddles_boundary(self):
+        assert list(page_span(PAGE_SIZE - 1, 2)) == [0, 1]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            page_span(-1, 10)
+
+    @given(st.integers(min_value=0, max_value=1 << 30),
+           st.integers(min_value=1, max_value=1 << 20))
+    def test_span_contains_all_touched_pages(self, offset, length):
+        span = page_span(offset, length)
+        assert span.start == offset // PAGE_SIZE
+        assert span.stop - 1 == (offset + length - 1) // PAGE_SIZE
+
+
+class TestAlign:
+    @given(st.integers(min_value=0, max_value=1 << 30))
+    def test_align_down_up_bracket(self, offset):
+        assert align_down(offset) <= offset <= align_up(offset)
+        assert align_down(offset) % PAGE_SIZE == 0
+        assert align_up(offset) % PAGE_SIZE == 0
+        assert align_up(offset) - align_down(offset) in (0, PAGE_SIZE)
+
+
+class TestHumanFormats:
+    def test_human_bytes_mb(self):
+        assert human_bytes(64 * 1024 * 1024) == "64.0 MB"
+
+    def test_human_bytes_small(self):
+        assert human_bytes(100) == "100 B"
+
+    def test_human_time_ranges(self):
+        assert human_time(2.0).endswith(" s")
+        assert human_time(2e-3).endswith(" ms")
+        assert human_time(2e-6).endswith(" us")
+        assert human_time(2e-9).endswith(" ns")
