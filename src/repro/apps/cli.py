@@ -13,12 +13,15 @@ Examples::
     sleds-run gmc /mnt/ext2/demo/big.txt
     sleds-run sleds /mnt/ext2/demo/big.txt          # raw FSLEDS_GET dump
     sleds-run timeline /mnt/ext2/demo/big.txt       # traced wc + timeline
+    sleds-run stats /mnt/ext2/demo/big.txt --warm   # metrics + accuracy
+    sleds-run trace /mnt/ext2/demo/big.txt -o t.json  # Chrome trace JSON
     sleds-run --scenario my_setup.json wc /mnt/nfs/pub/dataset.txt
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.apps.findutil import find
@@ -86,7 +89,48 @@ def build_parser() -> argparse.ArgumentParser:
                                  "estimators (paper §3.3)")
     p_prog.add_argument("path")
     p_prog.add_argument("--samples", type=int, default=10)
+
+    p_stats = sub.add_parser(
+        "stats", help="run an app under telemetry and report metrics "
+                      "plus SLED prediction accuracy")
+    p_stats.add_argument("path")
+    p_stats.add_argument("--app", choices=("wc", "grep"), default="wc")
+    p_stats.add_argument("--pattern", default="XNEEDLEX",
+                         help="pattern for --app grep")
+    p_stats.add_argument("--no-sleds", action="store_true",
+                         help="run without SLED-directed delivery")
+    p_stats.add_argument("--warm", action="store_true",
+                         help="run twice and report the warm-cache pass")
+    p_stats.add_argument("--format", choices=("text", "prom", "json"),
+                         default="text", dest="fmt",
+                         help="text report, Prometheus exposition, or "
+                              "JSON dump")
+    p_stats.add_argument("-o", "--out", default=None, metavar="FILE",
+                         help="also write the metrics to FILE")
+
+    p_trace = sub.add_parser(
+        "trace", help="run an app under span tracing and export "
+                      "Chrome trace-event JSON")
+    p_trace.add_argument("path")
+    p_trace.add_argument("--app", choices=("wc", "grep"), default="wc")
+    p_trace.add_argument("--pattern", default="XNEEDLEX")
+    p_trace.add_argument("--no-sleds", action="store_true")
+    p_trace.add_argument("-o", "--out", default=None, metavar="FILE",
+                         help="write the trace JSON to FILE "
+                              "(default: stdout)")
     return parser
+
+
+def _run_instrumented(kernel, args):
+    """Run the app named by ``args.app`` once; returns the finished run."""
+    use_sleds = not args.no_sleds
+    with kernel.process() as run:
+        if args.app == "wc":
+            wc(kernel, args.path, use_sleds=use_sleds)
+        else:
+            grep(kernel, args.path, args.pattern.encode(),
+                 use_sleds=use_sleds)
+    return run
 
 
 def _report_run(run) -> None:
@@ -170,6 +214,46 @@ def main(argv: list[str] | None = None) -> int:
         kernel.detach_tracer()
         print(render_timeline(tracer.events()))
         _report_run(run)
+        return 0
+
+    if args.command == "stats":
+        from repro.obs import Telemetry
+        telemetry = Telemetry()
+        kernel.attach_telemetry(telemetry)
+        run = _run_instrumented(kernel, args)
+        if args.warm:
+            run = _run_instrumented(kernel, args)
+        kernel.detach_telemetry()
+        if args.fmt == "prom":
+            body = telemetry.render_prometheus()
+        elif args.fmt == "json":
+            body = json.dumps(telemetry.to_dict(), indent=2, sort_keys=True)
+        else:
+            label = "warm" if args.warm else "cold"
+            body = (f"{label} {args.app} run: "
+                    f"virtual time {human_time(run.elapsed)}, "
+                    f"faults {run.hard_faults}, "
+                    f"hit ratio {run.hit_ratio:.1%}\n\n"
+                    + telemetry.accuracy.report().render())
+        print(body)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(body + "\n")
+        return 0
+
+    if args.command == "trace":
+        from repro.obs import Telemetry
+        telemetry = Telemetry()
+        kernel.attach_telemetry(telemetry)
+        _run_instrumented(kernel, args)
+        kernel.detach_telemetry()
+        body = json.dumps(telemetry.chrome_trace(), indent=2)
+        if args.out:
+            with open(args.out, "w") as handle:
+                handle.write(body + "\n")
+            print(f"wrote {len(telemetry.spans)} spans to {args.out}")
+        else:
+            print(body)
         return 0
 
     if args.command == "progress":

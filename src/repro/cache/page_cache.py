@@ -70,6 +70,10 @@ class PageCache:
         self._resident: set[PageKey] = set()
         self._pinned: set[PageKey] = set()
         self.stats = CacheStats()
+        #: optional telemetry observer (see repro.obs.telemetry) receiving
+        #: on_cache_access / on_cache_insert / on_cache_evict /
+        #: on_cache_remove; purely observational, never affects residency
+        self.observer = None
 
     # -- queries ------------------------------------------------------------
 
@@ -102,8 +106,12 @@ class PageCache:
         if key in self._resident:
             self.policy.on_hit(key)
             self.stats.hits += 1
+            if self.observer is not None:
+                self.observer.on_cache_access(key, hit=True)
             return True
         self.stats.misses += 1
+        if self.observer is not None:
+            self.observer.on_cache_access(key, hit=False)
         return False
 
     def insert(self, key: PageKey) -> PageKey | None:
@@ -124,6 +132,8 @@ class PageCache:
         self._resident.add(key)
         self.policy.on_insert(key)
         self.stats.insertions += 1
+        if self.observer is not None:
+            self.observer.on_cache_insert(key)
         return evicted
 
     def _evict_one(self) -> PageKey:
@@ -132,6 +142,8 @@ class PageCache:
             if victim not in self._pinned:
                 self._resident.discard(victim)
                 self.stats.evictions += 1
+                if self.observer is not None:
+                    self.observer.on_cache_evict(victim, forced=False)
                 return victim
             # pinned: give it a fresh lease and keep looking
             self.policy.on_insert(victim)
@@ -142,6 +154,8 @@ class PageCache:
         self._resident.discard(victim)
         self.stats.evictions += 1
         self.stats.forced_pinned_evictions += 1
+        if self.observer is not None:
+            self.observer.on_cache_evict(victim, forced=True)
         return victim
 
     # -- pinning (the paper's §3.4 lock/reservation mechanism) -------------
@@ -185,6 +199,8 @@ class PageCache:
         self._pinned.discard(key)
         self.policy.on_remove(key)
         self.stats.invalidations += 1
+        if self.observer is not None:
+            self.observer.on_cache_remove(key)
         return True
 
     def invalidate_inode(self, inode_id: int) -> int:
@@ -195,6 +211,8 @@ class PageCache:
             self._resident.discard(key)
             self._pinned.discard(key)
             self.policy.on_remove(key)
+            if self.observer is not None:
+                self.observer.on_cache_remove(key)
         self.stats.invalidations += len(victims)
         return len(victims)
 
@@ -203,6 +221,8 @@ class PageCache:
         count = len(self._resident)
         for key in list(self._resident):
             self.policy.on_remove(key)
+            if self.observer is not None:
+                self.observer.on_cache_remove(key)
         self._resident.clear()
         self._pinned.clear()
         self.stats.invalidations += count

@@ -23,6 +23,9 @@ PageKey = Hashable
 class ReplacementPolicy(ABC):
     """Interface the :class:`~repro.cache.page_cache.PageCache` drives."""
 
+    #: short name used as the ``policy`` label on telemetry metrics
+    name = "abstract"
+
     @abstractmethod
     def on_insert(self, key: PageKey) -> None:
         """A new page entered the cache."""
@@ -46,6 +49,8 @@ class ReplacementPolicy(ABC):
 
 class LruPolicy(ReplacementPolicy):
     """Strict least-recently-used replacement."""
+
+    name = "lru"
 
     def __init__(self) -> None:
         self._order: OrderedDict[PageKey, None] = OrderedDict()
@@ -75,6 +80,8 @@ class ClockPolicy(ReplacementPolicy):
     Keys sit on a circular list with a reference bit; the hand sweeps,
     clearing bits until it finds an unreferenced page.
     """
+
+    name = "clock"
 
     def __init__(self) -> None:
         self._ring: OrderedDict[PageKey, bool] = OrderedDict()
@@ -113,6 +120,8 @@ class TwoQPolicy(ReplacementPolicy):
     sequential scans wash through A1in without disturbing Am, which makes
     2Q scan-resistant.
     """
+
+    name = "2q"
 
     def __init__(self, a1in_fraction: float = 0.25,
                  ghost_fraction: float = 0.5) -> None:

@@ -19,6 +19,11 @@ class ReadaheadWindow:
 
     min_pages: int = 4
     max_pages: int = 16
+    #: cumulative window doublings / collapses (observability: a high
+    #: collapse count on a supposedly sequential workload means the access
+    #: pattern defeats the readahead heuristic)
+    grows: int = 0
+    collapses: int = 0
     _window: int = 0
     _next_expected: int | None = None
 
@@ -44,8 +49,13 @@ class ReadaheadWindow:
         if page_index < 0:
             raise ValueError(f"negative page index: {page_index}")
         if self._next_expected is not None and page_index == self._next_expected:
-            self._window = min(self.max_pages, self._window * 2)
+            grown = min(self.max_pages, self._window * 2)
+            if grown > self._window:
+                self.grows += 1
+            self._window = grown
         elif self._next_expected is not None and page_index != self._next_expected:
+            if self._window > self.min_pages:
+                self.collapses += 1
             self._window = self.min_pages
         self._next_expected = page_index + 1
         return self._window

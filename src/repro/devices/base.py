@@ -79,6 +79,10 @@ class Device(ABC):
         self.capacity = capacity
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.stats = DeviceStats()
+        #: optional telemetry observer (see repro.obs.telemetry); the hook
+        #: must be purely observational — it gets the computed duration and
+        #: may not influence device state or timing
+        self.observer = None
         self._pending_failures = 0
         self._bad_ranges: list[tuple[int, int]] = []
 
@@ -96,6 +100,9 @@ class Device(ABC):
         self.stats.reads += 1
         self.stats.bytes_read += nbytes
         self.stats.busy_time += duration
+        if self.observer is not None:
+            self.observer.on_device_access(self, addr, nbytes, duration,
+                                           is_write=False)
         return duration
 
     def write(self, addr: int, nbytes: int) -> float:
@@ -106,6 +113,9 @@ class Device(ABC):
         self.stats.writes += 1
         self.stats.bytes_written += nbytes
         self.stats.busy_time += duration
+        if self.observer is not None:
+            self.observer.on_device_access(self, addr, nbytes, duration,
+                                           is_write=True)
         return duration
 
     def reset_state(self) -> None:

@@ -169,6 +169,14 @@ class FileSystem(ABC):
         """Every characterisable level, keyed as ``page_estimate`` reports."""
         return {self.device_key(): self.device}
 
+    def observable_devices(self) -> list[Device]:
+        """Every device telemetry should observe (no dedup; callers do).
+
+        The default is the backing device; filesystems that route I/O
+        through additional hardware (HSM tape drives) extend this.
+        """
+        return [self.device]
+
     def characterization_jobs(self) -> dict[str, tuple[Device, int, int]]:
         """How the boot-time lmbench run should probe each level:
         ``{key: (device, probe_start, probe_end)}``.  The default probes

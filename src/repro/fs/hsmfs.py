@@ -158,6 +158,10 @@ class HsmFs(FileSystem):
             table["hsm-tape-shelved"] = self.autochanger.drives[0]
         return table
 
+    def observable_devices(self):
+        """The stage disk plus every tape drive in the library."""
+        return [self.device, *self.autochanger.drives]
+
     # -- I/O -----------------------------------------------------------------------
 
     def read_pages(self, inode: Inode, start_page: int, npages: int) -> float:

@@ -30,6 +30,10 @@ class NfsLike(FileSystem):
         super().__init__(name=name, device=device, read_only=False)
         self.server_sleds = server_sleds
         self._alloc = Allocator(capacity=device.capacity)
+        #: cumulative metadata round trips (every stat/lookup revalidation
+        #: crosses the wire on an NFSv2-era client); telemetry exports this
+        #: as the ``remote_metadata_ops`` gauge
+        self.metadata_ops = 0
 
     def _allocator(self) -> Allocator:
         return self._alloc
@@ -40,6 +44,7 @@ class NfsLike(FileSystem):
 
     def stat_cost(self) -> float:
         device = self._nfs()
+        self.metadata_ops += 1
         return device.rtt + device.request_overhead
 
     def page_estimate(self, inode: Inode, page_index: int) -> PageEstimate:

@@ -27,11 +27,14 @@ class MigrationDaemon:
     """Explicit-trigger migration: no background thread, the experiment
     calls :meth:`sweep` when it wants the daemon to have run."""
 
-    def __init__(self, fs: HsmFs, cold_after: float = 3600.0) -> None:
+    def __init__(self, fs: HsmFs, cold_after: float = 3600.0,
+                 telemetry=None) -> None:
         if cold_after < 0:
             raise ValueError(f"cold_after must be >= 0: {cold_after}")
         self.fs = fs
         self.cold_after = cold_after
+        #: optional repro.obs.telemetry.Telemetry sink for migration stats
+        self.telemetry = telemetry
 
     def _walk(self, node: Inode, prefix: str) -> list[tuple[str, Inode]]:
         out: list[tuple[str, Inode]] = []
@@ -60,8 +63,13 @@ class MigrationDaemon:
                 continue  # already fully on tape
             report.seconds += self.fs.migrate_to_tape(inode)
             report.migrated.append(path)
+        if self.telemetry is not None and report.migrated:
+            self.telemetry.on_migration(len(report.migrated), report.seconds)
         return report
 
     def stage_out(self, inode: Inode) -> float:
         """Force one file out to tape immediately; returns seconds."""
-        return self.fs.migrate_to_tape(inode)
+        seconds = self.fs.migrate_to_tape(inode)
+        if self.telemetry is not None:
+            self.telemetry.on_migration(1, seconds)
+        return seconds

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from functools import wraps
 from typing import Iterator
 
 from repro.cache.page_cache import PageCache
@@ -56,6 +57,24 @@ from repro.sim.units import PAGE_SIZE, USEC, page_span
 SEEK_SET = 0
 SEEK_CUR = 1
 SEEK_END = 2
+
+
+def _syscall_span(name: str):
+    """Wrap a syscall method in a telemetry span covering its full
+    virtual duration (a no-op when no telemetry is attached)."""
+    def deco(fn):
+        @wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            tele = self.telemetry
+            if tele is None:
+                return fn(self, *args, **kwargs)
+            span = tele.syscall_begin(name, self.clock.now)
+            try:
+                return fn(self, *args, **kwargs)
+            finally:
+                tele.syscall_end(span, self.clock.now)
+        return wrapper
+    return deco
 
 
 @dataclass
@@ -115,6 +134,10 @@ class Kernel:
         self._dirty: dict[int, tuple[FileSystem, Inode, set[int]]] = {}
         #: optional event tracer (see repro.sim.trace); None = no tracing
         self.tracer = None
+        #: optional telemetry facade (see repro.obs.telemetry); None = off.
+        #: Every telemetry hook below is purely observational: attached or
+        #: not, virtual timings are bit-identical.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     # mounts and path resolution
@@ -174,6 +197,15 @@ class Kernel:
     def detach_tracer(self) -> None:
         self.tracer = None
 
+    def attach_telemetry(self, telemetry) -> None:
+        """Attach a :class:`repro.obs.telemetry.Telemetry` (after mounting,
+        so it can observe every filesystem's devices)."""
+        telemetry.attach(self)
+
+    def detach_telemetry(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.detach()
+
     def charge_cpu(self, seconds: float) -> None:
         """Applications charge their processing time here."""
         self.clock.advance(seconds, "cpu")
@@ -201,10 +233,18 @@ class Kernel:
         except KeyError:
             raise BadFileDescriptorError(f"fd {fd} is not open") from None
 
+    def _charge_metadata(self, fs: FileSystem) -> None:
+        """Charge one metadata operation (stat/lookup) on ``fs``."""
+        cost = fs.stat_cost()
+        self.clock.advance(cost, fs.device.time_category)
+        if self.telemetry is not None:
+            self.telemetry.on_metadata(fs.name, cost)
+
     # ------------------------------------------------------------------
     # namespace syscalls
     # ------------------------------------------------------------------
 
+    @_syscall_span("open")
     def open(self, path: str, mode: str = "r") -> int:
         """Open ``path``; modes ``r``, ``r+``, ``w``, ``a``."""
         self._syscall("open")
@@ -215,7 +255,7 @@ class Kernel:
         if writable and fs.read_only:
             raise ReadOnlyFilesystemError(
                 f"{path!r}: filesystem {fs.name!r} is read-only")
-        self.clock.advance(fs.stat_cost(), fs.device.time_category)
+        self._charge_metadata(fs)
         parts = split_path(path)
         rel = parts[len(self._mount_prefix_of(fs)):]
         try:
@@ -254,12 +294,14 @@ class Kernel:
         if not isinstance(inode.content, ByteStoreContent):
             inode.content = ByteStoreContent()
 
+    @_syscall_span("close")
     def close(self, fd: int) -> None:
         self._syscall("close")
         of = self._fd(fd)
         self._flush_inode(of.inode.id)
         del self._fds[fd]
 
+    @_syscall_span("unlink")
     def unlink(self, path: str) -> None:
         """Remove a file, its cached pages, and pending dirty state."""
         self._syscall("unlink")
@@ -271,18 +313,20 @@ class Kernel:
         self.page_cache.invalidate_inode(inode.id)
         self._dirty.pop(inode.id, None)
 
+    @_syscall_span("stat")
     def stat(self, path: str) -> StatResult:
         self._syscall("stat")
         fs, inode, _ = self.resolve(path)
-        self.clock.advance(fs.stat_cost(), fs.device.time_category)
+        self._charge_metadata(fs)
         return StatResult(path=path, size=inode.size,
                           is_dir=inode.is_dir, inode_id=inode.id)
 
+    @_syscall_span("listdir")
     def listdir(self, path: str) -> list[str]:
         """Names in a directory, including any mount points grafted there."""
         self._syscall("listdir")
         fs, inode, _ = self.resolve(path)
-        self.clock.advance(fs.stat_cost(), fs.device.time_category)
+        self._charge_metadata(fs)
         if not inode.is_dir:
             raise InvalidArgumentError(f"{path!r} is not a directory")
         names = set(inode.entries)
@@ -296,6 +340,7 @@ class Kernel:
     # data syscalls
     # ------------------------------------------------------------------
 
+    @_syscall_span("lseek")
     def lseek(self, fd: int, offset: int, whence: int = SEEK_SET) -> int:
         self._syscall("lseek")
         of = self._fd(fd)
@@ -314,6 +359,7 @@ class Kernel:
         of.pos = new
         return new
 
+    @_syscall_span("read")
     def read(self, fd: int, nbytes: int) -> bytes:
         """Read up to ``nbytes`` at the current position."""
         self._syscall("read")
@@ -331,6 +377,7 @@ class Kernel:
         self.counters.bytes_read += nbytes
         return data
 
+    @_syscall_span("pread")
     def pread(self, fd: int, offset: int, nbytes: int) -> bytes:
         """Positional read; does not move the file offset or readahead."""
         self._syscall("pread")
@@ -357,7 +404,11 @@ class Kernel:
             window = of.readahead.advise(page) if use_readahead else 1
             key = (inode.id, page)
             if cache.access(key):
+                self.counters.cache_hits += 1
+                if self.telemetry is not None:
+                    self.telemetry.on_hit(inode.id, page)
                 continue
+            self.counters.cache_misses += 1
             self.counters.hard_faults += 1
             cluster = 1
             limit = min(window, npages - page)
@@ -373,8 +424,15 @@ class Kernel:
                                  of.fs.device.time_category, seconds,
                                  page=page, cluster=cluster,
                                  inode=inode.id)
+            if self.telemetry is not None:
+                self.telemetry.on_fault(
+                    of.fs.device, inode.id, page, cluster, seconds,
+                    now=self.clock.now, window=window)
             for extra in range(page, page + cluster):
-                cache.insert((inode.id, extra))
+                if cache.insert((inode.id, extra)) is not None:
+                    self.counters.evictions += 1
+                if self.telemetry is not None and extra != page:
+                    self.telemetry.on_readahead_insert((inode.id, extra))
 
     def mmap(self, fd: int) -> "MappedRegion":
         """Map an open file; reads through the mapping skip the
@@ -392,6 +450,7 @@ class Kernel:
         of = self._fd(fd)
         return MappedRegion(self, of)
 
+    @_syscall_span("write")
     def write(self, fd: int, data: bytes) -> int:
         self._syscall("write")
         of = self._fd(fd)
@@ -419,7 +478,8 @@ class Kernel:
         self._charge_memory(len(data))
         dirty = self._dirty.setdefault(inode.id, (of.fs, inode, set()))[2]
         for page in page_span(of.pos, len(data)):
-            self.page_cache.insert((inode.id, page))
+            if self.page_cache.insert((inode.id, page)) is not None:
+                self.counters.evictions += 1
             dirty.add(page)
         self.counters.bytes_written += len(data)
         of.pos = end
@@ -428,6 +488,7 @@ class Kernel:
             self._flush_inode(inode.id)
         return len(data)
 
+    @_syscall_span("pwrite")
     def pwrite(self, fd: int, offset: int, data: bytes) -> int:
         """Positional write; does not move the file offset."""
         self._syscall("pwrite")
@@ -454,7 +515,8 @@ class Kernel:
         self._charge_memory(len(data))
         dirty = self._dirty.setdefault(inode.id, (of.fs, inode, set()))[2]
         for page in page_span(offset, len(data)):
-            self.page_cache.insert((inode.id, page))
+            if self.page_cache.insert((inode.id, page)) is not None:
+                self.counters.evictions += 1
             dirty.add(page)
         self.counters.bytes_written += len(data)
         inode.mtime = self.clock.now
@@ -462,6 +524,7 @@ class Kernel:
             self._flush_inode(inode.id)
         return len(data)
 
+    @_syscall_span("fsync")
     def fsync(self, fd: int) -> None:
         self._syscall("fsync")
         of = self._fd(fd)
@@ -535,6 +598,8 @@ class Kernel:
                 total_pages += run
         if not requests:
             return
+        if self.telemetry is not None:
+            self.telemetry.on_queue_depth(fs.device, len(requests))
         seconds = submit_batch(fs.device, requests, self.io_scheduler)
         self.clock.advance(self._noisy(seconds), fs.device.time_category)
         self.counters.pages_written += total_pages
@@ -551,21 +616,31 @@ class Kernel:
         charges the kernel page-walk CPU cost.
         """
         from repro.kernel.ioctl import COMMAND_NAMES
-        self._syscall(COMMAND_NAMES.get(cmd, f"ioctl:0x{cmd:04x}"))
-        if cmd == FSLEDS_FILL:
-            if not isinstance(arg, dict):
-                raise InvalidArgumentError(
-                    "FSLEDS_FILL needs {device_key: (latency, bandwidth)}")
-            self.sleds_table.fill(arg)
-            return None
-        if cmd == FSLEDS_GET:
-            of = self._fd(fd)
-            vector = build_sled_vector(
-                self.page_cache, of.fs, of.inode, self.sleds_table)
-            # kernel walks every page of the file: charge ~0.2 us per page
-            self.charge_cpu(of.inode.npages * 0.2 * USEC)
-            return vector
-        raise UnknownIoctlError(cmd)
+        name = COMMAND_NAMES.get(cmd, f"ioctl:0x{cmd:04x}")
+        tele = self.telemetry
+        span = (tele.syscall_begin(name, self.clock.now)
+                if tele is not None else None)
+        try:
+            self._syscall(name)
+            if cmd == FSLEDS_FILL:
+                if not isinstance(arg, dict):
+                    raise InvalidArgumentError(
+                        "FSLEDS_FILL needs {device_key: (latency, bandwidth)}")
+                self.sleds_table.fill(arg)
+                return None
+            if cmd == FSLEDS_GET:
+                of = self._fd(fd)
+                vector = build_sled_vector(
+                    self.page_cache, of.fs, of.inode, self.sleds_table)
+                # kernel walks every page of the file: charge ~0.2 us per page
+                self.charge_cpu(of.inode.npages * 0.2 * USEC)
+                if tele is not None:
+                    tele.on_sleds(of.inode.id, vector)
+                return vector
+            raise UnknownIoctlError(cmd)
+        finally:
+            if span is not None:
+                tele.syscall_end(span, self.clock.now)
 
     def get_sleds(self, fd: int) -> SledVector:
         """Convenience wrapper over ``ioctl(fd, FSLEDS_GET)``."""

@@ -27,6 +27,9 @@ class KernelCounters:
     bytes_read: int = 0
     bytes_written: int = 0
     readahead_pages: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evictions: int = 0
 
     def copy(self) -> "KernelCounters":
         return KernelCounters(**vars(self))
@@ -62,9 +65,21 @@ class ProcessRun:
         return self.counters.hard_faults
 
     @property
+    def hit_ratio(self) -> float:
+        """Page-cache hit ratio over the window (0.0 with no accesses)."""
+        assert self.counters is not None, "run not finalized"
+        accesses = self.counters.cache_hits + self.counters.cache_misses
+        return self.counters.cache_hits / accesses if accesses else 0.0
+
+    @property
     def cpu_time(self) -> float:
         return self.by_category.get("cpu", 0.0)
 
     @property
     def io_time(self) -> float:
-        return self.elapsed - self.cpu_time - self.by_category.get("memory", 0.0)
+        # category accounting can overlap elapsed time (e.g. writeback
+        # triggered inside the window for pages dirtied before it), so
+        # clamp instead of reporting a nonsensical negative duration
+        return max(
+            0.0,
+            self.elapsed - self.cpu_time - self.by_category.get("memory", 0.0))

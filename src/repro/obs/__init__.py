@@ -1,0 +1,43 @@
+"""Observability for the simulated storage stack (see docs/observability.md).
+
+Three pillars, one facade:
+
+* :mod:`repro.obs.metrics` — a deterministic metrics registry (counters,
+  gauges, log-bucket histograms) with Prometheus text and JSON export;
+* :mod:`repro.obs.accuracy` — SLED prediction-accuracy tracking: predicted
+  vs. actual delivery time per device class;
+* :mod:`repro.obs.spans` — span-based tracing (syscall → fault → device)
+  with Chrome trace-event JSON export;
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade that attaches
+  all three to a kernel.
+
+Telemetry is strictly observational: it never advances the virtual clock
+and never draws randomness, so simulated timings are bit-identical whether
+it is attached or not.
+"""
+
+from repro.obs.accuracy import AccuracyReport, ClassAccuracy, SledAccuracyTracker
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    log_buckets,
+)
+from repro.obs.spans import Span, SpanRecorder, chrome_trace
+from repro.obs.telemetry import Telemetry
+
+__all__ = [
+    "AccuracyReport",
+    "ClassAccuracy",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SledAccuracyTracker",
+    "Span",
+    "SpanRecorder",
+    "Telemetry",
+    "chrome_trace",
+    "log_buckets",
+]

@@ -1,0 +1,198 @@
+"""SLED prediction-accuracy tracking.
+
+The paper's whole interface is an *estimate*: ``FSLEDS_GET`` hands the
+application a latency/bandwidth guess for every file section.  This module
+answers the question the paper never quantifies for our simulator: how
+close are those guesses to what the kernel subsequently measures?
+
+Mechanism: when the kernel serves ``FSLEDS_GET`` with telemetry attached,
+the tracker snapshots the predicted (latency, bandwidth) of every page in
+the returned vector.  Later, when a page is actually delivered —
+
+* a **hard fault** reads a cluster from a device: the actual time is the
+  device access; the prediction is the lead page's SLED applied to the
+  cluster size (``latency + bytes / bandwidth``);
+* a **cache hit** delivers from memory: the actual time is the memory
+  level's per-page cost; the prediction is the page's SLED applied to one
+  page —
+
+the tracker consumes the snapshot and records the signed and absolute error
+into per-device-class calibration stats (and, when a registry is supplied,
+into ``sled_abs_error_seconds`` histograms labelled by class).
+
+Predictions are consumed on first use: a SLED describes the state at
+``FSLEDS_GET`` time, and once a page has moved (device → cache) the old
+estimate no longer applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.units import PAGE_SIZE, human_time
+
+
+@dataclass
+class ClassAccuracy:
+    """Accumulated prediction error for one device class."""
+
+    samples: int = 0
+    abs_error_sum: float = 0.0
+    error_sum: float = 0.0
+    predicted_sum: float = 0.0
+    actual_sum: float = 0.0
+
+    def add(self, predicted: float, actual: float) -> None:
+        self.samples += 1
+        self.abs_error_sum += abs(actual - predicted)
+        self.error_sum += actual - predicted
+        self.predicted_sum += predicted
+        self.actual_sum += actual
+
+    @property
+    def mean_abs_error(self) -> float:
+        return self.abs_error_sum / self.samples if self.samples else 0.0
+
+    @property
+    def mean_error(self) -> float:
+        return self.error_sum / self.samples if self.samples else 0.0
+
+    @property
+    def mean_relative_error(self) -> float:
+        """Mean absolute error over mean actual time (scale-free)."""
+        if self.actual_sum <= 0.0:
+            return 0.0
+        return self.abs_error_sum / self.actual_sum
+
+
+@dataclass
+class AccuracyReport:
+    """Snapshot of per-class calibration, ready for printing."""
+
+    by_class: dict[str, ClassAccuracy] = field(default_factory=dict)
+    predictions_outstanding: int = 0
+    unmatched_faults: int = 0
+
+    def render(self) -> str:
+        lines = ["SLED prediction accuracy (per device class):"]
+        if not self.by_class:
+            lines.append("  (no predictions were exercised)")
+        for name in sorted(self.by_class):
+            acc = self.by_class[name]
+            lines.append(
+                f"  {name:>8}: n={acc.samples:<6d} "
+                f"mean_abs_err={human_time(acc.mean_abs_error):>10} "
+                f"mean_err={'+' if acc.mean_error >= 0 else '-'}"
+                f"{human_time(abs(acc.mean_error)):<10} "
+                f"rel_err={acc.mean_relative_error:6.1%}")
+        lines.append(
+            f"  outstanding predictions: {self.predictions_outstanding}, "
+            f"deliveries without a prediction: {self.unmatched_faults}")
+        return "\n".join(lines)
+
+
+class SledAccuracyTracker:
+    """Pairs ``FSLEDS_GET`` predictions with observed delivery times."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        #: (inode_id, page) -> (predicted latency, predicted bandwidth)
+        self._predictions: dict[tuple[int, int], tuple[float, float]] = {}
+        self._by_class: dict[str, ClassAccuracy] = {}
+        self.unmatched_faults = 0
+        self._abs_error = None
+        if registry is not None:
+            self._abs_error = registry.histogram(
+                "sled_abs_error_seconds",
+                "Absolute SLED prediction error per delivery",
+                labels=("cls",))
+
+    # -- snapshotting -----------------------------------------------------
+
+    def record_prediction(self, inode_id: int, vector) -> int:
+        """Snapshot per-page predictions from one SLED vector.
+
+        Returns the number of pages snapshotted.  Re-asking for SLEDs on
+        the same file refreshes the outstanding predictions.
+        """
+        npages = (vector.file_size + PAGE_SIZE - 1) // PAGE_SIZE
+        for page in range(npages):
+            sled = vector.sled_at(page * PAGE_SIZE)
+            self._predictions[(inode_id, page)] = (sled.latency,
+                                                   sled.bandwidth)
+        return npages
+
+    def _consume(self, inode_id: int,
+                 page: int) -> tuple[float, float] | None:
+        return self._predictions.pop((inode_id, page), None)
+
+    # -- observations ----------------------------------------------------
+
+    def record_fault(self, inode_id: int, page: int, cluster: int,
+                     actual_seconds: float, device_class: str) -> None:
+        """One hard fault delivered ``cluster`` pages in ``actual_seconds``."""
+        prediction = self._consume(inode_id, page)
+        for extra in range(page + 1, page + cluster):
+            self._consume(inode_id, extra)
+        if prediction is None:
+            self.unmatched_faults += 1
+            return
+        latency, bandwidth = prediction
+        predicted = latency + (cluster * PAGE_SIZE) / bandwidth
+        self._record(device_class, predicted, actual_seconds)
+
+    def record_hit(self, inode_id: int, page: int,
+                   actual_seconds: float,
+                   device_class: str = "memory") -> None:
+        """One page delivered from the cache in ``actual_seconds``."""
+        prediction = self._consume(inode_id, page)
+        if prediction is None:
+            return
+        latency, bandwidth = prediction
+        predicted = latency + PAGE_SIZE / bandwidth
+        self._record(device_class, predicted, actual_seconds)
+
+    def _record(self, device_class: str, predicted: float,
+                actual: float) -> None:
+        acc = self._by_class.setdefault(device_class, ClassAccuracy())
+        acc.add(predicted, actual)
+        if self._abs_error is not None:
+            self._abs_error.labels(cls=device_class).observe(
+                abs(actual - predicted))
+
+    # -- reporting --------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._predictions)
+
+    def report(self) -> AccuracyReport:
+        return AccuracyReport(
+            by_class={name: acc for name, acc in self._by_class.items()},
+            predictions_outstanding=len(self._predictions),
+            unmatched_faults=self.unmatched_faults)
+
+    def to_dict(self) -> dict:
+        """JSON-ready per-class summary."""
+        return {
+            "classes": {
+                name: {
+                    "samples": acc.samples,
+                    "mean_abs_error": acc.mean_abs_error,
+                    "mean_error": acc.mean_error,
+                    "mean_relative_error": acc.mean_relative_error,
+                    "mean_predicted": (acc.predicted_sum / acc.samples
+                                       if acc.samples else 0.0),
+                    "mean_actual": (acc.actual_sum / acc.samples
+                                    if acc.samples else 0.0),
+                }
+                for name, acc in sorted(self._by_class.items())
+            },
+            "outstanding": len(self._predictions),
+            "unmatched_faults": self.unmatched_faults,
+        }
+
+    def clear(self) -> None:
+        self._predictions.clear()
+        self._by_class.clear()
+        self.unmatched_faults = 0

@@ -1,0 +1,296 @@
+"""A deterministic metrics registry: counters, gauges, histograms.
+
+The telemetry subsystem (:mod:`repro.obs`) measures the *simulated* system,
+so every number here is derived from virtual time and event counts — no
+wall clock, no sampling, no background threads.  Two identical runs produce
+byte-identical expositions, which lets tests assert on rendered output.
+
+The model follows Prometheus conventions closely enough that the text
+exposition (:meth:`MetricsRegistry.render_prometheus`) is scrapeable:
+
+* a *family* has a name, a help string and a fixed label schema;
+* each distinct label-value combination is a separate child metric;
+* histograms use fixed logarithmic buckets (time is the common unit and
+  spans nine orders of magnitude between a memory hit and a tape mount),
+  rendered as cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+
+Families with an empty label schema proxy mutations directly
+(``fam.inc()``), so single-series metrics read naturally at call sites.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+
+
+def log_buckets(lo: float = 1e-7, hi: float = 150.0,
+                factor: float = 2.0) -> tuple[float, ...]:
+    """Geometric bucket upper bounds covering ``[lo, hi]``.
+
+    The defaults span 100 ns (a memory access) to ~2.5 minutes (a tape
+    exchange plus a long locate) in doubling steps — 31 finite buckets.
+    """
+    if lo <= 0 or hi <= lo or factor <= 1.0:
+        raise ValueError(f"bad bucket spec: lo={lo}, hi={hi}, factor={factor}")
+    bounds = []
+    bound = lo
+    while bound < hi:
+        bounds.append(bound)
+        bound *= factor
+    bounds.append(bound)
+    return tuple(bounds)
+
+
+#: default latency buckets shared by every duration histogram
+LATENCY_BUCKETS = log_buckets()
+
+#: buckets for small integer distributions (queue depths, cluster sizes)
+DEPTH_BUCKETS = tuple(float(1 << i) for i in range(13))  # 1 .. 4096
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value the same way every time (exposition lines)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class Counter:
+    """A monotonically increasing sample."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up: {amount}")
+        self.value += amount
+
+    def to_dict(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A sample that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def to_dict(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram with sum and count.
+
+    ``bounds`` are the finite bucket upper edges; an implicit ``+Inf``
+    bucket catches the overflow.  Buckets are cumulative only at render
+    time; internally each slot counts its own interval.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, bounds: tuple[float, ...] = LATENCY_BUCKETS) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted: {bounds}")
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper edge of the bucket holding it."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1]: {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, n in enumerate(self.counts):
+            seen += n
+            if seen >= target and n:
+                return (self.bounds[i] if i < len(self.bounds)
+                        else self.bounds[-1])
+        return self.bounds[-1]
+
+    def to_dict(self) -> dict:
+        return {"buckets": {_fmt(b): c for b, c in
+                            zip(self.bounds, self.counts)},
+                "inf": self.counts[-1], "sum": self.sum, "count": self.count}
+
+
+@dataclass(frozen=True)
+class _LabelSchema:
+    names: tuple[str, ...]
+
+    def key_of(self, kv: dict[str, str]) -> tuple[str, ...]:
+        if set(kv) != set(self.names):
+            raise ValueError(
+                f"labels {sorted(kv)} do not match schema {self.names}")
+        return tuple(str(kv[name]) for name in self.names)
+
+
+class Family:
+    """One metric family: a label schema plus its children."""
+
+    def __init__(self, name: str, help_text: str,
+                 label_names: tuple[str, ...], factory) -> None:
+        self.name = name
+        self.help_text = help_text
+        self.schema = _LabelSchema(tuple(label_names))
+        self._factory = factory
+        self._children: dict[tuple[str, ...], object] = {}
+
+    @property
+    def kind(self) -> str:
+        return self._factory().kind if not self._children else \
+            next(iter(self._children.values())).kind
+
+    def labels(self, **kv):
+        key = self.schema.key_of(kv)
+        child = self._children.get(key)
+        if child is None:
+            child = self._factory()
+            self._children[key] = child
+        return child
+
+    # -- unlabeled convenience proxies ---------------------------------
+
+    def _only(self):
+        if self.schema.names:
+            raise ValueError(
+                f"{self.name} has labels {self.schema.names}; use .labels()")
+        return self.labels()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._only().inc(amount)
+
+    def set(self, value: float) -> None:
+        self._only().set(value)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._only().dec(amount)
+
+    def observe(self, value: float) -> None:
+        self._only().observe(value)
+
+    # -- iteration ------------------------------------------------------
+
+    def children(self) -> list[tuple[dict[str, str], object]]:
+        """(labels dict, child) pairs in deterministic (sorted) order."""
+        return [(dict(zip(self.schema.names, key)), self._children[key])
+                for key in sorted(self._children)]
+
+
+class MetricsRegistry:
+    """Registry of metric families with deterministic export."""
+
+    def __init__(self, namespace: str = "repro") -> None:
+        self.namespace = namespace
+        self._families: dict[str, Family] = {}
+
+    def _register(self, name: str, help_text: str,
+                  labels: tuple[str, ...], factory) -> Family:
+        if name in self._families:
+            raise ValueError(f"metric {name!r} already registered")
+        family = Family(name, help_text, labels, factory)
+        self._families[name] = family
+        return family
+
+    def counter(self, name: str, help_text: str,
+                labels: tuple[str, ...] = ()) -> Family:
+        return self._register(name, help_text, labels, Counter)
+
+    def gauge(self, name: str, help_text: str,
+              labels: tuple[str, ...] = ()) -> Family:
+        return self._register(name, help_text, labels, Gauge)
+
+    def histogram(self, name: str, help_text: str,
+                  labels: tuple[str, ...] = (),
+                  buckets: tuple[float, ...] = LATENCY_BUCKETS) -> Family:
+        return self._register(name, help_text, labels,
+                              lambda: Histogram(buckets))
+
+    def get(self, name: str) -> Family:
+        return self._families[name]
+
+    def families(self) -> list[Family]:
+        return [self._families[name] for name in sorted(self._families)]
+
+    # -- export ----------------------------------------------------------
+
+    def _full(self, name: str) -> str:
+        return f"{self.namespace}_{name}" if self.namespace else name
+
+    @staticmethod
+    def _labels_text(labels: dict[str, str], extra: str = "") -> str:
+        parts = [f'{k}="{v}"' for k, v in labels.items()]
+        if extra:
+            parts.append(extra)
+        return "{" + ",".join(parts) + "}" if parts else ""
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition for every family."""
+        lines: list[str] = []
+        for family in self.families():
+            children = family.children()
+            if not children:
+                continue
+            full = self._full(family.name)
+            kind = children[0][1].kind
+            lines.append(f"# HELP {full} {family.help_text}")
+            lines.append(f"# TYPE {full} {kind}")
+            for labels, child in children:
+                if isinstance(child, Histogram):
+                    cum = 0
+                    for bound, count in zip(child.bounds, child.counts):
+                        cum += count
+                        lt = self._labels_text(labels, f'le="{_fmt(bound)}"')
+                        lines.append(f"{full}_bucket{lt} {cum}")
+                    lt = self._labels_text(labels, 'le="+Inf"')
+                    lines.append(f"{full}_bucket{lt} {child.count}")
+                    lt = self._labels_text(labels)
+                    lines.append(f"{full}_sum{lt} {_fmt(child.sum)}")
+                    lines.append(f"{full}_count{lt} {child.count}")
+                else:
+                    lt = self._labels_text(labels)
+                    lines.append(f"{full}{lt} {_fmt(child.value)}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump of every family (deterministic ordering)."""
+        out: dict = {}
+        for family in self.families():
+            children = family.children()
+            if not children:
+                continue
+            out[self._full(family.name)] = {
+                "help": family.help_text,
+                "type": children[0][1].kind,
+                "series": [{"labels": labels, "value": child.to_dict()}
+                           for labels, child in children],
+            }
+        return out

@@ -1,0 +1,309 @@
+"""The telemetry facade: one object wiring metrics + spans + accuracy.
+
+A :class:`Telemetry` instance bundles the three observability pillars —
+the :class:`~repro.obs.metrics.MetricsRegistry`, the
+:class:`~repro.obs.spans.SpanRecorder` and the
+:class:`~repro.obs.accuracy.SledAccuracyTracker` — and knows how to attach
+itself to a simulated kernel::
+
+    telemetry = Telemetry()
+    telemetry.attach(machine.kernel)
+    with machine.kernel.process() as run:
+        wc(machine.kernel, "/mnt/ext2/big.txt", use_sleds=True)
+    telemetry.detach()
+    print(telemetry.accuracy.report().render())
+    print(telemetry.render_prometheus())
+
+Attachment installs observers on the page cache and on every reachable
+device, and sets ``kernel.telemetry`` so the kernel's inline hooks fire.
+Everything recorded is *derived from virtual time*: telemetry never
+advances the clock, never draws from the RNG streams, and therefore never
+changes a single simulated timing — runs are bit-identical with telemetry
+attached, detached, or never constructed (asserted by tests).
+"""
+
+from __future__ import annotations
+
+from repro.obs.accuracy import SledAccuracyTracker
+from repro.obs.metrics import DEPTH_BUCKETS, MetricsRegistry
+from repro.obs.spans import SpanRecorder, chrome_trace
+from repro.sim.units import PAGE_SIZE
+
+
+class Telemetry:
+    """Metrics registry + span recorder + SLED accuracy tracker."""
+
+    def __init__(self, span_capacity: int = 100_000, tracer=None,
+                 namespace: str = "repro") -> None:
+        self.registry = MetricsRegistry(namespace=namespace)
+        self.spans = SpanRecorder(capacity=span_capacity, tracer=tracer)
+        self.accuracy = SledAccuracyTracker(registry=self.registry)
+        self._kernel = None
+        self._policy_name = "none"
+        #: readahead-inserted pages that have not been read yet
+        self._pending_ra: set = set()
+        #: device accesses awaiting a parent span: (t, name, dur, bytes, op)
+        self._pending_dev: list[tuple[float, str, float, int, str]] = []
+        self._observed_devices: list = []
+
+        r = self.registry
+        self.syscalls = r.counter(
+            "syscalls_total", "Syscalls served", labels=("name",))
+        self.syscall_latency = r.histogram(
+            "syscall_latency_seconds", "Virtual latency per syscall",
+            labels=("name",))
+        self.faults = r.counter(
+            "faults_total", "Hard page faults", labels=("device",))
+        self.fault_latency = r.histogram(
+            "fault_latency_seconds", "Virtual latency per hard fault",
+            labels=("device",))
+        self.fault_cluster = r.histogram(
+            "fault_cluster_pages", "Pages fetched per hard fault",
+            labels=("device",), buckets=DEPTH_BUCKETS)
+        self.device_access = r.counter(
+            "device_access_total", "Accesses per device",
+            labels=("device", "op"))
+        self.device_bytes = r.counter(
+            "device_bytes_total", "Bytes moved per device",
+            labels=("device", "op"))
+        self.device_latency = r.histogram(
+            "device_access_seconds", "Virtual latency per device access",
+            labels=("device",))
+        self.device_busy = r.gauge(
+            "device_busy_seconds", "Cumulative busy time per device",
+            labels=("device",))
+        self.queue_depth = r.histogram(
+            "device_queue_depth", "Requests per writeback batch",
+            labels=("device",), buckets=DEPTH_BUCKETS)
+        self.cache_hits = r.counter(
+            "cache_hits_total", "Page-cache hits", labels=("policy",))
+        self.cache_misses = r.counter(
+            "cache_misses_total", "Page-cache misses", labels=("policy",))
+        self.cache_evictions = r.counter(
+            "cache_evictions_total", "Page-cache evictions",
+            labels=("policy", "forced"))
+        self.cache_insertions = r.counter(
+            "cache_insertions_total", "Page-cache insertions",
+            labels=("policy",))
+        self.cache_resident = r.gauge(
+            "cache_resident_pages", "Pages currently resident")
+        self.readahead_issued = r.counter(
+            "readahead_issued_pages_total",
+            "Pages speculatively fetched beyond the demand page")
+        self.readahead_used = r.counter(
+            "readahead_used_pages_total",
+            "Speculatively fetched pages later hit by a read")
+        self.readahead_window = r.gauge(
+            "readahead_window_pages", "Readahead window at the last fault")
+        self.metadata_latency = r.histogram(
+            "metadata_latency_seconds",
+            "Virtual latency of metadata operations (stat/lookup)",
+            labels=("fs",))
+        self.remote_metadata_ops = r.gauge(
+            "remote_metadata_ops", "Metadata round trips per remote mount",
+            labels=("fs",))
+        self.sleds_requests = r.counter(
+            "sleds_get_total", "FSLEDS_GET requests served")
+        self.sleds_vector_sleds = r.histogram(
+            "sleds_vector_sleds", "SLEDs per returned vector",
+            buckets=DEPTH_BUCKETS)
+        self.migration_seconds = r.histogram(
+            "hsm_migration_seconds", "Virtual seconds per HSM migration")
+        self.migrated_files = r.counter(
+            "hsm_migrated_files_total", "Files migrated to tape")
+        self.virtual_time = r.gauge(
+            "virtual_time_seconds", "Virtual clock per charge category",
+            labels=("category",))
+        self.kernel_counter = r.gauge(
+            "kernel_counter", "Cumulative kernel counters",
+            labels=("name",))
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+
+    def attach(self, kernel) -> None:
+        """Install this telemetry on ``kernel`` (attach after mounting)."""
+        if self._kernel is not None:
+            raise ValueError("telemetry is already attached to a kernel")
+        self._kernel = kernel
+        kernel.telemetry = self
+        self._policy_name = getattr(
+            kernel.page_cache.policy, "name",
+            type(kernel.page_cache.policy).__name__.lower())
+        kernel.page_cache.observer = self
+        seen: set[int] = set()
+        for device in self._reachable_devices(kernel):
+            if id(device) in seen:
+                continue
+            seen.add(id(device))
+            device.observer = self
+            self._observed_devices.append(device)
+
+    def detach(self) -> None:
+        """Stop observing; recorded data stays readable."""
+        kernel = self._kernel
+        if kernel is None:
+            return
+        kernel.telemetry = None
+        kernel.page_cache.observer = None
+        for device in self._observed_devices:
+            device.observer = None
+        self._observed_devices.clear()
+        self._pending_dev.clear()
+        self._kernel = None
+
+    @staticmethod
+    def _reachable_devices(kernel):
+        yield kernel.memory
+        for _, fs in kernel.mounts():
+            yield from fs.observable_devices()
+
+    # ------------------------------------------------------------------
+    # kernel hooks (called only while attached)
+    # ------------------------------------------------------------------
+
+    def syscall_begin(self, name: str, t: float):
+        return self.spans.begin("syscall", name, t)
+
+    def syscall_end(self, open_span, t: float) -> None:
+        self._drain_pending(parent_id=open_span.id, floor=open_span.start)
+        self.spans.end(open_span, t)
+        self.syscalls.labels(name=open_span.name).inc()
+        self.syscall_latency.labels(name=open_span.name).observe(
+            t - open_span.start)
+
+    def on_fault(self, device, inode_id: int, page: int, cluster: int,
+                 seconds: float, now: float, window: int) -> None:
+        cls = device.time_category
+        self.faults.labels(device=cls).inc()
+        self.fault_latency.labels(device=cls).observe(seconds)
+        self.fault_cluster.labels(device=cls).observe(cluster)
+        self.readahead_window.set(window)
+        if cluster > 1:
+            self.readahead_issued.inc(cluster - 1)
+        span = self.spans.add("fault", cls, now - seconds, now,
+                              page=page, cluster=cluster, inode=inode_id)
+        self._drain_pending(parent_id=span.id, floor=span.start)
+        self.accuracy.record_fault(inode_id, page, cluster, seconds, cls)
+
+    def on_hit(self, inode_id: int, page: int) -> None:
+        """A read found its page resident; settle any SLED prediction."""
+        kernel = self._kernel
+        if kernel is None:
+            return
+        spec = kernel.memory.spec
+        actual = spec.latency + PAGE_SIZE / spec.bandwidth
+        self.accuracy.record_hit(inode_id, page, actual)
+
+    def on_readahead_insert(self, key) -> None:
+        self._pending_ra.add(key)
+
+    def on_metadata(self, fs_name: str, seconds: float) -> None:
+        self.metadata_latency.labels(fs=fs_name).observe(seconds)
+
+    def on_queue_depth(self, device, depth: int) -> None:
+        self.queue_depth.labels(device=device.name).observe(depth)
+
+    def on_sleds(self, inode_id: int, vector) -> None:
+        self.sleds_requests.inc()
+        self.sleds_vector_sleds.observe(len(vector))
+        self.accuracy.record_prediction(inode_id, vector)
+
+    def on_migration(self, files: int, seconds: float) -> None:
+        self.migrated_files.inc(files)
+        self.migration_seconds.observe(seconds)
+
+    # ------------------------------------------------------------------
+    # device observer (installed on every reachable Device)
+    # ------------------------------------------------------------------
+
+    def on_device_access(self, device, addr: int, nbytes: int,
+                         seconds: float, is_write: bool) -> None:
+        op = "write" if is_write else "read"
+        name = device.name
+        self.device_access.labels(device=name, op=op).inc()
+        self.device_bytes.labels(device=name, op=op).inc(nbytes)
+        self.device_latency.labels(device=name).observe(seconds)
+        if self.spans.open_depth > 0 and self._kernel is not None:
+            self._pending_dev.append(
+                (self._kernel.clock.now, name, seconds, nbytes, op))
+
+    def _drain_pending(self, parent_id: int, floor: float) -> None:
+        """Lay buffered device accesses out sequentially under a parent."""
+        if not self._pending_dev:
+            return
+        cursor = floor
+        for t, name, seconds, nbytes, op in self._pending_dev:
+            start = max(t, cursor)
+            self.spans.add("device", name, start, start + seconds,
+                           parent_id=parent_id, bytes=nbytes, op=op)
+            cursor = start + seconds
+        self._pending_dev.clear()
+
+    # ------------------------------------------------------------------
+    # page-cache observer
+    # ------------------------------------------------------------------
+
+    def on_cache_access(self, key, hit: bool) -> None:
+        if hit:
+            self.cache_hits.labels(policy=self._policy_name).inc()
+            if key in self._pending_ra:
+                self._pending_ra.discard(key)
+                self.readahead_used.inc()
+        else:
+            self.cache_misses.labels(policy=self._policy_name).inc()
+
+    def on_cache_insert(self, key) -> None:
+        self.cache_insertions.labels(policy=self._policy_name).inc()
+
+    def on_cache_evict(self, key, forced: bool) -> None:
+        self.cache_evictions.labels(
+            policy=self._policy_name,
+            forced="true" if forced else "false").inc()
+        self._pending_ra.discard(key)
+
+    def on_cache_remove(self, key) -> None:
+        self._pending_ra.discard(key)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Refresh point-in-time gauges from the attached kernel."""
+        kernel = self._kernel
+        if kernel is None:
+            return
+        for category, seconds in sorted(kernel.clock.categories().items()):
+            self.virtual_time.labels(category=category).set(seconds)
+        self.virtual_time.labels(category="total").set(kernel.clock.now)
+        self.cache_resident.set(len(kernel.page_cache))
+        for name, value in sorted(vars(kernel.counters).items()):
+            self.kernel_counter.labels(name=name).set(value)
+        for device in self._observed_devices:
+            self.device_busy.labels(device=device.name).set(
+                device.stats.busy_time)
+        for _, fs in kernel.mounts():
+            ops = getattr(fs, "metadata_ops", None)
+            if ops is not None:
+                self.remote_metadata_ops.labels(fs=fs.name).set(ops)
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (refreshes snapshot gauges first)."""
+        self.snapshot()
+        return self.registry.render_prometheus()
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump: metrics + accuracy + span statistics."""
+        self.snapshot()
+        return {
+            "metrics": self.registry.to_dict(),
+            "accuracy": self.accuracy.to_dict(),
+            "spans": {"recorded": len(self.spans),
+                      "dropped": self.spans.dropped},
+        }
+
+    def chrome_trace(self) -> dict:
+        """Chrome trace-event JSON of every recorded span."""
+        return chrome_trace(self.spans)

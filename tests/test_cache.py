@@ -240,6 +240,21 @@ class TestReadahead:
         window.reset()
         assert window.window_pages == window.min_pages
 
+    def test_grow_and_collapse_counters(self):
+        window = ReadaheadWindow(min_pages=4, max_pages=16)
+        for page in range(4):
+            window.advise(page)          # two doublings, then capped
+        assert window.grows == 2
+        window.advise(100)               # random access collapses
+        assert window.collapses == 1
+
+    def test_collapse_at_minimum_not_counted(self):
+        window = ReadaheadWindow(min_pages=4, max_pages=16)
+        window.advise(0)
+        window.advise(50)                # window still at min_pages
+        assert window.collapses == 0
+        assert window.grows == 0
+
     def test_negative_page_rejected(self):
         with pytest.raises(ValueError):
             ReadaheadWindow().advise(-1)

@@ -1,0 +1,70 @@
+"""Tests for per-run accounting: counters, hit ratio, time clamping."""
+
+import pytest
+
+from repro.apps.wc import wc
+from repro.kernel.stats import KernelCounters, ProcessRun
+from repro.sim.units import PAGE_SIZE
+
+
+class TestKernelCounters:
+    def test_cache_counters_delta(self):
+        a = KernelCounters(cache_hits=10, cache_misses=4, evictions=2)
+        b = KernelCounters(cache_hits=25, cache_misses=9, evictions=2)
+        delta = b.delta(a)
+        assert delta.cache_hits == 15
+        assert delta.cache_misses == 5
+        assert delta.evictions == 0
+
+    def test_kernel_maintains_cache_counters(self, unix_machine):
+        k = unix_machine.kernel
+        unix_machine.ext2.create_text_file("f", 8 * PAGE_SIZE, seed=1)
+        with k.process() as cold:
+            wc(k, "/mnt/ext2/f")
+        with k.process() as warm:
+            wc(k, "/mnt/ext2/f")
+        assert cold.counters.cache_misses > 0
+        assert warm.counters.cache_misses == 0
+        assert warm.counters.cache_hits > 0
+
+    def test_evictions_counted_under_pressure(self, unix_machine):
+        k = unix_machine.kernel
+        cache_pages = k.page_cache.capacity_pages
+        unix_machine.ext2.create_text_file(
+            "big", (cache_pages + 32) * PAGE_SIZE, seed=1)
+        with k.process() as run:
+            wc(k, "/mnt/ext2/big")
+        assert run.counters.evictions > 0
+
+
+class TestProcessRun:
+    def test_hit_ratio(self, unix_machine):
+        k = unix_machine.kernel
+        unix_machine.ext2.create_text_file("f", 8 * PAGE_SIZE, seed=1)
+        with k.process() as cold:
+            wc(k, "/mnt/ext2/f")
+        with k.process() as warm:
+            wc(k, "/mnt/ext2/f")
+        assert 0.0 < cold.hit_ratio < 1.0
+        assert warm.hit_ratio == 1.0
+
+    def test_hit_ratio_no_accesses_is_zero(self):
+        run = ProcessRun(counters=KernelCounters())
+        assert run.hit_ratio == 0.0
+
+    def test_hit_ratio_requires_finalized_run(self):
+        with pytest.raises(AssertionError):
+            ProcessRun().hit_ratio
+
+    def test_io_time_clamped_at_zero(self):
+        run = ProcessRun(counters=KernelCounters(), elapsed=1.0,
+                         by_category={"cpu": 0.8, "memory": 0.3})
+        assert run.io_time == 0.0
+
+    def test_io_time_positive_when_io_dominates(self, unix_machine):
+        k = unix_machine.kernel
+        unix_machine.ext2.create_text_file("f", 8 * PAGE_SIZE, seed=1)
+        with k.process() as run:
+            wc(k, "/mnt/ext2/f")
+        assert run.io_time > 0.0
+        assert run.io_time <= run.elapsed

@@ -151,3 +151,38 @@ class TestCli:
         out = capsys.readouterr().out
         assert "big.txt" in out and "small.txt" in out
         assert "cached" in out
+
+    def test_stats_warm_reports_accuracy(self, capsys):
+        assert main(["stats", "/mnt/ext2/demo/big.txt", "--warm"]) == 0
+        out = capsys.readouterr().out
+        assert "SLED prediction accuracy" in out
+        assert "disk" in out
+        assert "memory" in out
+        assert "hit ratio" in out
+
+    def test_stats_prometheus_format(self, capsys):
+        assert main(["stats", "/mnt/ext2/demo/big.txt",
+                     "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_syscalls_total counter" in out
+
+    def test_stats_json_to_file(self, capsys, tmp_path):
+        out_path = tmp_path / "metrics.json"
+        assert main(["stats", "/mnt/ext2/demo/big.txt", "--format", "json",
+                     "--app", "grep", "-o", str(out_path)]) == 0
+        dump = json.loads(out_path.read_text())
+        assert "metrics" in dump and "accuracy" in dump
+
+    def test_trace_exports_chrome_json(self, capsys, tmp_path):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "/mnt/ext2/demo/big.txt",
+                     "-o", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        events = doc["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        assert {"syscall", "fault", "device"} <= {e["cat"] for e in events}
+
+    def test_trace_to_stdout(self, capsys):
+        assert main(["trace", "/mnt/ext2/demo/small.txt"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["traceEvents"]

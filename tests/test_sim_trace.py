@@ -57,6 +57,16 @@ class TestTracer:
         tracer.clear()
         assert len(tracer) == 0
 
+    def test_filters_compose(self):
+        tracer = Tracer()
+        tracer.emit(0.0, "syscall", "read")
+        tracer.emit(1.0, "syscall", "read")
+        tracer.emit(2.0, "syscall", "write")
+        tracer.emit(3.0, "fault", "read")  # detail collides across kinds
+        events = tracer.events(kind="syscall", detail="read", since=0.5)
+        assert len(events) == 1
+        assert events[0].time == 1.0
+
 
 class TestKernelIntegration:
     def _traced_machine(self):
@@ -111,6 +121,25 @@ class TestKernelIntegration:
         machine.kernel.warm_file("/mnt/ext2/f")
         assert tracer.events(kind="fault") == []
 
+    def test_disabled_tracer_costs_nothing(self):
+        """Tracing must not perturb virtual time: with the tracer detached
+        the run is bit-identical to one on a machine that never traced."""
+        plain = Machine.unix_utilities(cache_pages=64, seed=501)
+        plain.boot()
+        plain.ext2.create_text_file("f", 8 * PAGE_SIZE, seed=1)
+
+        machine, tracer = self._traced_machine()
+        machine.kernel.detach_tracer()
+        machine.ext2.create_text_file("f", 8 * PAGE_SIZE, seed=1)
+
+        with plain.kernel.process() as want:
+            plain.kernel.warm_file("/mnt/ext2/f")
+        with machine.kernel.process() as got:
+            machine.kernel.warm_file("/mnt/ext2/f")
+        assert len(tracer) == 0
+        assert got.elapsed == want.elapsed
+        assert got.by_category == want.by_category
+
 
 class TestTimeline:
     def test_render_empty(self):
@@ -125,3 +154,21 @@ class TestTimeline:
         assert "syscall" in text
         assert "fault" in text
         assert "|" in text or "#" in text
+
+    def test_render_single_event(self):
+        # one event: the time span is degenerate but must still render
+        text = render_timeline([TraceEvent(1.0, "fault", "disk", 0.0)],
+                               width=40)
+        assert "fault" in text
+        assert "|" in text
+
+    def test_render_zero_duration_uses_tick_glyph(self):
+        events = [
+            TraceEvent(0.0, "syscall", "open", 0.0),
+            TraceEvent(1.0, "fault", "disk", 0.5),
+        ]
+        text = render_timeline(events, width=40)
+        syscall_row = next(l for l in text.splitlines() if "syscall" in l)
+        fault_row = next(l for l in text.splitlines() if "fault" in l)
+        assert "|" in syscall_row and "#" not in syscall_row
+        assert "#" in fault_row
