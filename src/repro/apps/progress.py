@@ -96,6 +96,7 @@ def retrieve_with_progress(kernel, path: str,
     try:
         size = kernel.stat(path).size
         vector = kernel.get_sleds(fd)
+        stamp = kernel.sleds_stamp(fd)
         report = RetrievalReport(
             path=path, size=size, total_time=0.0,
             initial_estimate=_remaining_estimate(vector, 0))
@@ -114,7 +115,14 @@ def retrieve_with_progress(kernel, path: str,
                 rate = done / elapsed if elapsed > 0 else 0.0
                 eta_dynamic = ((size - done) / rate if rate > 0 else None)
                 if refresh_vector:
-                    vector = kernel.get_sleds(fd)
+                    now_stamp = kernel.sleds_stamp(fd)
+                    if now_stamp != stamp:
+                        vector = kernel.get_sleds(fd)
+                        stamp = kernel.sleds_stamp(fd)
+                    else:
+                        # stamp unchanged: the ioctl would return the same
+                        # vector, so the progress bar keeps the one it has
+                        kernel.counters.sleds_refetch_skips += 1
                 report.samples.append(ProgressSample(
                     bytes_done=done,
                     fraction_done=done / size,

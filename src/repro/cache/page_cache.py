@@ -14,6 +14,15 @@ Two access styles matter:
 * :meth:`peek` — the SLED builder: checks residency *without* touching
   recency, so asking for SLEDs does not itself distort the cache state the
   SLEDs describe.
+
+For the SLED builder the cache additionally maintains a per-inode
+*residency index* (``inode_id -> set of resident page indices``) and a
+per-inode *generation*: a monotonically increasing counter bumped on every
+insert, eviction, or invalidation that changes the inode's residency.  The
+index makes per-inode queries O(resident-in-inode) instead of O(npages) or
+O(cache-size); the generation is the cache half of the stamp that lets the
+kernel serve repeated ``FSLEDS_GET`` requests without re-walking the file
+(see :mod:`repro.core.builder` and ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -21,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cache.policies import PageKey, ReplacementPolicy, make_policy
+
+_EMPTY_PAGES: frozenset[int] = frozenset()
 
 
 @dataclass
@@ -69,6 +80,11 @@ class PageCache:
         self.max_pinned_fraction = max_pinned_fraction
         self._resident: set[PageKey] = set()
         self._pinned: set[PageKey] = set()
+        #: per-inode residency index: inode_id -> resident page indices
+        self._by_inode: dict[int, set[int]] = {}
+        #: per-inode residency generation; entries survive full eviction so
+        #: a generation never moves backwards for a given inode id
+        self._generations: dict[int, int] = {}
         self.stats = CacheStats()
         #: optional telemetry observer (see repro.obs.telemetry) receiving
         #: on_cache_access / on_cache_insert / on_cache_evict /
@@ -87,13 +103,42 @@ class PageCache:
         """Residency check that does not disturb replacement state."""
         return key in self._resident
 
+    def generation(self, inode_id: int) -> int:
+        """The inode's residency generation: bumps on every insert,
+        eviction, or invalidation touching the inode.  Two equal readings
+        with no interleaving bump guarantee identical residency."""
+        return self._generations.get(inode_id, 0)
+
+    def resident_set(self, inode_id: int) -> frozenset[int] | set[int]:
+        """The inode's resident page indices — a read-only view, valid
+        until the next mutation.  O(1); callers must not modify it."""
+        return self._by_inode.get(inode_id, _EMPTY_PAGES)
+
     def resident_pages(self, inode_id: int, npages: int) -> list[bool]:
         """Residency bitmap for the first ``npages`` pages of an inode."""
-        return [(inode_id, idx) in self._resident for idx in range(npages)]
+        pages = self._by_inode.get(inode_id, _EMPTY_PAGES)
+        return [idx in pages for idx in range(npages)]
 
     def resident_count(self, inode_id: int, npages: int) -> int:
         """Number of the inode's first ``npages`` pages currently cached."""
-        return sum(self.resident_pages(inode_id, npages))
+        pages = self._by_inode.get(inode_id, _EMPTY_PAGES)
+        return sum(1 for page in pages if page < npages)
+
+    # -- index maintenance -----------------------------------------------
+
+    def _index_add(self, key: PageKey) -> None:
+        inode_id, page = key
+        self._by_inode.setdefault(inode_id, set()).add(page)
+        self._generations[inode_id] = self._generations.get(inode_id, 0) + 1
+
+    def _index_discard(self, key: PageKey) -> None:
+        inode_id, page = key
+        pages = self._by_inode.get(inode_id)
+        if pages is not None:
+            pages.discard(page)
+            if not pages:
+                del self._by_inode[inode_id]
+        self._generations[inode_id] = self._generations.get(inode_id, 0) + 1
 
     # -- the read/write path --------------------------------------------------
 
@@ -130,6 +175,7 @@ class PageCache:
         if len(self._resident) >= self.capacity_pages:
             evicted = self._evict_one()
         self._resident.add(key)
+        self._index_add(key)
         self.policy.on_insert(key)
         self.stats.insertions += 1
         if self.observer is not None:
@@ -141,17 +187,18 @@ class PageCache:
             victim = self.policy.choose_victim()
             if victim not in self._pinned:
                 self._resident.discard(victim)
+                self._index_discard(victim)
                 self.stats.evictions += 1
                 if self.observer is not None:
                     self.observer.on_cache_evict(victim, forced=False)
                 return victim
             # pinned: give it a fresh lease and keep looking
-            self.policy.on_insert(victim)
-            self.policy.on_hit(victim)
+            self.policy.on_refresh(victim)
         # every resident page is pinned: forced eviction, oldest pinned
         victim = self.policy.choose_victim()
         self._pinned.discard(victim)
         self._resident.discard(victim)
+        self._index_discard(victim)
         self.stats.evictions += 1
         self.stats.forced_pinned_evictions += 1
         if self.observer is not None:
@@ -196,6 +243,7 @@ class PageCache:
         if key not in self._resident:
             return False
         self._resident.discard(key)
+        self._index_discard(key)
         self._pinned.discard(key)
         self.policy.on_remove(key)
         self.stats.invalidations += 1
@@ -204,17 +252,24 @@ class PageCache:
         return True
 
     def invalidate_inode(self, inode_id: int) -> int:
-        """Drop every cached page of an inode; returns the count dropped."""
-        victims = [k for k in self._resident
-                   if isinstance(k, tuple) and k and k[0] == inode_id]
-        for key in victims:
+        """Drop every cached page of an inode; returns the count dropped.
+
+        O(resident-in-inode) via the residency index.  Always bumps the
+        inode's generation, so a kernel-cached SLED vector is invalidated
+        even when nothing was resident.
+        """
+        pages = self._by_inode.pop(inode_id, None)
+        count = len(pages) if pages else 0
+        for page in pages or ():
+            key = (inode_id, page)
             self._resident.discard(key)
             self._pinned.discard(key)
             self.policy.on_remove(key)
             if self.observer is not None:
                 self.observer.on_cache_remove(key)
-        self.stats.invalidations += len(victims)
-        return len(victims)
+        self._generations[inode_id] = self._generations.get(inode_id, 0) + 1
+        self.stats.invalidations += count
+        return count
 
     def clear(self) -> int:
         """Drop everything (e.g. to simulate a cold boot); returns count."""
@@ -225,5 +280,8 @@ class PageCache:
                 self.observer.on_cache_remove(key)
         self._resident.clear()
         self._pinned.clear()
+        for inode_id in self._by_inode:
+            self._generations[inode_id] = self._generations.get(inode_id, 0) + 1
+        self._by_inode.clear()
         self.stats.invalidations += count
         return count

@@ -42,6 +42,18 @@ class ReplacementPolicy(ABC):
     def on_remove(self, key: PageKey) -> None:
         """A page was removed without eviction (invalidation)."""
 
+    def on_refresh(self, key: PageKey) -> None:
+        """Re-admit a victim the cache declined to evict (it was pinned).
+
+        ``choose_victim`` already forgot the key, so the default re-insert
+        is correct for the built-in policies; policies whose ``on_insert``
+        is not safe to call twice for a key they may still track (e.g. a
+        list-backed FIFO that appends unconditionally) must override this
+        with a guarded path instead of relying on insert + hit.
+        """
+        self.on_insert(key)
+        self.on_hit(key)
+
     @abstractmethod
     def __len__(self) -> int:
         """Number of tracked keys."""
@@ -69,6 +81,11 @@ class LruPolicy(ReplacementPolicy):
 
     def on_remove(self, key: PageKey) -> None:
         self._order.pop(key, None)
+
+    def on_refresh(self, key: PageKey) -> None:
+        # idempotent whether or not choose_victim forgot the key
+        self._order[key] = None
+        self._order.move_to_end(key)
 
     def __len__(self) -> int:
         return len(self._order)
@@ -107,6 +124,10 @@ class ClockPolicy(ReplacementPolicy):
 
     def on_remove(self, key: PageKey) -> None:
         self._ring.pop(key, None)
+
+    def on_refresh(self, key: PageKey) -> None:
+        # appends behind the hand when forgotten, else just re-references
+        self._ring[key] = True
 
     def __len__(self) -> int:
         return len(self._ring)
@@ -166,6 +187,11 @@ class TwoQPolicy(ReplacementPolicy):
         self._a1in.pop(key, None)
         self._am.pop(key, None)
         self._ghost.pop(key, None)
+
+    def on_refresh(self, key: PageKey) -> None:
+        if key not in self._a1in and key not in self._am:
+            self.on_insert(key)
+        self.on_hit(key)
 
     def __len__(self) -> int:
         return len(self._a1in) + len(self._am)

@@ -6,8 +6,20 @@ resides, it assigns a latency and bandwidth from the sleds table to this
 page.  If consecutive pages have the same latency and bandwidth, i.e. they
 are in the same storage device, they are grouped into one SLED."
 
-Residency checks use :meth:`PageCache.peek` so asking for SLEDs does not
-itself perturb the cache recency the SLEDs describe.
+Two builders produce bit-identical vectors:
+
+* :func:`build_sled_vector_full_walk` — the paper's literal O(npages)
+  walk, one residency peek plus one ``page_estimate`` per page.  Kept as
+  the reference implementation for property tests and benchmarks.
+* :func:`build_sled_vector` — the production path: O(resident + runs).
+  Resident pages come from the cache's per-inode residency index as
+  intervals; the gaps between them are answered by the filesystem's
+  batched :meth:`~repro.fs.filesystem.FileSystem.span_estimates`, which
+  reports contiguous same-level runs straight from layout/HSM/NFS state.
+
+Residency checks use the cache's index (or :meth:`PageCache.peek` in the
+full walk) so asking for SLEDs does not itself perturb the cache recency
+the SLEDs describe.
 """
 
 from __future__ import annotations
@@ -15,7 +27,7 @@ from __future__ import annotations
 from repro.cache.page_cache import PageCache
 from repro.core.sled import Sled, SledVector
 from repro.core.sled_table import SledTable
-from repro.fs.filesystem import FileSystem
+from repro.fs.filesystem import FileSystem, PageEstimate
 from repro.fs.inode import Inode
 from repro.sim.units import PAGE_SIZE
 
@@ -26,7 +38,13 @@ def page_level(cache: PageCache, fs: FileSystem, inode: Inode,
     if cache.peek((inode.id, page_index)):
         row = table.memory
         return row.latency, row.bandwidth
-    estimate = fs.page_estimate(inode, page_index)
+    return resolve_estimate(table, fs.page_estimate(inode, page_index))
+
+
+def resolve_estimate(table: SledTable,
+                     estimate: PageEstimate) -> tuple[float, float]:
+    """Turn a filesystem estimate into concrete (latency, bandwidth),
+    falling back to the boot-time sleds-table row where not overridden."""
     if estimate.latency is not None and estimate.bandwidth is not None:
         return estimate.latency, estimate.bandwidth
     row = table.lookup(estimate.device_key)
@@ -36,27 +54,75 @@ def page_level(cache: PageCache, fs: FileSystem, inode: Inode,
     return latency, bandwidth
 
 
-def build_sled_vector(cache: PageCache, fs: FileSystem, inode: Inode,
-                      table: SledTable) -> SledVector:
-    """The FSLEDS_GET payload: a validated SLED vector for ``inode``."""
-    size = inode.size
-    if size == 0:
-        return SledVector([], file_size=0)
+def _emit(levels: list[tuple[int, tuple[float, float]]],
+          size: int) -> SledVector:
+    """Fold per-run levels (lengths in pages, in file order) into SLEDs,
+    merging same-level neighbours; the last SLED is clamped to ``size``."""
     sleds: list[Sled] = []
+    page_cursor = 0
     run_start = 0
     run_level: tuple[float, float] | None = None
-    npages = inode.npages
-    for page_index in range(npages):
-        level = page_level(cache, fs, inode, page_index, table)
+    for run_pages, level in levels:
         if run_level is None:
             run_level = level
         elif level != run_level:
             offset = run_start * PAGE_SIZE
-            end = page_index * PAGE_SIZE
+            end = page_cursor * PAGE_SIZE
             sleds.append(Sled(offset, end - offset, *run_level))
-            run_start = page_index
+            run_start = page_cursor
             run_level = level
+        page_cursor += run_pages
     assert run_level is not None
     offset = run_start * PAGE_SIZE
     sleds.append(Sled(offset, size - offset, *run_level))
     return SledVector(sleds, file_size=size)
+
+
+def build_sled_vector(cache: PageCache, fs: FileSystem, inode: Inode,
+                      table: SledTable) -> SledVector:
+    """The FSLEDS_GET payload: a validated SLED vector for ``inode``.
+
+    Cost is O(resident-in-inode + estimate runs), not O(npages): resident
+    intervals come from the cache's per-inode index and the non-resident
+    gaps are filled by one ``span_estimates`` call each.
+    """
+    size = inode.size
+    if size == 0:
+        return SledVector([], file_size=0)
+    npages = inode.npages
+    row = table.memory
+    memory_level = (row.latency, row.bandwidth)
+    resident = sorted(p for p in cache.resident_set(inode.id)
+                      if 0 <= p < npages)
+    levels: list[tuple[int, tuple[float, float]]] = []
+    cursor = 0
+    i = 0
+    while cursor < npages:
+        if i < len(resident) and resident[i] == cursor:
+            run = 1
+            while (i + run < len(resident)
+                   and resident[i + run] == cursor + run):
+                run += 1
+            levels.append((run, memory_level))
+            cursor += run
+            i += run
+        else:
+            gap_end = resident[i] if i < len(resident) else npages
+            for run_pages, estimate in fs.span_estimates(
+                    inode, cursor, gap_end - cursor):
+                levels.append((run_pages, resolve_estimate(table, estimate)))
+            cursor = gap_end
+    return _emit(levels, size)
+
+
+def build_sled_vector_full_walk(cache: PageCache, fs: FileSystem,
+                                inode: Inode, table: SledTable) -> SledVector:
+    """Reference implementation: the paper's literal per-page walk."""
+    size = inode.size
+    if size == 0:
+        return SledVector([], file_size=0)
+    npages = inode.npages
+    return _emit(
+        [(1, page_level(cache, fs, inode, page, table))
+         for page in range(npages)],
+        size)

@@ -91,6 +91,9 @@ class SledsPickSession:
         self.picks = 0
         self._heap: list[_Chunk] = []
         self._pinned: set = set()
+        #: kernel stamp of the last vector fetch; refreshes are skipped
+        #: outright while it is unchanged (nothing the builder reads moved)
+        self._stamp = None
         self._load_vector()
         if pin_cached:
             self._pin_cached_chunks()
@@ -106,6 +109,9 @@ class SledsPickSession:
 
     def _load_vector(self) -> None:
         vector = self._fetch_vector()
+        # stamped after the fetch: record_mode's boundary reads may
+        # themselves change cache state, and the stamp must cover them
+        self._stamp = self.kernel.sleds_stamp(self.fd)
         self.kernel.charge_cpu(len(vector) * INIT_CPU_PER_SLED)
         self._heap = self._chunks_from(vector)
         heapq.heapify(self._heap)
@@ -138,9 +144,15 @@ class SledsPickSession:
         return float((sled.offset * 2654435761) % 1000003)
 
     def _refresh(self) -> None:
+        if self.kernel.sleds_stamp(self.fd) == self._stamp:
+            # nothing the SLED builder reads has moved since the last
+            # fetch: the vector would come back identical, so don't ask
+            self.kernel.counters.sleds_refetch_skips += 1
+            return
         remaining = sorted((c.offset, c.offset + c.length)
                            for c in self._heap)
         vector = self._fetch_vector()
+        self._stamp = self.kernel.sleds_stamp(self.fd)
         self.kernel.charge_cpu(len(vector) * INIT_CPU_PER_SLED)
         self._heap = self._chunks_from(vector, within=_merge_spans(remaining))
         heapq.heapify(self._heap)

@@ -43,11 +43,16 @@ class SledTable:
 
     def __init__(self) -> None:
         self._levels: dict[str, LevelCharacteristics] = {}
+        #: bumps on every fill so cached SLED vectors built against older
+        #: rows stamp-mismatch and rebuild (re-running the boot script must
+        #: not leave stale vectors behind)
+        self.version = 0
 
     def fill(self, entries: dict[str, tuple[float, float]]) -> None:
         """Install (latency, bandwidth) rows; the FSLEDS_FILL payload."""
         for key, (latency, bandwidth) in entries.items():
             self._levels[key] = LevelCharacteristics(latency, bandwidth)
+        self.version += 1
 
     def lookup(self, key: str) -> LevelCharacteristics:
         try:

@@ -48,6 +48,10 @@ class Autochanger:
         self.exchanges = 0
         self.loads = 0
         self.unloads = 0
+        #: bumps on every mount/access — anything that can move a drive,
+        #: a cartridge position, or the LRU drive order all of which feed
+        #: estimate_latency.  Folded into HsmFs.state_epoch.
+        self.state_version = 0
 
     # -- queries ----------------------------------------------------------
 
@@ -93,6 +97,7 @@ class Autochanger:
         Returns ``(drive, seconds)`` where ``seconds`` is the robot/load
         time spent (0.0 when already mounted).
         """
+        self.state_version += 1
         drive = self.drive_holding(label)
         if drive is not None:
             self._touch(drive)
@@ -118,6 +123,7 @@ class Autochanger:
             duration += drive.write(addr, nbytes)
         else:
             duration += drive.read(addr, nbytes)
+        self.state_version += 1  # tape position moved: locate estimates did too
         return duration
 
     def _touch(self, drive: TapeDevice) -> None:

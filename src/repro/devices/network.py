@@ -61,6 +61,10 @@ class NfsDevice(Device):
         #: buffer cache (0 disables the model, as in the base paper setup)
         self.server_cache_blocks = server_cache_bytes // SERVER_BLOCK
         self._server_cache: OrderedDict[int, None] = OrderedDict()
+        #: bumps whenever server-cache *membership* changes (insert or
+        #: eviction; recency moves don't alter what a client would be
+        #: told).  Folded into NfsLike.state_epoch for SLED-cache stamps.
+        self.cache_version = 0
         self.server_disk = server_disk or DiskDevice(
             name=f"{name}-server-disk", capacity=capacity, rng=rng)
         nominal_latency = (rtt + request_overhead + server_cache_penalty / 2
@@ -97,8 +101,10 @@ class NfsDevice(Device):
                 self._server_cache.move_to_end(block)
             else:
                 self._server_cache[block] = None
+                self.cache_version += 1
                 while len(self._server_cache) > self.server_cache_blocks:
                     self._server_cache.popitem(last=False)
+                    self.cache_version += 1
 
     def warm_server_cache(self, addr: int, nbytes: int) -> None:
         """World-building helper: another client's accesses left this

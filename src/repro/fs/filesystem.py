@@ -72,6 +72,28 @@ class FileSystem(ABC):
         self.device = device
         self.read_only = read_only
         self.root = make_directory()
+        #: local contribution to :attr:`state_epoch`; bump via bump_epoch()
+        self._epoch = 0
+
+    # -- state epoch -------------------------------------------------------
+
+    @property
+    def state_epoch(self) -> int:
+        """Monotonic counter over every state change that can alter a
+        ``page_estimate`` / ``span_estimates`` answer: layout growth,
+        truncation, mounting, HSM staging/migration, server-cache churn.
+        The kernel stamps cached SLED vectors with this (plus the page
+        cache generation) and rebuilds only on mismatch."""
+        return self._epoch + self._extra_epoch()
+
+    def bump_epoch(self) -> None:
+        """Record a state change that may alter delivery estimates."""
+        self._epoch += 1
+
+    def _extra_epoch(self) -> int:
+        """Epoch contribution from external state (server caches, tape
+        robotics); subclasses with such state override."""
+        return 0
 
     # -- namespace -------------------------------------------------------
 
@@ -155,11 +177,40 @@ class FileSystem(ABC):
                 from repro.fs.inode import Extent
                 inode.extent_map.append(Extent(page, npages, device_addr))
                 page += npages
+        if new_size != inode.size:
+            # even a sub-page growth changes the final SLED's length
+            self.bump_epoch()
         inode.size = new_size
 
     def page_estimate(self, inode: Inode, page_index: int) -> PageEstimate:
         """Storage level of one non-resident page.  Default: the device."""
         return PageEstimate(device_key=self.device_key())
+
+    def span_estimates(self, inode: Inode, start_page: int,
+                       npages: int) -> list[tuple[int, PageEstimate]]:
+        """Batched ``page_estimate``: ``[(run_pages, estimate), ...]``
+        covering ``[start_page, start_page + npages)`` in order.
+
+        Contract: runs are non-empty, their lengths sum to ``npages``, and
+        every page inside a run has exactly the estimate the per-page
+        :meth:`page_estimate` would report — the SLED builder relies on
+        this to stay bit-identical with a full page walk.  Runs need not
+        be maximal (the builder coalesces), so implementations are free to
+        split at extent, zone, or server-block boundaries.
+
+        The default walks page by page (correct for any third-party
+        filesystem that only overrides ``page_estimate``) but costs
+        O(npages); filesystems that know their layout override this to
+        answer in O(runs) — see Ext2Like, NfsLike, and HsmFs.
+        """
+        runs: list[tuple[int, PageEstimate]] = []
+        for idx in range(start_page, start_page + npages):
+            estimate = self.page_estimate(inode, idx)
+            if runs and runs[-1][1] == estimate:
+                runs[-1] = (runs[-1][0] + 1, estimate)
+            else:
+                runs.append((1, estimate))
+        return runs
 
     def device_key(self) -> str:
         """Sleds-table key for this filesystem's backing level."""
@@ -265,6 +316,34 @@ class Ext2Like(FileSystem):
         addr = inode.extent_map.addr_of(page_index)
         zone = self._disk().zone_index(addr)
         return PageEstimate(device_key=f"{self.name}:z{zone}")
+
+    def span_estimates(self, inode: Inode, start_page: int,
+                       npages: int) -> list[tuple[int, PageEstimate]]:
+        """O(extents + zone crossings): one run per whole span (flat), or
+        one run per zone stretch of each extent (zone-aware)."""
+        if npages <= 0:
+            return []
+        if not self.zone_aware:
+            return [(npages, PageEstimate(device_key=self.device_key()))]
+        disk = self._disk()
+        runs: list[tuple[int, PageEstimate]] = []
+        for _, piece_pages, addr in inode.extent_map.extents_in(
+                start_page, npages):
+            done = 0
+            while done < piece_pages:
+                cur = addr + done * PAGE_SIZE
+                zone = disk.zone_index(cur)
+                _, zone_end = disk.zone_range(zone)
+                # pages whose *start* address is still inside this zone
+                take = min(piece_pages - done,
+                           (zone_end - cur + PAGE_SIZE - 1) // PAGE_SIZE)
+                estimate = PageEstimate(device_key=f"{self.name}:z{zone}")
+                if runs and runs[-1][1] == estimate:
+                    runs[-1] = (runs[-1][0] + take, estimate)
+                else:
+                    runs.append((take, estimate))
+                done += take
+        return runs
 
     def device_table(self) -> dict[str, Device]:
         if not self.zone_aware:

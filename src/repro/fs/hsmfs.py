@@ -59,6 +59,14 @@ class HsmFs(FileSystem):
         self._state: dict[int, HsmFileState] = {}
         #: LRU of staged (inode_id, page) -> inode  (most recent last)
         self._staged: OrderedDict[tuple[int, int], Inode] = OrderedDict()
+        #: per-inode staging index mirroring ``_staged`` membership, so
+        #: staged_count / evict_staged / span_estimates run in
+        #: O(staged-in-inode) instead of O(total staged)
+        self._staged_by_inode: dict[int, set[int]] = {}
+
+    def _extra_epoch(self) -> int:
+        # drive motion / robot activity changes tape locate estimates
+        return self.autochanger.state_version
 
     # -- placement ---------------------------------------------------------
 
@@ -77,6 +85,7 @@ class HsmFs(FileSystem):
                 f"({cursor} + {nbytes} > {cart.capacity})")
         self._state[inode.id] = HsmFileState(cartridge_label, cursor)
         self._tape_cursor[cartridge_label] = cursor + nbytes
+        self.bump_epoch()  # unstaged pages of this file became estimable
 
     def create_tape_file(self, path: str, size: int, cartridge_label: str,
                          content=None) -> Inode:
@@ -99,12 +108,23 @@ class HsmFs(FileSystem):
         return (inode.id, page_index) in self._staged
 
     def staged_count(self, inode: Inode) -> int:
-        return sum(1 for key in self._staged if key[0] == inode.id)
+        return len(self._staged_by_inode.get(inode.id, ()))
+
+    def staged_set(self, inode_id: int) -> set[int] | frozenset[int]:
+        """Staged page indices of one inode — read-only view, O(1)."""
+        return self._staged_by_inode.get(inode_id, frozenset())
 
     def _touch_staged(self, inode: Inode, page_index: int) -> None:
         key = (inode.id, page_index)
         if key in self._staged:
             self._staged.move_to_end(key)
+
+    def _index_drop(self, key: tuple[int, int]) -> None:
+        pages = self._staged_by_inode.get(key[0])
+        if pages is not None:
+            pages.discard(key[1])
+            if not pages:
+                del self._staged_by_inode[key[0]]
 
     def _stage_in(self, inode: Inode, page_index: int) -> None:
         key = (inode.id, page_index)
@@ -112,15 +132,23 @@ class HsmFs(FileSystem):
             self._staged.move_to_end(key)
             return
         while len(self._staged) >= self.stage_pages:
-            self._staged.popitem(last=False)
+            victim, _ = self._staged.popitem(last=False)
+            self._index_drop(victim)
         self._staged[key] = inode
+        self._staged_by_inode.setdefault(inode.id, set()).add(page_index)
+        self.bump_epoch()
 
     def evict_staged(self, inode: Inode) -> int:
-        """Drop every staged page of a file (stage-out); returns count."""
-        victims = [k for k in self._staged if k[0] == inode.id]
-        for key in victims:
-            del self._staged[key]
-        return len(victims)
+        """Drop every staged page of a file (stage-out); returns count.
+
+        O(staged-in-inode) via the per-inode index."""
+        pages = self._staged_by_inode.pop(inode.id, None)
+        if not pages:
+            return 0
+        for page in pages:
+            del self._staged[(inode.id, page)]
+        self.bump_epoch()
+        return len(pages)
 
     # -- SLED estimation ----------------------------------------------------------
 
@@ -140,6 +168,11 @@ class HsmFs(FileSystem):
         """
         if self.is_staged(inode, page_index):
             return PageEstimate(device_key="hsm-disk")
+        return self._tape_estimate(inode)
+
+    def _tape_estimate(self, inode: Inode) -> PageEstimate:
+        """The (shared) estimate for every unstaged page of a file: the
+        locate / exchange+load+locate cost to the file's tape home."""
         state = self.state_of(inode)
         latency = self.autochanger.estimate_latency(
             state.cartridge_label, state.tape_addr)
@@ -150,6 +183,39 @@ class HsmFs(FileSystem):
                else "hsm-tape-shelved")
         return PageEstimate(device_key=key, latency=latency,
                             bandwidth=drive.spec.bandwidth)
+
+    def span_estimates(self, inode: Inode, start_page: int,
+                       npages: int) -> list[tuple[int, PageEstimate]]:
+        """O(staged-in-range): staged pages come from the per-inode index
+        and every unstaged page of a file shares one tape estimate, so
+        there is no reason to ask page by page."""
+        if npages <= 0:
+            return []
+        end = start_page + npages
+        staged = sorted(p for p in self.staged_set(inode.id)
+                        if start_page <= p < end)
+        if not staged:
+            return [(npages, self._tape_estimate(inode))]
+        disk_est = PageEstimate(device_key="hsm-disk")
+        tape_est: PageEstimate | None = None  # computed only if needed
+        runs: list[tuple[int, PageEstimate]] = []
+        cursor = start_page
+        i = 0
+        while cursor < end:
+            if i < len(staged) and staged[i] == cursor:
+                run = 1
+                while i + run < len(staged) and staged[i + run] == cursor + run:
+                    run += 1
+                runs.append((run, disk_est))
+                cursor += run
+                i += run
+            else:
+                gap_end = staged[i] if i < len(staged) else end
+                if tape_est is None:
+                    tape_est = self._tape_estimate(inode)
+                runs.append((gap_end - cursor, tape_est))
+                cursor = gap_end
+        return runs
 
     def device_table(self):
         table = {"hsm-disk": self.device}

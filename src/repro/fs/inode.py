@@ -89,6 +89,42 @@ class ExtentMap:
         raise InvalidArgumentError(
             f"page {page_index} not mapped (file has {self.npages} pages)")
 
+    def extents_in(self, start_page: int, npages: int):
+        """Yield ``(file_page, npages, device_addr)`` pieces covering
+        ``[start_page, start_page + npages)``, one per underlying extent.
+
+        Addresses within one piece are device-contiguous, so batched
+        estimators (``FileSystem.span_estimates``) can reason about whole
+        runs instead of asking one page at a time.  O(log extents) to find
+        the first piece, O(1) per piece after that.
+        """
+        end = start_page + npages
+        if npages <= 0:
+            return
+        # binary search for the extent containing start_page
+        lo, hi = 0, len(self.extents) - 1
+        first = None
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            extent = self.extents[mid]
+            if start_page < extent.file_page:
+                hi = mid - 1
+            elif start_page >= extent.end_page:
+                lo = mid + 1
+            else:
+                first = mid
+                break
+        if first is None:
+            raise InvalidArgumentError(
+                f"page {start_page} not mapped (file has {self.npages} pages)")
+        for extent in self.extents[first:]:
+            if extent.file_page >= end:
+                break
+            piece_start = max(start_page, extent.file_page)
+            piece_end = min(end, extent.end_page)
+            yield (piece_start, piece_end - piece_start,
+                   extent.addr_of(piece_start))
+
     def contiguous_run(self, page_index: int, max_pages: int) -> int:
         """Pages starting at ``page_index`` that are device-contiguous,
         capped at ``max_pages``.  Used to batch device I/O per extent."""

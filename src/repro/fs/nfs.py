@@ -15,7 +15,7 @@ and the server's disk.
 
 from __future__ import annotations
 
-from repro.devices.network import NfsDevice
+from repro.devices.network import SERVER_BLOCK, NfsDevice
 from repro.fs.filesystem import FileSystem, PageEstimate
 from repro.fs.inode import Allocator, Inode
 from repro.sim.units import MSEC, PAGE_SIZE
@@ -47,12 +47,50 @@ class NfsLike(FileSystem):
         self.metadata_ops += 1
         return device.rtt + device.request_overhead
 
+    def _extra_epoch(self) -> int:
+        # server-cache membership changes flip pages between the warm and
+        # cold remote levels; without server SLEDs estimates are static
+        return self._nfs().cache_version if self.server_sleds else 0
+
     def page_estimate(self, inode: Inode, page_index: int) -> PageEstimate:
         if self.server_sleds:
             addr = inode.extent_map.addr_of(page_index)
             if self._nfs().server_cached(addr, PAGE_SIZE):
                 return PageEstimate(device_key=f"{self.name}-warm")
         return PageEstimate(device_key=self.device_key())
+
+    def span_estimates(self, inode: Inode, start_page: int,
+                       npages: int) -> list[tuple[int, PageEstimate]]:
+        """O(extents + server blocks): pages are judged warm or cold per
+        64 KB server block, not one at a time."""
+        if npages <= 0:
+            return []
+        cold = PageEstimate(device_key=self.device_key())
+        if not self.server_sleds:
+            return [(npages, cold)]
+        device = self._nfs()
+        warm = PageEstimate(device_key=f"{self.name}-warm")
+        runs: list[tuple[int, PageEstimate]] = []
+
+        def push(take: int, estimate: PageEstimate) -> None:
+            if runs and runs[-1][1] == estimate:
+                runs[-1] = (runs[-1][0] + take, estimate)
+            else:
+                runs.append((take, estimate))
+
+        for _, piece_pages, addr in inode.extent_map.extents_in(
+                start_page, npages):
+            done = 0
+            while done < piece_pages:
+                cur = addr + done * PAGE_SIZE
+                # pages of this piece sharing cur's server block
+                block_end = (cur // SERVER_BLOCK + 1) * SERVER_BLOCK
+                take = min(piece_pages - done,
+                           max(1, (block_end - cur) // PAGE_SIZE))
+                cached = device.server_cached(cur, PAGE_SIZE)
+                push(take, warm if cached else cold)
+                done += take
+        return runs
 
     def static_levels(self) -> dict[str, tuple[float, float]]:
         if not self.server_sleds:

@@ -132,6 +132,10 @@ class Kernel:
         self._next_fd = 3
         #: inode.id -> (fs, inode, set of dirty page indices)
         self._dirty: dict[int, tuple[FileSystem, Inode, set[int]]] = {}
+        #: inode.id -> (stamp, vector): FSLEDS_GET results cached until the
+        #: stamp — (cache generation, fs state epoch, sleds-table version)
+        #: — moves, making refetch O(changed-state) instead of O(file-pages)
+        self._sled_cache: dict[int, tuple[tuple[int, int, int], SledVector]] = {}
         #: optional event tracer (see repro.sim.trace); None = no tracing
         self.tracer = None
         #: optional telemetry facade (see repro.obs.telemetry); None = off.
@@ -164,6 +168,9 @@ class Kernel:
             covering[1].mkdir(rel)
         self._mounts.append((prefix, fs))
         self._mounts.sort(key=lambda entry: len(entry[0]), reverse=True)
+        # (re)mounting changes what paths resolve to; stale vectors built
+        # against a previous attachment of this fs must not survive
+        fs.bump_epoch()
 
     def mounts(self) -> list[tuple[str, FileSystem]]:
         """(mount path, fs) pairs, most specific first."""
@@ -290,7 +297,9 @@ class Kernel:
     def _truncate(self, fs: FileSystem, inode: Inode) -> None:
         self.page_cache.invalidate_inode(inode.id)
         self._dirty.pop(inode.id, None)
+        self._sled_cache.pop(inode.id, None)
         inode.size = 0
+        fs.bump_epoch()  # the file's extent coverage changed
         if not isinstance(inode.content, ByteStoreContent):
             inode.content = ByteStoreContent()
 
@@ -312,6 +321,7 @@ class Kernel:
         del parent.entries[rel[-1]]
         self.page_cache.invalidate_inode(inode.id)
         self._dirty.pop(inode.id, None)
+        self._sled_cache.pop(inode.id, None)
 
     @_syscall_span("stat")
     def stat(self, path: str) -> StatResult:
@@ -630,17 +640,45 @@ class Kernel:
                 return None
             if cmd == FSLEDS_GET:
                 of = self._fd(fd)
-                vector = build_sled_vector(
-                    self.page_cache, of.fs, of.inode, self.sleds_table)
-                # kernel walks every page of the file: charge ~0.2 us per page
-                self.charge_cpu(of.inode.npages * 0.2 * USEC)
+                inode_id = of.inode.id
+                stamp = self._sled_stamp(of)
+                cached = self._sled_cache.get(inode_id)
+                if cached is not None and cached[0] == stamp:
+                    self.counters.sleds_cache_hits += 1
+                    # stamp comparison only: flat cost, no page walk
+                    self.charge_cpu(0.2 * USEC)
+                    vector = cached[1]
+                else:
+                    vector = build_sled_vector(
+                        self.page_cache, of.fs, of.inode, self.sleds_table)
+                    # kernel walks the file's state: charge ~0.2 us per page
+                    self.charge_cpu(of.inode.npages * 0.2 * USEC)
+                    self.counters.sleds_builds += 1
+                    self._sled_cache[inode_id] = (stamp, vector)
                 if tele is not None:
-                    tele.on_sleds(of.inode.id, vector)
+                    tele.on_sleds(inode_id, vector)
                 return vector
             raise UnknownIoctlError(cmd)
         finally:
             if span is not None:
                 tele.syscall_end(span, self.clock.now)
+
+    def _sled_stamp(self, of: OpenFile) -> tuple[int, int, int]:
+        """The validity stamp of a cached SLED vector: moves whenever any
+        input of the builder can have changed for this inode."""
+        return (self.page_cache.generation(of.inode.id),
+                of.fs.state_epoch,
+                self.sleds_table.version)
+
+    def sleds_stamp(self, fd: int):
+        """Current SLED-vector stamp for an open file — a vDSO-style read.
+
+        Costs no virtual time and no syscall: it is three counter loads, the
+        moral equivalent of reading a seqlock generation from a shared page.
+        The pick library and progress bars compare this against the stamp of
+        their last fetch and skip the FSLEDS_GET entirely when unchanged.
+        """
+        return self._sled_stamp(self._fd(fd))
 
     def get_sleds(self, fd: int) -> SledVector:
         """Convenience wrapper over ``ioctl(fd, FSLEDS_GET)``."""

@@ -30,6 +30,12 @@ class KernelCounters:
     cache_hits: int = 0
     cache_misses: int = 0
     evictions: int = 0
+    #: FSLEDS_GET calls that rebuilt the vector (stamp mismatch / first call)
+    sleds_builds: int = 0
+    #: FSLEDS_GET calls answered from the generation-stamped vector cache
+    sleds_cache_hits: int = 0
+    #: library-level refetches skipped because the kernel stamp was unchanged
+    sleds_refetch_skips: int = 0
 
     def copy(self) -> "KernelCounters":
         return KernelCounters(**vars(self))

@@ -188,6 +188,159 @@ class TestPageCache:
                 assert resident == cache.peek((inode, page))
 
 
+class TestResidencyIndex:
+    def test_generation_bumps_on_membership_changes(self):
+        cache = PageCache(4)
+        assert cache.generation(1) == 0
+        cache.insert((1, 0))
+        g1 = cache.generation(1)
+        assert g1 > 0
+        cache.invalidate((1, 0))
+        assert cache.generation(1) > g1
+
+    def test_generation_not_bumped_by_recency(self):
+        """Hits and re-inserts move recency, not residency: the stamp must
+        stay put or cached vectors would never be reused."""
+        cache = PageCache(4)
+        cache.insert((1, 0))
+        g = cache.generation(1)
+        cache.access((1, 0))
+        cache.insert((1, 0))  # already-resident: refresh only
+        cache.peek((1, 0))
+        assert cache.generation(1) == g
+
+    def test_generation_isolated_per_inode(self):
+        cache = PageCache(8)
+        cache.insert((1, 0))
+        g2 = cache.generation(2)
+        cache.insert((1, 1))
+        assert cache.generation(2) == g2
+
+    def test_eviction_bumps_victims_inode(self):
+        cache = PageCache(1)
+        cache.insert((1, 0))
+        g = cache.generation(1)
+        cache.insert((2, 0))  # evicts (1, 0)
+        assert cache.generation(1) > g
+
+    def test_invalidate_inode_bumps_even_when_empty(self):
+        """A truncate of a never-cached file must still move the stamp."""
+        cache = PageCache(4)
+        g = cache.generation(5)
+        assert cache.invalidate_inode(5) == 0
+        assert cache.generation(5) > g
+
+    def test_generation_survives_full_eviction(self):
+        """Generations never reset to 0 while the cache lives, so a stamp
+        taken before an evict-everything episode can't collide with one
+        taken after."""
+        cache = PageCache(4)
+        cache.insert((1, 0))
+        g = cache.generation(1)
+        cache.clear()
+        assert cache.generation(1) > g
+
+    def test_resident_set_tracks_membership(self):
+        cache = PageCache(8)
+        for p in (0, 3, 5):
+            cache.insert((1, p))
+        cache.insert((2, 1))
+        assert cache.resident_set(1) == {0, 3, 5}
+        assert cache.resident_set(2) == {1}
+        assert cache.resident_set(9) == frozenset()
+        cache.invalidate((1, 3))
+        assert cache.resident_set(1) == {0, 5}
+
+    @given(st.lists(st.tuples(
+        st.sampled_from(["insert", "access", "invalidate", "inode"]),
+        st.integers(0, 2), st.integers(0, 9)), min_size=1, max_size=150),
+        st.sampled_from(["lru", "clock", "2q"]))
+    @settings(max_examples=50, deadline=None)
+    def test_index_mirrors_resident_under_churn(self, ops, policy):
+        """The per-inode index is always exactly a partition of the
+        resident set, for every policy and operation mix."""
+        cache = PageCache(capacity_pages=5, policy=policy)
+        for op, inode, page in ops:
+            if op == "insert":
+                cache.insert((inode, page))
+            elif op == "access":
+                cache.access((inode, page))
+            elif op == "invalidate":
+                cache.invalidate((inode, page))
+            else:
+                cache.invalidate_inode(inode)
+            rebuilt = {}
+            for key in cache._resident:
+                rebuilt.setdefault(key[0], set()).add(key[1])
+            assert rebuilt == cache._by_inode
+
+
+class TestPinnedEvictionRefresh:
+    def test_all_pinned_forced_eviction(self):
+        """Regression: skipping pinned victims used to re-admit them via
+        on_insert + on_hit.  With every page pinned the loop visits each
+        victim once, must not corrupt the policy, and ends in a forced
+        eviction."""
+        cache = PageCache(3, max_pinned_fraction=1.0)
+        for p in range(3):
+            cache.insert((1, p))
+            assert cache.pin((1, p))
+        evicted = cache.insert((1, 3))
+        assert evicted is not None
+        assert cache.stats.forced_pinned_evictions == 1
+        assert len(cache) == 3
+        assert len(cache.policy) == len(cache)
+        assert not cache.is_pinned(evicted)
+
+    @pytest.mark.parametrize("policy", ["lru", "clock", "2q"])
+    def test_pinned_skip_keeps_policy_consistent(self, policy):
+        cache = PageCache(4, policy=policy, max_pinned_fraction=1.0)
+        for p in range(4):
+            cache.insert((1, p))
+        assert cache.pin((1, 0))
+        for p in range(4, 10):
+            cache.insert((1, p))
+            assert len(cache.policy) == len(cache) == 4
+            assert cache.peek((1, 0))  # the pinned page never leaves
+
+    def test_fifo_style_policy_needs_no_duplicate_tolerance(self):
+        """A list-backed policy whose on_insert is not idempotent works as
+        a pinned-eviction citizen by overriding on_refresh — the dedicated
+        hook exists precisely so such policies never see a double-insert."""
+        from repro.cache.policies import ReplacementPolicy
+
+        class FifoList(ReplacementPolicy):
+            def __init__(self):
+                self.queue = []
+
+            def on_insert(self, key):
+                self.queue.append(key)  # duplicates if called twice!
+
+            def on_hit(self, key):
+                pass
+
+            def on_remove(self, key):
+                self.queue.remove(key)
+
+            def choose_victim(self):
+                return self.queue.pop(0)
+
+            def on_refresh(self, key):
+                self.queue.append(key)  # victim was popped: one append
+
+            def __len__(self):
+                return len(self.queue)
+
+        cache = PageCache(3, policy=FifoList(), max_pinned_fraction=1.0)
+        for p in range(3):
+            cache.insert((1, p))
+        assert cache.pin((1, 0))
+        for p in range(3, 8):
+            cache.insert((1, p))
+            assert len(cache.policy.queue) == len(cache) == 3
+            assert len(set(cache.policy.queue)) == len(cache.policy.queue)
+
+
 class TestLinearScanPathology:
     def test_two_pass_lru_gains_nothing(self):
         """The paper's Figure 3: 5-block file through a 3-block cache."""

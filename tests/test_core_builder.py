@@ -5,7 +5,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cache.page_cache import PageCache
-from repro.core.builder import build_sled_vector, page_level
+from repro.core.builder import (
+    build_sled_vector,
+    build_sled_vector_full_walk,
+    page_level,
+)
 from repro.core.sled_table import SledTable
 from repro.devices.disk import DiskDevice
 from repro.fs.filesystem import Ext2Like
@@ -98,3 +102,50 @@ class TestBuildVector:
         # SLED boundaries sit on page boundaries (except the file end)
         for sled in vector:
             assert sled.offset % PAGE_SIZE == 0
+
+    @given(st.sets(st.integers(0, 31)), st.integers(1, 32 * PAGE_SIZE))
+    @settings(max_examples=60, deadline=None)
+    def test_incremental_equals_full_walk(self, cached_pages, size):
+        """The O(runs) builder and the paper's O(npages) walk are
+        bit-identical for every cache state."""
+        fs = Ext2Like(DiskDevice(rng=np.random.default_rng(1)))
+        inode = fs.create_file("f", size)
+        cache = PageCache(64)
+        table = SledTable()
+        table.fill({"memory": (1e-7, 48 * MB), "ext2": (0.018, 9 * MB)})
+        for page in cached_pages:
+            if page < inode.npages:
+                cache.insert((inode.id, page))
+        assert (build_sled_vector(cache, fs, inode, table)
+                == build_sled_vector_full_walk(cache, fs, inode, table))
+
+    def test_stale_residency_outside_file_ignored(self):
+        """Index entries past EOF (e.g. after an external shrink) must not
+        leak into the vector."""
+        fs, inode, cache, table = _setup(file_pages=4)
+        cache.insert((inode.id, 2))
+        cache.insert((inode.id, 99))  # beyond the file
+        vector = build_sled_vector(cache, fs, inode, table)
+        assert sum(s.length for s in vector) == inode.size
+        assert vector == build_sled_vector_full_walk(cache, fs, inode, table)
+
+
+class TestSpanEstimatesContract:
+    def test_default_fallback_matches_page_estimate(self):
+        """The FileSystem base-class fallback (used by third-party
+        filesystems that only implement page_estimate) reports runs whose
+        lengths sum to npages and whose estimates are per-page exact."""
+        fs, inode, _, _ = _setup(file_pages=12)
+        from repro.fs.filesystem import FileSystem
+        runs = FileSystem.span_estimates(fs, inode, 2, 9)
+        assert sum(n for n, _ in runs) == 9
+        page = 2
+        for run_len, estimate in runs:
+            assert run_len > 0
+            for idx in range(page, page + run_len):
+                assert fs.page_estimate(inode, idx) == estimate
+            page += run_len
+
+    def test_empty_span(self):
+        fs, inode, _, _ = _setup()
+        assert fs.span_estimates(inode, 0, 0) == []

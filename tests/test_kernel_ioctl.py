@@ -103,3 +103,138 @@ class TestFsledsGet:
         assert len(vector) == 0
         assert vector.file_size == 0
         k.close(fd)
+
+
+class TestSledsStampCache:
+    """FSLEDS_GET answers from the generation-stamped cache while nothing
+    the builder reads has moved — and *never* after something has."""
+
+    def _open(self, pages=64):
+        machine = _machine()
+        machine.boot()
+        machine.ext2.create_text_file("f.txt", pages * PAGE_SIZE, seed=2)
+        fd = machine.kernel.open("/mnt/ext2/f.txt", "r+")
+        return machine, fd
+
+    def test_repeat_get_is_cache_hit_and_identical(self):
+        machine, fd = self._open()
+        k = machine.kernel
+        first = k.get_sleds(fd)
+        builds = k.counters.sleds_builds
+        second = k.get_sleds(fd)
+        assert second == first
+        assert k.counters.sleds_builds == builds
+        assert k.counters.sleds_cache_hits >= 1
+
+    def test_repeat_get_charges_flat_cpu(self):
+        """The cached refetch must not pay the O(npages) walk charge."""
+        machine, fd = self._open(pages=256)
+        k = machine.kernel
+        k.get_sleds(fd)
+        snap = k.clock.snapshot()
+        k.get_sleds(fd)
+        refetch_cpu = k.clock.elapsed_by_category(snap).get("cpu", 0.0)
+        # syscall overhead + flat stamp-compare cost, nowhere near 256 pages
+        assert refetch_cpu < k.syscall_overhead + 10 * 0.2e-6
+
+    def test_read_faulting_pages_invalidates(self):
+        machine, fd = self._open()
+        k = machine.kernel
+        cold = k.get_sleds(fd)
+        k.pread(fd, 0, 8 * PAGE_SIZE)  # pages became resident
+        warm = k.get_sleds(fd)
+        assert warm != cold
+        assert warm.sled_at(0).latency == k.sleds_table.memory.latency
+
+    def test_write_extending_file_invalidates(self):
+        machine, fd = self._open(pages=4)
+        k = machine.kernel
+        before = k.get_sleds(fd)
+        k.lseek(fd, 0, 2)
+        k.write(fd, b"y" * (2 * PAGE_SIZE))
+        after = k.get_sleds(fd)
+        assert after.file_size == before.file_size + 2 * PAGE_SIZE
+
+    def test_invalidate_inode_invalidates(self):
+        machine, fd = self._open()
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f.txt")
+        warm = k.get_sleds(fd)
+        inode_id = k.stat("/mnt/ext2/f.txt").inode_id
+        k.page_cache.invalidate_inode(inode_id)
+        cold = k.get_sleds(fd)
+        assert cold != warm
+        assert cold.sled_at(0).latency > k.sleds_table.memory.latency
+
+    def test_refill_invalidates(self):
+        """Re-running the boot script installs new rows; a vector built
+        against the old ones must not survive."""
+        machine, fd = self._open()
+        k = machine.kernel
+        old = k.get_sleds(fd)
+        k.ioctl(-1, FSLEDS_FILL, {"ext2": (0.5, MB)})
+        new = k.get_sleds(fd)
+        assert new != old
+        assert new.sled_at(0).latency == 0.5
+
+    def test_truncate_via_reopen_invalidates(self):
+        machine, fd = self._open(pages=4)
+        k = machine.kernel
+        k.get_sleds(fd)
+        wfd = k.open("/mnt/ext2/f.txt", "w")  # O_TRUNC
+        assert k.get_sleds(wfd).file_size == 0
+        k.close(wfd)
+
+    def test_hsm_migration_invalidates(self):
+        from repro.machine import Machine
+        machine = Machine.hsm(cache_pages=128, seed=5)
+        machine.boot()
+        fs = machine.hsmfs
+        inode = fs.create_tape_file("cold.dat", 16 * PAGE_SIZE, "VOL000")
+        k = machine.kernel
+        fd = k.open("/mnt/hsm/cold.dat")
+        k.pread(fd, 0, 8 * PAGE_SIZE)  # stages pages onto the hsm disk
+        k.sync()
+        staged = k.get_sleds(fd)
+        fs.migrate_to_tape(inode)
+        migrated = k.get_sleds(fd)
+        assert migrated != staged
+        assert fs.staged_count(inode) == 0
+
+    def test_stamp_read_is_free(self):
+        machine, fd = self._open()
+        k = machine.kernel
+        k.get_sleds(fd)
+        now = k.clock.now
+        syscalls = k.counters.syscalls
+        stamp = k.sleds_stamp(fd)
+        assert k.clock.now == now
+        assert k.counters.syscalls == syscalls
+        assert stamp == k.sleds_stamp(fd)
+
+    def test_pick_refresh_skipped_on_unchanged_stamp(self):
+        from repro.core.pick import (
+            sleds_pick_finish,
+            sleds_pick_init,
+            sleds_pick_next_read,
+        )
+        machine, fd = self._open(pages=32)
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f.txt")  # fully cached: stamp goes quiet
+        sleds_pick_init(k, fd, 4 * PAGE_SIZE, refresh_every=2)
+        skips_before = k.counters.sleds_refetch_skips
+        while sleds_pick_next_read(k, fd) is not None:
+            pass  # cache hits only: no residency change between picks
+        sleds_pick_finish(k, fd)
+        assert k.counters.sleds_refetch_skips > skips_before
+
+    def test_progress_refetch_skipped_on_unchanged_stamp(self):
+        from repro.apps.progress import retrieve_with_progress
+        machine, _ = self._open(pages=64)
+        k = machine.kernel
+        k.warm_file("/mnt/ext2/f.txt")  # second retrieval is all hits
+        skips_before = k.counters.sleds_refetch_skips
+        report = retrieve_with_progress(k, "/mnt/ext2/f.txt",
+                                        bufsize=2 * PAGE_SIZE)
+        assert report.samples
+        assert k.counters.sleds_refetch_skips > skips_before
