@@ -10,11 +10,17 @@ every plain scan's faults evict the other scan's cached data, so both
 lose.  The SLEDs pair drains cached data first and the system as a whole
 does a quarter less device I/O.
 
+The second half of the demo switches from time-sliced interleaving to
+the discrete-event engine: three readers on three *different* devices
+overlap their seeks, so the makespan collapses toward the slowest
+reader instead of the sum of all three.
+
 Run:  python examples/concurrent_citizens.py
 """
 
 from repro import Machine
-from repro.sim.tasks import RoundRobin, Task, wc_task
+from repro.sim.tasks import (EventScheduler, RoundRobin, Task,
+                             reader_task_async, wc_task)
 from repro.sim.units import PAGE_SIZE, human_time
 
 
@@ -52,7 +58,7 @@ def main() -> None:
         for name, s in stats.items():
             print(f"  {name:6s} time {human_time(s.virtual_time):>10s}  "
                   f"faults {s.hard_faults:3d}  "
-                  f"finished at {human_time(s.finished_at)}")
+                  f"finished +{human_time(s.elapsed)} after start")
         print(f"  system: makespan {human_time(makespan)}, "
               f"{total_pages} pages from disk\n")
 
@@ -62,5 +68,59 @@ def main() -> None:
           f"system-wide, not zero-sum between the two tasks.")
 
 
+READERS = [("ext2", "/mnt/ext2/stream.dat"),
+           ("cdrom", "/mnt/cdrom/stream.dat"),
+           ("nfs", "/mnt/nfs/stream.dat")]
+
+
+def _overlap_world():
+    machine = Machine.unix_utilities(cache_pages=2048, seed=2027)
+    machine.boot()
+    size = 96 * PAGE_SIZE
+    machine.ext2.create_text_file("stream.dat", size, seed=1)
+    machine.cdrom.create_file("stream.dat", size)
+    machine.nfs.create_text_file("stream.dat", size, seed=3)
+    return machine
+
+
+def run_overlap():
+    print("\n=== event engine: three readers, three devices ===")
+    solos = {}
+    for name, path in READERS:
+        machine = _overlap_world()
+        kernel = machine.kernel
+        start = kernel.clock.now
+        EventScheduler(kernel, [
+            Task(name, reader_task_async(kernel, path))]).run()
+        solos[name] = kernel.clock.now - start
+
+    machine = _overlap_world()
+    kernel = machine.kernel
+    engine = kernel.attach_engine()
+    start = kernel.clock.now
+    stats = EventScheduler(kernel, [
+        Task(name, reader_task_async(kernel, path))
+        for name, path in READERS]).run()
+    makespan = kernel.clock.now - start
+    report = engine.queue_report()
+    kernel.detach_engine()
+
+    for name, solo in solos.items():
+        s = stats[name]
+        print(f"  {name:6s} solo {human_time(solo):>10s}  "
+              f"I/O wait {human_time(s.wait_time):>10s}  "
+              f"faults {s.hard_faults:3d}")
+    solo_sum = sum(solos.values())
+    print(f"  serial sum {human_time(solo_sum)}, concurrent makespan "
+          f"{human_time(makespan)} "
+          f"({100 * (1 - makespan / solo_sum):.0f}% overlapped away)")
+    print("  per-device queues:")
+    for device, row in sorted(report.items()):
+        print(f"    {device:12s} dispatched {row['dispatched']:3d}  "
+              f"peak depth {row['depth_high_water']}  "
+              f"queue wait {human_time(row['total_queue_wait_s'])}")
+
+
 if __name__ == "__main__":
     main()
+    run_overlap()

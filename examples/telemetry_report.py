@@ -9,7 +9,9 @@ scans, and prints:
 2. the SLED prediction-accuracy report — how close the FSLEDS_GET
    estimates were to the delivery times the kernel actually measured;
 3. a few headline metrics from the Prometheus exposition;
-4. a Chrome trace-event JSON file (load it in https://ui.perfetto.dev
+4. the device-queue gauges after a concurrent phase under the event
+   engine (two readers contending for the disk, one on NFS);
+5. a Chrome trace-event JSON file (load it in https://ui.perfetto.dev
    to see syscall -> fault -> device span nesting).
 
 Run:  python examples/telemetry_report.py
@@ -20,6 +22,7 @@ import json
 from repro import Machine
 from repro.apps.grep import grep
 from repro.obs import Telemetry
+from repro.sim.tasks import EventScheduler, Task, reader_task_async
 from repro.sim.units import MB, human_time
 
 TRACE_PATH = "telemetry_trace.json"
@@ -41,11 +44,26 @@ def main() -> None:
     machine.ext2.create_text_file("data/corpus.txt", 2 * MB, seed=7,
                                   plants={1_500_000: b"XNEEDLEX"})
 
+    machine.ext2.create_text_file("data/other.txt", MB, seed=8)
+    machine.ext2.create_text_file("data/third.txt", MB, seed=10)
+    machine.nfs.create_text_file("remote.txt", MB, seed=9)
+
     telemetry = Telemetry()
-    machine.kernel.attach_telemetry(telemetry)
-    run_once(machine.kernel, "cold")
-    run_once(machine.kernel, "warm")
-    machine.kernel.detach_telemetry()
+    kernel = machine.kernel
+    kernel.attach_telemetry(telemetry)
+    run_once(kernel, "cold")
+    run_once(kernel, "warm")
+
+    # concurrent phase: the event engine queues the two disk readers
+    # behind each other while the NFS reader overlaps both
+    kernel.attach_engine()
+    EventScheduler(kernel, [
+        Task("d1", reader_task_async(kernel, "/mnt/ext2/data/other.txt")),
+        Task("d2", reader_task_async(kernel, "/mnt/ext2/data/third.txt")),
+        Task("net", reader_task_async(kernel, "/mnt/nfs/remote.txt")),
+    ]).run()
+    kernel.detach_engine()
+    kernel.detach_telemetry()
 
     print()
     print(telemetry.accuracy.report().render())
@@ -61,6 +79,14 @@ def main() -> None:
     print(f"  readahead issued/used {int(issued)}/{int(used)} pages "
           f"({used / issued:0.0%} useful)" if issued else
           "  readahead             (none issued)")
+
+    print("\ndevice queues (concurrent phase):")
+    for device in ("ext2-disk", "nfs-server"):
+        wait = telemetry.queue_wait.labels(device=device)
+        depth = telemetry.queue_depth_now.labels(device=device).value
+        print(f"  {device:12s} waited requests {wait.count:3d}  "
+              f"total wait {human_time(wait.sum):>10s}  "
+              f"depth now {int(depth)}")
 
     doc = telemetry.chrome_trace()
     with open(TRACE_PATH, "w") as handle:

@@ -45,7 +45,14 @@ class IoRequest:
 
 
 class IoScheduler(ABC):
-    """Order a batch of requests for one device."""
+    """Order a batch of requests for one device.
+
+    Two entry points: :meth:`order` ranks a whole batch against one head
+    position (legacy / analysis), while :meth:`take_next` removes and
+    returns the single best request given the *live* head — the online
+    form both the batch executor and the event-driven
+    :class:`DeviceQueue` use, re-consulting the device between requests.
+    """
 
     name = "abstract"
 
@@ -53,6 +60,17 @@ class IoScheduler(ABC):
     def order(self, requests: list[IoRequest],
               head_pos: int) -> list[IoRequest]:
         """Return the requests in service order (a permutation)."""
+
+    def take_next(self, pending: list[IoRequest],
+                  head_pos: int) -> IoRequest:
+        """Remove and return the next request to service from ``pending``.
+
+        The default defers to :meth:`order`; concrete schedulers override
+        with an O(n) selection.  ``pending`` must be non-empty.
+        """
+        request = self.order(pending, head_pos)[0]
+        pending.remove(request)
+        return request
 
 
 class FcfsScheduler(IoScheduler):
@@ -64,11 +82,24 @@ class FcfsScheduler(IoScheduler):
               head_pos: int) -> list[IoRequest]:
         return list(requests)
 
+    def take_next(self, pending: list[IoRequest],
+                  head_pos: int) -> IoRequest:
+        return pending.pop(0)
+
 
 class SstfScheduler(IoScheduler):
-    """Greedy shortest seek time first."""
+    """Greedy shortest seek time first.
+
+    Ties (two requests equidistant from the head) break toward the lower
+    address, so service order is a pure function of (pending set, head) —
+    never of list construction order — and repeated runs are bit-identical.
+    """
 
     name = "sstf"
+
+    @staticmethod
+    def _key(head_pos: int):
+        return lambda r: (abs(r.addr - head_pos), r.addr)
 
     def order(self, requests: list[IoRequest],
               head_pos: int) -> list[IoRequest]:
@@ -76,11 +107,17 @@ class SstfScheduler(IoScheduler):
         out: list[IoRequest] = []
         pos = head_pos
         while remaining:
-            nearest = min(remaining, key=lambda r: abs(r.addr - pos))
+            nearest = min(remaining, key=self._key(pos))
             remaining.remove(nearest)
             out.append(nearest)
             pos = nearest.end
         return out
+
+    def take_next(self, pending: list[IoRequest],
+                  head_pos: int) -> IoRequest:
+        nearest = min(pending, key=self._key(head_pos))
+        pending.remove(nearest)
+        return nearest
 
 
 class ClookScheduler(IoScheduler):
@@ -95,6 +132,14 @@ class ClookScheduler(IoScheduler):
         behind = sorted((r for r in requests if r.addr < head_pos),
                         key=lambda r: r.addr)
         return ahead + behind
+
+    def take_next(self, pending: list[IoRequest],
+                  head_pos: int) -> IoRequest:
+        ahead = [r for r in pending if r.addr >= head_pos]
+        pool = ahead if ahead else pending  # wrap to the lowest address
+        best = min(pool, key=lambda r: r.addr)
+        pending.remove(best)
+        return best
 
 
 SCHEDULERS = {
@@ -119,13 +164,159 @@ def submit_batch(device, requests: list[IoRequest],
                  scheduler: IoScheduler) -> float:
     """Service a batch in scheduler order; returns total virtual seconds.
 
-    The device's own model charges each access given the order, so the
-    scheduler's quality shows up directly as seek/rotation time.
+    The next request is chosen against the device's *live* head position
+    (the :meth:`~repro.devices.base.Device.head_position` protocol, not a
+    one-shot snapshot), so schedulers see exactly the seek they are about
+    to cause — writes that park the head elsewhere, or devices whose
+    position moves differently than ``request.end``, no longer desync the
+    plan from the hardware.  The device's own model charges each access,
+    so scheduler quality shows up directly as seek/rotation time.
     """
     total = 0.0
-    for request in scheduler.order(requests, getattr(device, "head_pos", 0)):
+    pending = list(requests)
+    while pending:
+        request = scheduler.take_next(pending, device.head_position())
         if request.is_write:
             total += device.write(request.addr, request.nbytes)
         else:
             total += device.read(request.addr, request.nbytes)
     return total
+
+
+class DeviceQueue:
+    """An online per-device elevator driven by the event loop.
+
+    Requests arrive over virtual time from concurrently running tasks;
+    whenever the device frees up the queue picks the next request against
+    the live head position using its :class:`IoScheduler` — the same
+    elevator the batch writeback path uses, now applied *between* tasks
+    instead of within one batch.
+
+    Two service forms coexist:
+
+    * plain requests (``service=None``) are executed via
+      :meth:`Device.submit` at dispatch time;
+    * requests with a ``service`` thunk (filesystem-mediated clusters:
+      HSM staging, NFS server caches) call the thunk at dispatch time —
+      it returns the service duration after mutating whatever filesystem
+      state the synchronous path would have mutated, so custom read paths
+      keep their exact semantics and RNG draw order.
+
+    ``congestion_epoch`` increments on every arrival and completion; the
+    kernel folds it into the SLED cache stamp so queue churn invalidates
+    queue-aware delivery estimates.
+    """
+
+    def __init__(self, device, loop, scheduler: IoScheduler) -> None:
+        self.device = device
+        self.loop = loop
+        self.scheduler = scheduler
+        self._pending: list[IoRequest] = []
+        self._entries: dict[object, tuple] = {}
+        self._seq = 0
+        self._busy = False
+        self._inflight_finish = 0.0
+        #: monotonic counter over queue-state changes (submit/complete)
+        self.congestion_epoch = 0
+        self.depth_high_water = 0
+        self.total_queue_wait = 0.0
+        self.dispatched = 0
+        #: optional hooks: on_queued(depth), on_dispatched(wait, depth),
+        #: on_completed(depth)
+        self.on_queued = None
+        self.on_dispatched = None
+        self.on_completed = None
+
+    @property
+    def depth(self) -> int:
+        """Outstanding requests (queued + in service)."""
+        return len(self._pending) + (1 if self._busy else 0)
+
+    def submit(self, addr: int, nbytes: int, is_write: bool,
+               service=None, label: str = ""):
+        """Enqueue one request; returns an IoFuture resolving to its
+        :class:`~repro.devices.base.Completion`."""
+        from repro.sim.events import IoFuture
+
+        now = self.loop.clock.now
+        future = IoFuture(label or f"{self.device.name}@{addr}")
+        tag = self._seq
+        self._seq += 1
+        request = IoRequest(addr=addr, nbytes=nbytes, is_write=is_write,
+                            tag=tag)
+        self._entries[tag] = (future, now, service)
+        self._pending.append(request)
+        self.congestion_epoch += 1
+        self.depth_high_water = max(self.depth_high_water, self.depth)
+        if self.on_queued is not None:
+            self.on_queued(self.depth)
+        if not self._busy:
+            self._dispatch()
+        return future
+
+    def estimated_delay(self, now: float) -> float:
+        """Seconds a request arriving now would wait before service:
+        the in-flight remainder plus a nominal-spec estimate of every
+        queued request — the queue-aware term SLEDs fold into latency."""
+        delay = max(0.0, self._inflight_finish - now) if self._busy else 0.0
+        spec = self.device.spec
+        for request in self._pending:
+            delay += spec.latency + request.nbytes / spec.bandwidth
+        return delay
+
+    def _dispatch(self) -> None:
+        from dataclasses import replace
+
+        from repro.devices.base import Completion
+
+        request = self.scheduler.take_next(
+            self._pending, self.device.head_position())
+        future, submit_time, service = self._entries.pop(request.tag)
+        now = self.loop.clock.now
+        wait = now - submit_time
+        self.total_queue_wait += wait
+        if wait > 0.0:
+            self.device.stats.queue_wait_time += wait
+            self.device.stats.queued_requests += 1
+        try:
+            if service is not None:
+                duration = service()
+                completion = Completion(
+                    device_name=self.device.name, addr=request.addr,
+                    nbytes=request.nbytes, is_write=request.is_write,
+                    submit_time=submit_time, start_time=now,
+                    duration=duration)
+            else:
+                completion = replace(
+                    self.device.submit(request.addr, request.nbytes,
+                                       request.is_write, now=now),
+                    submit_time=submit_time)
+        except Exception as exc:
+            # a failed request must not wedge the queue: report it to the
+            # waiter and keep servicing (real controllers do the same)
+            self.congestion_epoch += 1
+            future.fail(exc)
+            if self._pending:
+                self._dispatch()
+            return
+        self._busy = True
+        self._inflight_finish = completion.finish_time
+        self.dispatched += 1
+        if self.on_dispatched is not None:
+            self.on_dispatched(wait, self.depth)
+        self.loop.at(completion.finish_time,
+                     lambda: self._complete(future, completion),
+                     category=self.device.time_category)
+
+    def _complete(self, future, completion) -> None:
+        self._busy = False
+        self.congestion_epoch += 1
+        if self.on_completed is not None:
+            self.on_completed(self.depth)
+        future.resolve(completion)
+        if self._pending:
+            self._dispatch()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<DeviceQueue {self.device.name!r} depth={self.depth} "
+                f"epoch={self.congestion_epoch}>")

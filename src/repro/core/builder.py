@@ -41,17 +41,28 @@ def page_level(cache: PageCache, fs: FileSystem, inode: Inode,
     return resolve_estimate(table, fs.page_estimate(inode, page_index))
 
 
-def resolve_estimate(table: SledTable,
-                     estimate: PageEstimate) -> tuple[float, float]:
+def resolve_estimate(table: SledTable, estimate: PageEstimate,
+                     queue_delays: dict[str, float] | None = None,
+                     ) -> tuple[float, float]:
     """Turn a filesystem estimate into concrete (latency, bandwidth),
-    falling back to the boot-time sleds-table row where not overridden."""
+    falling back to the boot-time sleds-table row where not overridden.
+
+    ``queue_delays`` (device_key -> seconds) is the queue-aware term: with
+    a live I/O engine, a request issued *now* waits behind whatever is
+    already queued on the page's device, so that wait is part of the
+    latency the SLED promises.  The estimate's own ``queue_delay`` (set by
+    filesystems that model internal queueing) adds on top.
+    """
+    extra = estimate.queue_delay
+    if queue_delays:
+        extra += queue_delays.get(estimate.device_key, 0.0)
     if estimate.latency is not None and estimate.bandwidth is not None:
-        return estimate.latency, estimate.bandwidth
+        return estimate.latency + extra, estimate.bandwidth
     row = table.lookup(estimate.device_key)
     latency = estimate.latency if estimate.latency is not None else row.latency
     bandwidth = (estimate.bandwidth if estimate.bandwidth is not None
                  else row.bandwidth)
-    return latency, bandwidth
+    return latency + extra, bandwidth
 
 
 def _emit(levels: list[tuple[int, tuple[float, float]]],
@@ -79,12 +90,19 @@ def _emit(levels: list[tuple[int, tuple[float, float]]],
 
 
 def build_sled_vector(cache: PageCache, fs: FileSystem, inode: Inode,
-                      table: SledTable) -> SledVector:
+                      table: SledTable,
+                      queue_delays: dict[str, float] | None = None,
+                      ) -> SledVector:
     """The FSLEDS_GET payload: a validated SLED vector for ``inode``.
 
     Cost is O(resident-in-inode + estimate runs), not O(npages): resident
     intervals come from the cache's per-inode index and the non-resident
     gaps are filled by one ``span_estimates`` call each.
+
+    ``queue_delays`` (device_key -> seconds, from
+    :meth:`~repro.sim.engine.IoEngine.queue_delays`) inflates the latency
+    of non-resident runs by the current wait behind each device's queue;
+    resident (memory-level) runs are untouched — cached pages don't queue.
     """
     size = inode.size
     if size == 0:
@@ -110,7 +128,9 @@ def build_sled_vector(cache: PageCache, fs: FileSystem, inode: Inode,
             gap_end = resident[i] if i < len(resident) else npages
             for run_pages, estimate in fs.span_estimates(
                     inode, cursor, gap_end - cursor):
-                levels.append((run_pages, resolve_estimate(table, estimate)))
+                levels.append((run_pages,
+                               resolve_estimate(table, estimate,
+                                                queue_delays)))
             cursor = gap_end
     return _emit(levels, size)
 

@@ -50,6 +50,10 @@ class DeviceStats:
     busy_time: float = 0.0
     seeks: int = 0
     errors: int = 0
+    #: time requests spent waiting behind the busy horizon (event engine)
+    queue_wait_time: float = 0.0
+    #: requests that had to wait (submitted while the device was busy)
+    queued_requests: int = 0
 
     def reset(self) -> None:
         self.reads = 0
@@ -59,6 +63,37 @@ class DeviceStats:
         self.busy_time = 0.0
         self.seeks = 0
         self.errors = 0
+        self.queue_wait_time = 0.0
+        self.queued_requests = 0
+
+
+@dataclass(frozen=True)
+class Completion:
+    """The outcome of one :meth:`Device.submit` call.
+
+    ``submit_time`` is when the request arrived, ``start_time`` when the
+    device actually began service (``max(submit_time, busy_until)``), and
+    ``duration`` the service time alone — so ``queue_wait`` is pure
+    head-of-line blocking, never transfer time.
+    """
+
+    device_name: str
+    addr: int
+    nbytes: int
+    is_write: bool
+    submit_time: float
+    start_time: float
+    duration: float
+
+    @property
+    def finish_time(self) -> float:
+        """Virtual time at which the request's data is available."""
+        return self.start_time + self.duration
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds the request waited behind earlier requests."""
+        return self.start_time - self.submit_time
 
 
 class Device(ABC):
@@ -85,6 +120,9 @@ class Device(ABC):
         self.observer = None
         self._pending_failures = 0
         self._bad_ranges: list[tuple[int, int]] = []
+        #: virtual time until which the device is servicing earlier
+        #: requests; a request submitted before this horizon queues
+        self.busy_until = 0.0
 
     # -- public API ----------------------------------------------------
 
@@ -92,34 +130,84 @@ class Device(ABC):
     def name(self) -> str:
         return self.spec.name
 
-    def read(self, addr: int, nbytes: int) -> float:
-        """Time in seconds to read ``nbytes`` starting at ``addr``."""
+    def submit(self, addr: int, nbytes: int, is_write: bool,
+               now: float | None = None) -> Completion:
+        """Submit one request; returns its :class:`Completion`.
+
+        ``now`` is the submitter's virtual time.  A request arriving while
+        the device is busy (``now < busy_until``) starts service at the
+        busy horizon and records the difference as queue wait.  When
+        ``now`` is omitted the request is treated as arriving exactly when
+        the device frees up — the synchronous, never-queueing regime the
+        blocking :meth:`read`/:meth:`write` wrappers rely on.
+        """
         self._check(addr, nbytes)
-        self._maybe_fail(addr, nbytes, is_write=False)
-        duration = self._access_time(addr, nbytes, is_write=False)
-        self.stats.reads += 1
-        self.stats.bytes_read += nbytes
+        self._maybe_fail(addr, nbytes, is_write)
+        submit_time = self.busy_until if now is None else now
+        start = max(submit_time, self.busy_until)
+        duration = self._access_time(addr, nbytes, is_write)
+        if is_write:
+            self.stats.writes += 1
+            self.stats.bytes_written += nbytes
+        else:
+            self.stats.reads += 1
+            self.stats.bytes_read += nbytes
         self.stats.busy_time += duration
+        wait = start - submit_time
+        if wait > 0.0:
+            self.stats.queue_wait_time += wait
+            self.stats.queued_requests += 1
+        self.busy_until = start + duration
         if self.observer is not None:
             self.observer.on_device_access(self, addr, nbytes, duration,
-                                           is_write=False)
-        return duration
+                                           is_write=is_write)
+        return Completion(device_name=self.name, addr=addr, nbytes=nbytes,
+                          is_write=is_write, submit_time=submit_time,
+                          start_time=start, duration=duration)
+
+    def read(self, addr: int, nbytes: int) -> float:
+        """Time in seconds to read ``nbytes`` starting at ``addr``.
+
+        A thin submit-and-drain wrapper: the request is charged as if it
+        arrived the instant the device freed up, so it never queues and
+        the returned duration is bit-identical to the pre-event-engine
+        blocking model.
+        """
+        return self.submit(addr, nbytes, is_write=False).duration
 
     def write(self, addr: int, nbytes: int) -> float:
         """Time in seconds to write ``nbytes`` starting at ``addr``."""
-        self._check(addr, nbytes)
-        self._maybe_fail(addr, nbytes, is_write=True)
-        duration = self._access_time(addr, nbytes, is_write=True)
-        self.stats.writes += 1
-        self.stats.bytes_written += nbytes
-        self.stats.busy_time += duration
-        if self.observer is not None:
-            self.observer.on_device_access(self, addr, nbytes, duration,
-                                           is_write=True)
-        return duration
+        return self.submit(addr, nbytes, is_write=True).duration
+
+    def queue_delay(self, now: float) -> float:
+        """Seconds a request submitted at ``now`` would wait before
+        service begins (0.0 when the device is idle)."""
+        return max(0.0, self.busy_until - now)
+
+    def clamp_horizon(self, now: float) -> None:
+        """Pull the busy horizon back to ``now`` at the latest.
+
+        Off-clock accesses (boot-time lmbench probes run the device
+        without charging the kernel clock) push ``busy_until`` past the
+        clock; the event engine clamps every device when it attaches so
+        stale horizons never masquerade as congestion.
+        """
+        if self.busy_until > now:
+            self.busy_until = now
+
+    def head_position(self) -> int:
+        """Current positioning state for I/O-scheduler decisions.
+
+        This is the explicit protocol the block layer consults between
+        requests: devices with mechanical position (disk heads, CD pickup)
+        override it; positionless devices (memory, network) report address
+        0, where every elevator sweep starts.
+        """
+        return 0
 
     def reset_state(self) -> None:
         """Forget positional state (as if freshly powered on)."""
+        self.busy_until = 0.0
 
     # -- failure injection ------------------------------------------------
 

@@ -69,6 +69,10 @@ class CdromDevice(Device):
         self._next_sequential = addr + nbytes
         return duration
 
+    def head_position(self) -> int:
+        return self.head_pos
+
     def reset_state(self) -> None:
+        super().reset_state()
         self.head_pos = 0
         self._next_sequential = 0

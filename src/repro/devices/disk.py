@@ -138,6 +138,10 @@ class DiskDevice(Device):
         self._next_sequential = addr + nbytes
         return duration
 
+    def head_position(self) -> int:
+        return self.head_pos
+
     def reset_state(self) -> None:
+        super().reset_state()
         self.head_pos = 0
         self._next_sequential = 0

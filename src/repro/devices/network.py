@@ -137,5 +137,6 @@ class NfsDevice(Device):
         return duration
 
     def reset_state(self) -> None:
+        super().reset_state()
         self._next_sequential = 0
         self.server_disk.reset_state()

@@ -83,6 +83,7 @@ class Raid0(Device):
         return max(per_member)
 
     def reset_state(self) -> None:
+        super().reset_state()
         for member in self.members:
             member.reset_state()
 
@@ -118,6 +119,7 @@ class Raid1(Device):
         return self._nearest_member(addr).read(addr, nbytes)
 
     def reset_state(self) -> None:
+        super().reset_state()
         for member in self.members:
             member.reset_state()
 

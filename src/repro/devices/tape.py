@@ -154,6 +154,7 @@ class TapeDevice(Device):
         return duration
 
     def reset_state(self) -> None:
+        super().reset_state()
         if self.loaded is not None:
             self.loaded.position = 0
         self._next_sequential = None

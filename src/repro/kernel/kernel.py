@@ -133,15 +133,20 @@ class Kernel:
         #: inode.id -> (fs, inode, set of dirty page indices)
         self._dirty: dict[int, tuple[FileSystem, Inode, set[int]]] = {}
         #: inode.id -> (stamp, vector): FSLEDS_GET results cached until the
-        #: stamp — (cache generation, fs state epoch, sleds-table version)
+        #: stamp — (cache generation, fs state epoch, sleds-table version,
+        #: and, with an engine attached, the per-device congestion epochs)
         #: — moves, making refetch O(changed-state) instead of O(file-pages)
-        self._sled_cache: dict[int, tuple[tuple[int, int, int], SledVector]] = {}
+        self._sled_cache: dict[int, tuple[tuple, SledVector]] = {}
         #: optional event tracer (see repro.sim.trace); None = no tracing
         self.tracer = None
         #: optional telemetry facade (see repro.obs.telemetry); None = off.
         #: Every telemetry hook below is purely observational: attached or
         #: not, virtual timings are bit-identical.
         self.telemetry = None
+        #: optional discrete-event I/O engine (see repro.sim.engine);
+        #: None = the synchronous time model, bit-identical to the
+        #: pre-engine substrate.  Set via attach_engine()/IoEngine.attach().
+        self.engine = None
 
     # ------------------------------------------------------------------
     # mounts and path resolution
@@ -212,6 +217,24 @@ class Kernel:
     def detach_telemetry(self) -> None:
         if self.telemetry is not None:
             self.telemetry.detach()
+
+    def attach_engine(self, engine=None):
+        """Attach (and return) a discrete-event I/O engine.
+
+        With an engine attached, the ``*_async`` syscalls queue requests on
+        per-device elevators and block on completions, and ``FSLEDS_GET``
+        folds live queue state into its latency estimates.  The plain
+        blocking syscalls keep working either way.
+        """
+        from repro.sim.engine import IoEngine
+        if engine is None:
+            engine = IoEngine(self)
+        engine.attach()
+        return engine
+
+    def detach_engine(self) -> None:
+        if self.engine is not None:
+            self.engine.detach()
 
     def charge_cpu(self, seconds: float) -> None:
         """Applications charge their processing time here."""
@@ -444,6 +467,107 @@ class Kernel:
                 if self.telemetry is not None and extra != page:
                     self.telemetry.on_readahead_insert((inode.id, extra))
 
+    # -- the event-driven read path ------------------------------------
+
+    def read_async(self, fd: int, nbytes: int):
+        """``read`` as a generator: hard faults *submit* to the attached
+        engine's per-device queue and ``yield`` the completion future —
+        the scheduler runs other tasks while the device services the
+        request.  Drive with ``data = yield from kernel.read_async(...)``
+        inside a task under :class:`~repro.sim.tasks.EventScheduler`.
+
+        Accounting (hits, faults, readahead clusters, bytes) matches the
+        blocking ``read`` exactly; only *who waits* differs.
+        """
+        self._syscall("read")
+        if nbytes < 0:
+            raise InvalidArgumentError(f"negative read length: {nbytes}")
+        of = self._fd(fd)
+        inode = of.inode
+        nbytes = min(nbytes, max(0, inode.size - of.pos))
+        if nbytes == 0:
+            return b""
+        yield from self._fault_in_async(of, of.pos, nbytes)
+        data = inode.content.read(of.pos, nbytes)
+        self._charge_memory(nbytes)
+        of.pos += nbytes
+        self.counters.bytes_read += nbytes
+        return data
+
+    def pread_async(self, fd: int, offset: int, nbytes: int):
+        """Positional ``read_async``; no offset motion, no readahead."""
+        self._syscall("pread")
+        if offset < 0 or nbytes < 0:
+            raise InvalidArgumentError(
+                f"negative offset/length: {offset}, {nbytes}")
+        of = self._fd(fd)
+        inode = of.inode
+        nbytes = min(nbytes, max(0, inode.size - offset))
+        if nbytes == 0:
+            return b""
+        yield from self._fault_in_async(of, offset, nbytes,
+                                        use_readahead=False)
+        data = inode.content.read(offset, nbytes)
+        self._charge_memory(nbytes)
+        self.counters.bytes_read += nbytes
+        return data
+
+    def _fault_in_async(self, of: OpenFile, offset: int, length: int,
+                        use_readahead: bool = True):
+        """The submit/wait split of :meth:`_fault_in`.
+
+        Miss handling becomes two halves: *submit* the fault cluster to
+        the engine's device queue (counters charged here, in the faulting
+        task's slice), then ``yield`` the future — the scheduler parks the
+        task until the device completion event fires — and finish with the
+        cache inserts.  Cluster discovery runs at submit time, so pages a
+        concurrent task faulted meanwhile are re-checked on resume only
+        via the cache insert (double-fetch of a racing page costs device
+        time, as it does on real hardware).
+        """
+        engine = self.engine
+        if engine is None:
+            raise InvalidArgumentError(
+                "no I/O engine attached; use the blocking read path or "
+                "kernel.attach_engine()")
+        inode = of.inode
+        cache = self.page_cache
+        npages = inode.npages
+        for page in page_span(offset, length):
+            window = of.readahead.advise(page) if use_readahead else 1
+            key = (inode.id, page)
+            if cache.access(key):
+                self.counters.cache_hits += 1
+                if self.telemetry is not None:
+                    self.telemetry.on_hit(inode.id, page)
+                continue
+            self.counters.cache_misses += 1
+            self.counters.hard_faults += 1
+            cluster = 1
+            limit = min(window, npages - page)
+            while (cluster < limit
+                   and not cache.peek((inode.id, page + cluster))):
+                cluster += 1
+            future = engine.submit_cluster(of.fs, inode, page, cluster)
+            completion = yield future
+            seconds = completion.duration
+            self.counters.pages_read += cluster
+            self.counters.readahead_pages += cluster - 1
+            if self.tracer is not None:
+                self.tracer.emit(self.clock.now, "fault",
+                                 of.fs.device.time_category, seconds,
+                                 page=page, cluster=cluster,
+                                 inode=inode.id)
+            if self.telemetry is not None:
+                self.telemetry.on_fault(
+                    of.fs.device, inode.id, page, cluster, seconds,
+                    now=self.clock.now, window=window)
+            for extra in range(page, page + cluster):
+                if cache.insert((inode.id, extra)) is not None:
+                    self.counters.evictions += 1
+                if self.telemetry is not None and extra != page:
+                    self.telemetry.on_readahead_insert((inode.id, extra))
+
     def mmap(self, fd: int) -> "MappedRegion":
         """Map an open file; reads through the mapping skip the
         copy-to-user cost of ``read()``.
@@ -578,7 +702,7 @@ class Kernel:
                    dirty_files: list[tuple[Inode, set[int]]]) -> None:
         """Flush dirty runs of one filesystem, batched via the scheduler
         when the filesystem has no special write path of its own."""
-        from repro.block.scheduler import IoRequest, submit_batch
+        from repro.block.scheduler import submit_batch
 
         plain_write_path = type(fs).write_pages is FileSystem.write_pages
         if not plain_write_path:
@@ -591,6 +715,23 @@ class Kernel:
                                        fs.device.time_category)
                     self.counters.pages_written += run
             return
+        requests, total_pages = self._writeback_requests(dirty_files)
+        if not requests:
+            return
+        if self.telemetry is not None:
+            self.telemetry.on_queue_depth(fs.device, len(requests))
+        seconds = submit_batch(fs.device, requests, self.io_scheduler)
+        self.clock.advance(self._noisy(seconds), fs.device.time_category)
+        self.counters.pages_written += total_pages
+
+    @staticmethod
+    def _writeback_requests(
+            dirty_files: list[tuple[Inode, set[int]]]) -> tuple[list, int]:
+        """The submit half of writeback: dirty page runs -> block-layer
+        requests (split at extent boundaries).  Shared by the blocking
+        batch path and the event-driven :meth:`fsync_async`."""
+        from repro.block.scheduler import IoRequest
+
         requests = []
         total_pages = 0
         for inode, pages in dirty_files:
@@ -606,12 +747,66 @@ class Kernel:
                     page += extent_run
                     remaining -= extent_run
                 total_pages += run
-        if not requests:
+        return requests, total_pages
+
+    def fsync_async(self, fd: int):
+        """``fsync`` as a generator: dirty runs are *submitted* to the
+        engine's device queue (where they contend with other tasks' reads
+        under the elevator) and the caller blocks on their completions.
+        Drive with ``yield from kernel.fsync_async(fd)``.
+        """
+        self._syscall("fsync")
+        of = self._fd(fd)
+        yield from self._writeback_async(of.inode.id)
+
+    def _writeback_async(self, inode_id: int):
+        """The wait half of event-driven writeback for one inode."""
+        engine = self.engine
+        if engine is None:
+            raise InvalidArgumentError(
+                "no I/O engine attached; use the blocking fsync() or "
+                "kernel.attach_engine()")
+        entry = self._dirty.pop(inode_id, None)
+        if entry is None:
             return
-        if self.telemetry is not None:
-            self.telemetry.on_queue_depth(fs.device, len(requests))
-        seconds = submit_batch(fs.device, requests, self.io_scheduler)
-        self.clock.advance(self._noisy(seconds), fs.device.time_category)
+        fs, inode, pages = entry
+        queue = engine.queue_for(fs.device)
+        futures = []
+        plain_write_path = type(fs).write_pages is FileSystem.write_pages
+        if plain_write_path:
+            requests, total_pages = self._writeback_requests(
+                [(inode, pages)])
+            if self.telemetry is not None:
+                self.telemetry.on_queue_depth(fs.device, len(requests))
+            for request in requests:
+                def service(r=request, device=fs.device):
+                    return self._noisy(device.write(r.addr, r.nbytes))
+                futures.append(queue.submit(
+                    request.addr, request.nbytes, is_write=True,
+                    service=service,
+                    label=f"writeback:{fs.name}:{inode.id}"))
+        else:
+            # HSM-style write paths mutate staging state: one atomic thunk
+            # per dirty run through the filesystem's own write_pages.
+            total_pages = 0
+            for start, run in _contiguous_runs(sorted(pages)):
+                def service(inode=inode, start=start, run=run):
+                    return self._noisy(fs.write_pages(inode, start, run))
+                futures.append(queue.submit(
+                    inode.extent_map.addr_of(start), run * PAGE_SIZE,
+                    is_write=True, service=service,
+                    label=f"writeback:{fs.name}:{inode.id}:{start}+{run}"))
+                total_pages += run
+        if not futures:
+            return
+        try:
+            yield futures
+        except Exception:
+            # a failed flush must not lose the dirty state (parity with
+            # the blocking path): re-register so a retry writes the data
+            self._dirty.setdefault(
+                inode_id, (fs, inode, set()))[2].update(pages)
+            raise
         self.counters.pages_written += total_pages
 
     # ------------------------------------------------------------------
@@ -649,8 +844,12 @@ class Kernel:
                     self.charge_cpu(0.2 * USEC)
                     vector = cached[1]
                 else:
+                    queue_delays = (
+                        self.engine.queue_delays(of.fs, self.clock.now)
+                        if self.engine is not None else None)
                     vector = build_sled_vector(
-                        self.page_cache, of.fs, of.inode, self.sleds_table)
+                        self.page_cache, of.fs, of.inode, self.sleds_table,
+                        queue_delays=queue_delays)
                     # kernel walks the file's state: charge ~0.2 us per page
                     self.charge_cpu(of.inode.npages * 0.2 * USEC)
                     self.counters.sleds_builds += 1
@@ -663,20 +862,31 @@ class Kernel:
             if span is not None:
                 tele.syscall_end(span, self.clock.now)
 
-    def _sled_stamp(self, of: OpenFile) -> tuple[int, int, int]:
+    def _sled_stamp(self, of: OpenFile) -> tuple:
         """The validity stamp of a cached SLED vector: moves whenever any
-        input of the builder can have changed for this inode."""
-        return (self.page_cache.generation(of.inode.id),
+        input of the builder can have changed for this inode.
+
+        With an I/O engine attached the stamp also folds in each device
+        queue's congestion epoch — queue churn changes the queue-delay
+        term ``FSLEDS_GET`` adds to non-resident latencies, so cached
+        vectors built under different congestion must not be reused.
+        """
+        base = (self.page_cache.generation(of.inode.id),
                 of.fs.state_epoch,
                 self.sleds_table.version)
+        if self.engine is None:
+            return base
+        return base + (self.engine.congestion_stamp(of.fs),)
 
     def sleds_stamp(self, fd: int):
         """Current SLED-vector stamp for an open file — a vDSO-style read.
 
-        Costs no virtual time and no syscall: it is three counter loads, the
-        moral equivalent of reading a seqlock generation from a shared page.
-        The pick library and progress bars compare this against the stamp of
-        their last fetch and skip the FSLEDS_GET entirely when unchanged.
+        Costs no virtual time and no syscall: it is a handful of counter
+        loads (three, plus one congestion epoch per device when an engine
+        is attached), the moral equivalent of reading a seqlock generation
+        from a shared page.  The pick library and progress bars compare
+        this against the stamp of their last fetch and skip the FSLEDS_GET
+        entirely when unchanged.
         """
         return self._sled_stamp(self._fd(fd))
 

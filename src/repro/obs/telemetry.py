@@ -75,6 +75,14 @@ class Telemetry:
         self.queue_depth = r.histogram(
             "device_queue_depth", "Requests per writeback batch",
             labels=("device",), buckets=DEPTH_BUCKETS)
+        self.queue_depth_now = r.gauge(
+            "device_queue_depth_now",
+            "Outstanding requests on the device's event queue",
+            labels=("device",))
+        self.queue_wait = r.histogram(
+            "device_queue_wait_seconds",
+            "Virtual seconds a request waited in queue before service",
+            labels=("device",))
         self.cache_hits = r.counter(
             "cache_hits_total", "Page-cache hits", labels=("policy",))
         self.cache_misses = r.counter(
@@ -204,6 +212,21 @@ class Telemetry:
 
     def on_queue_depth(self, device, depth: int) -> None:
         self.queue_depth.labels(device=device.name).observe(depth)
+
+    def on_io_queued(self, device, depth: int) -> None:
+        """A request entered the device's event queue (engine attached)."""
+        self.queue_depth_now.labels(device=device.name).set(depth)
+
+    def on_io_dispatched(self, device, wait: float, depth: int) -> None:
+        """A queued request started service after ``wait`` virtual
+        seconds; ``depth`` counts it plus whatever is still waiting."""
+        self.queue_wait.labels(device=device.name).observe(wait)
+        self.queue_depth_now.labels(device=device.name).set(depth)
+
+    def on_io_completed(self, device, depth: int) -> None:
+        """A request finished service; ``depth`` is what is still
+        queued (0 when the device goes idle)."""
+        self.queue_depth_now.labels(device=device.name).set(depth)
 
     def on_sleds(self, inode_id: int, vector) -> None:
         self.sleds_requests.inc()

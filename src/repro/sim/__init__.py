@@ -16,6 +16,8 @@ from repro.sim.errors import (
     NotADirectorySimError,
     ReadOnlyFilesystemError,
 )
+from repro.sim.engine import IoEngine
+from repro.sim.events import EventLoop, IoFuture
 from repro.sim.rng import RngStreams
 from repro.sim.units import (
     KB,
@@ -31,6 +33,9 @@ from repro.sim.units import (
 
 __all__ = [
     "VirtualClock",
+    "EventLoop",
+    "IoFuture",
+    "IoEngine",
     "RngStreams",
     "SimulationError",
     "BadFileDescriptorError",

@@ -57,6 +57,23 @@ class VirtualClock:
         self._by_category[category] = self._by_category.get(category, 0.0) + seconds
         return self._now
 
+    def advance_to(self, time: float, category: str = "other") -> float:
+        """Advance the clock to exactly ``time`` (charged to ``category``).
+
+        The discrete-event loop uses this to land *bit-exactly* on an
+        event's timestamp: ``advance(time - now)`` can round an ulp away
+        from ``time``, which would break the engine's single-task
+        bit-identity guarantee against the synchronous path.
+        """
+        if time < self._now:
+            raise ClockError(
+                f"cannot move clock backwards: {time!r} < {self._now!r}")
+        delta = time - self._now
+        self._by_category[category] = (
+            self._by_category.get(category, 0.0) + delta)
+        self._now = time
+        return self._now
+
     def category_total(self, category: str) -> float:
         """Total time attributed to ``category`` so far (0.0 if never used)."""
         return self._by_category.get(category, 0.0)

@@ -1,0 +1,168 @@
+"""The I/O engine: per-device queues wired to one kernel and event loop.
+
+An :class:`IoEngine` is what turns the kernel's blocking time model into a
+discrete-event one.  While attached (``kernel.engine is self``):
+
+* hard faults taken through the kernel's ``*_async`` syscalls are
+  *submitted* to a per-device :class:`~repro.block.scheduler.DeviceQueue`
+  (online elevator, live head position) and the faulting task blocks on
+  the returned future while other runnable tasks execute — CPU overlaps
+  device service, and requests from different tasks contend for the same
+  device queue;
+* SLED vectors served by ``FSLEDS_GET`` gain a queue-delay latency term
+  fed by each device's busy horizon and queue depth, and the kernel's
+  SLED cache stamp folds in each queue's congestion epoch so queue churn
+  invalidates cached estimates;
+* queue depth and per-request queue wait are exported through the
+  telemetry gauges when a :class:`~repro.obs.telemetry.Telemetry` is
+  attached.
+
+Detached (the default), nothing here runs and the kernel's synchronous
+path is bit-identical to the pre-engine substrate — the paper figures are
+regression anchors and must not move.
+
+Service runs through the filesystem's own ``read_pages`` at *dispatch*
+time (as a thunk), so stateful read paths — HSM staging, NFS server
+caches, zone-dependent disk transfer — mutate their state and draw their
+randomness in exactly the order the synchronous path would have, which is
+what makes a solo run under the engine bit-identical to the blocking one.
+"""
+
+from __future__ import annotations
+
+from repro.block.scheduler import DeviceQueue, IoScheduler
+from repro.sim.errors import InvalidArgumentError
+from repro.sim.events import EventLoop, IoFuture
+from repro.sim.units import PAGE_SIZE
+
+
+class IoEngine:
+    """Per-device event-driven request queues over one kernel."""
+
+    def __init__(self, kernel, scheduler: IoScheduler | None = None) -> None:
+        self.kernel = kernel
+        self.loop = EventLoop(kernel.clock)
+        self.scheduler = scheduler if scheduler is not None \
+            else kernel.io_scheduler
+        self._queues: dict[int, DeviceQueue] = {}
+        self._attached = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def attach(self) -> "IoEngine":
+        """Install on the kernel; clamps stale device busy horizons
+        (boot-time probes run devices off-clock) to the current time."""
+        if self.kernel.engine is not None:
+            raise InvalidArgumentError(
+                "kernel already has an engine attached")
+        now = self.kernel.clock.now
+        seen: set[int] = set()
+        for device in self._reachable_devices():
+            if id(device) not in seen:
+                seen.add(id(device))
+                device.clamp_horizon(now)
+        self.kernel.engine = self
+        self._attached = True
+        return self
+
+    def detach(self) -> None:
+        if self.kernel.engine is self:
+            self.kernel.engine = None
+        self._attached = False
+
+    def _reachable_devices(self):
+        yield self.kernel.memory
+        for _, fs in self.kernel.mounts():
+            yield from fs.observable_devices()
+
+    # -- queues ----------------------------------------------------------
+
+    def queue_for(self, device) -> DeviceQueue:
+        """The (lazily created) online elevator for ``device``."""
+        queue = self._queues.get(id(device))
+        if queue is None:
+            queue = DeviceQueue(device, self.loop, self.scheduler)
+            queue.on_queued = (
+                lambda depth, d=device: self._on_queued(d, depth))
+            queue.on_dispatched = (
+                lambda wait, depth, d=device:
+                self._on_dispatched(d, wait, depth))
+            queue.on_completed = (
+                lambda depth, d=device: self._on_completed(d, depth))
+            self._queues[id(device)] = queue
+        return queue
+
+    def queues(self) -> list[DeviceQueue]:
+        """Every queue created so far (reporting / tests)."""
+        return list(self._queues.values())
+
+    def submit(self, device, addr: int, nbytes: int, is_write: bool,
+               service=None, label: str = "") -> IoFuture:
+        """Enqueue one raw request on ``device``'s queue."""
+        return self.queue_for(device).submit(addr, nbytes, is_write,
+                                             service=service, label=label)
+
+    def submit_cluster(self, fs, inode, page: int, cluster: int) -> IoFuture:
+        """Enqueue one fault cluster, serviced through ``fs.read_pages``
+        at dispatch time (noise applied as the synchronous path would)."""
+        kernel = self.kernel
+        addr = inode.extent_map.addr_of(page)
+
+        def service() -> float:
+            return kernel._noisy(fs.read_pages(inode, page, cluster))
+
+        return self.queue_for(fs.device).submit(
+            addr, cluster * PAGE_SIZE, is_write=False, service=service,
+            label=f"fault:{fs.name}:{inode.id}:{page}+{cluster}")
+
+    # -- queue-aware SLED inputs ----------------------------------------
+
+    def queue_delays(self, fs, now: float) -> dict[str, float]:
+        """Per-device-key extra latency from queue state right now —
+        the term ``FSLEDS_GET`` adds to non-resident SLED latencies."""
+        delays: dict[str, float] = {}
+        for key, device in fs.device_table().items():
+            delay = self.queue_for(device).estimated_delay(now)
+            delay = max(delay, device.queue_delay(now))
+            if delay > 0.0:
+                delays[key] = delay
+        return delays
+
+    def congestion_stamp(self, fs) -> tuple:
+        """Per-device congestion epochs, folded into the SLED cache stamp
+        so any queue-state change invalidates cached vectors."""
+        return tuple(self.queue_for(device).congestion_epoch
+                     for _, device in sorted(fs.device_table().items()))
+
+    # -- observability ---------------------------------------------------
+
+    def _on_queued(self, device, depth: int) -> None:
+        telemetry = self.kernel.telemetry
+        if telemetry is not None:
+            telemetry.on_io_queued(device, depth)
+
+    def _on_dispatched(self, device, wait: float, depth: int) -> None:
+        telemetry = self.kernel.telemetry
+        if telemetry is not None:
+            telemetry.on_io_dispatched(device, wait, depth)
+
+    def _on_completed(self, device, depth: int) -> None:
+        telemetry = self.kernel.telemetry
+        if telemetry is not None:
+            telemetry.on_io_completed(device, depth)
+
+    def queue_report(self) -> dict[str, dict]:
+        """Summary per device queue (benchmarks and examples print this)."""
+        report: dict[str, dict] = {}
+        for queue in self._queues.values():
+            report[queue.device.name] = {
+                "dispatched": queue.dispatched,
+                "depth_high_water": queue.depth_high_water,
+                "total_queue_wait_s": queue.total_queue_wait,
+                "congestion_epoch": queue.congestion_epoch,
+            }
+        return report
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "attached" if self._attached else "detached"
+        return f"<IoEngine {state} queues={len(self._queues)}>"

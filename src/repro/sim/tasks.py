@@ -2,40 +2,65 @@
 
 The paper argues SLEDs make an application "a better citizen by reducing
 system load" — a claim about *concurrent* workloads sharing the cache and
-devices.  This module provides the minimal machinery to run several
-application loops interleaved against one kernel:
+devices.  This module provides the machinery to run several application
+loops interleaved against one kernel:
 
 * a :class:`Task` wraps a generator that yields between I/O steps;
-* :class:`RoundRobin` alternates tasks, accounting each task's virtual
-  time and faults separately (the kernel clock advances only inside the
-  running task's step, so per-task deltas are exact);
+* :class:`EventScheduler` is the discrete-event scheduler: tasks that
+  yield an :class:`~repro.sim.events.IoFuture` block until the device
+  completes, while runnable tasks execute during the device service —
+  CPU overlaps I/O, and per-device queues (see :mod:`repro.sim.engine`)
+  order contending requests with an online elevator;
+* :class:`RoundRobin` is the original lockstep scheduler, kept as a
+  compatibility shim (it never overlaps anything: every kernel call
+  blocks inline, exactly the pre-engine behaviour);
 * :func:`wc_task` / :func:`grep_task` / :func:`reader_task` adapt the
-  standard applications into steppable generators.
+  standard applications into steppable generators;
+  :func:`reader_task_async` / :func:`wc_task_async` are their
+  engine-aware forms that block on completions instead of the clock.
 
-This is cooperative, deterministic scheduling — not preemption — which is
-all the cache-interference phenomena need: what matters is that task A's
-insertions land between task B's reads.
+Scheduling is cooperative and deterministic — runnable tasks run FIFO,
+blocked tasks wake in event order (time, then submission sequence) — so
+two runs of the same workload are bit-identical.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Iterator
 
 from repro.sim.errors import InvalidArgumentError
 
-#: what task generators yield between steps (value is ignored)
-Step = Generator[None, None, object]
+#: what task generators yield between steps: None (cooperative yield) or
+#: an IoFuture / list of IoFutures to block on
+Step = Generator[object, object, object]
+
+#: sentinel distinguishing "task finished" from any yielded value
+_DONE = object()
 
 
 @dataclass
 class TaskStats:
-    """Per-task accounting, filled in by the scheduler."""
+    """Per-task accounting, filled in by the scheduler.
+
+    ``finished_at`` is the *absolute* scheduler virtual time at which the
+    task completed (directly comparable to ``kernel.clock.now``);
+    ``elapsed`` is the relative form — seconds from scheduler start to
+    finish.  ``virtual_time`` counts only time that advanced while this
+    task was executing (its CPU, memory and blocking I/O charges);
+    ``wait_time`` counts time the task spent parked on completions while
+    other tasks ran or the clock jumped to a device completion.
+    """
 
     steps: int = 0
     virtual_time: float = 0.0
     hard_faults: int = 0
-    finished_at: float | None = None  # scheduler virtual time at finish
+    started_at: float | None = None  # absolute virtual time of first step
+    finished_at: float | None = None  # absolute virtual time at finish
+    elapsed: float | None = None  # finished_at minus scheduler start
+    wait_time: float = 0.0  # time spent blocked on I/O completions
+    io_waits: int = 0  # completions this task blocked on
     result: object = None
 
 
@@ -49,25 +74,54 @@ class Task:
         self.done = False
 
     def step(self, kernel) -> bool:
-        """Run one step; returns True while the task has more work."""
+        """Run one step; returns True while the task has more work.
+
+        The lockstep entry point used by :class:`RoundRobin`: any yielded
+        value is ignored, so tasks that yield futures must run under
+        :class:`EventScheduler` instead.
+        """
+        return self.resume(kernel) is not _DONE
+
+    def resume(self, kernel, value: object = None,
+               exception: BaseException | None = None) -> object:
+        """Advance the generator one step and account the slice.
+
+        ``value`` is sent into the generator (the completion a blocked
+        task was waiting for); ``exception`` is thrown into it instead
+        (failed I/O).  Returns whatever the generator yields, or the
+        ``_DONE`` sentinel once it finishes.
+        """
         if self.done:
-            return False
+            return _DONE
+        if self.stats.started_at is None:
+            self.stats.started_at = kernel.clock.now
         clock_before = kernel.clock.now
         faults_before = kernel.counters.hard_faults
         try:
-            next(self._gen)
+            if exception is not None:
+                yielded = self._gen.throw(exception)
+            else:
+                yielded = self._gen.send(value)
         except StopIteration as stop:
             self.stats.result = stop.value
             self.done = True
-        self.stats.steps += 1
-        self.stats.virtual_time += kernel.clock.now - clock_before
-        self.stats.hard_faults += (kernel.counters.hard_faults
-                                   - faults_before)
-        return not self.done
+            yielded = _DONE
+        finally:
+            self.stats.steps += 1
+            self.stats.virtual_time += kernel.clock.now - clock_before
+            self.stats.hard_faults += (kernel.counters.hard_faults
+                                       - faults_before)
+        return yielded
 
 
 class RoundRobin:
-    """Deterministic round-robin scheduler over one kernel."""
+    """Deterministic lockstep round-robin scheduler over one kernel.
+
+    Compatibility shim: every kernel call a task makes blocks inline
+    (device time is charged synchronously), so nothing overlaps — the
+    pre-event-engine behaviour.  Use :class:`EventScheduler` with the
+    ``*_async`` task adapters to overlap CPU with device service.
+    """
 
     def __init__(self, kernel, tasks: list[Task]) -> None:
         if not tasks:
@@ -94,9 +148,129 @@ class RoundRobin:
                 if task.step(self.kernel):
                     still.append(task)
                 else:
-                    task.stats.finished_at = self.kernel.clock.now - start
+                    task.stats.finished_at = self.kernel.clock.now
+                    task.stats.elapsed = self.kernel.clock.now - start
             pending = still
         return {task.name: task.stats for task in self.tasks}
+
+
+class EventScheduler:
+    """Discrete-event task scheduler: CPU overlaps device service.
+
+    Tasks are the same generators :class:`RoundRobin` runs, with one
+    extension: yielding an :class:`~repro.sim.events.IoFuture` (or a list
+    of them) parks the task until the I/O completes.  While a task is
+    parked, other runnable tasks execute — their CPU and cache hits
+    advance the clock during the blocked task's device service.  When
+    every task is parked, the event loop jumps the clock to the earliest
+    completion (charged to that device's category, so a solo run's
+    per-category totals match the synchronous path bit for bit).
+
+    Determinism: runnable tasks run FIFO; completions fire in event order
+    (time, then submission sequence); a task woken by a completion goes to
+    the back of the runnable queue.  No wall clock, no hashing, no
+    randomness — identical workloads replay identically.
+    """
+
+    def __init__(self, kernel, tasks: list[Task],
+                 engine=None) -> None:
+        if not tasks:
+            raise InvalidArgumentError("need at least one task")
+        names = [t.name for t in tasks]
+        if len(set(names)) != len(names):
+            raise InvalidArgumentError(f"duplicate task names: {names}")
+        self.kernel = kernel
+        self.tasks = list(tasks)
+        self.engine = engine
+
+    def run(self, max_steps: int = 10_000_000) -> dict[str, TaskStats]:
+        """Run all tasks to completion; returns stats by name."""
+        from repro.sim.engine import IoEngine
+        from repro.sim.events import IoFuture
+
+        kernel = self.kernel
+        engine = self.engine
+        owns_engine = False
+        if engine is None:
+            engine = kernel.engine
+            if engine is None:
+                engine = IoEngine(kernel).attach()
+                owns_engine = True
+        elif kernel.engine is None:
+            engine.attach()
+            owns_engine = True
+
+        start = kernel.clock.now
+        runnable: deque[tuple[Task, object, BaseException | None]] = deque(
+            (task, None, None) for task in self.tasks)
+        counters = {"blocked": 0}
+        steps = 0
+
+        def park(task: Task, futures: list) -> None:
+            """Wake ``task`` once every future resolves; deliver the last
+            completion (or the first exception) back into the generator."""
+            state = {"remaining": len(futures), "exc": None, "value": None,
+                     "blocked_at": kernel.clock.now}
+            counters["blocked"] += 1
+            task.stats.io_waits += len(futures)
+
+            def settle(future) -> None:
+                state["remaining"] -= 1
+                if future.exception is not None and state["exc"] is None:
+                    state["exc"] = future.exception
+                elif future.exception is None:
+                    state["value"] = future.value
+                if state["remaining"] == 0:
+                    task.stats.wait_time += (kernel.clock.now
+                                             - state["blocked_at"])
+                    counters["blocked"] -= 1
+                    runnable.append((task, state["value"], state["exc"]))
+
+            for future in futures:
+                future.add_done_callback(settle)
+
+        try:
+            while runnable or counters["blocked"]:
+                steps += 1
+                if steps > max_steps:
+                    raise RuntimeError(
+                        f"event scheduler exceeded {max_steps} steps")
+                if not runnable:
+                    if not engine.loop.step():
+                        parked = [t.name for t in self.tasks if not t.done]
+                        raise RuntimeError(
+                            f"deadlock: tasks {parked} blocked with no "
+                            f"pending events")
+                    continue
+                task, value, exception = runnable.popleft()
+                yielded = task.resume(kernel, value, exception)
+                if yielded is _DONE:
+                    task.stats.finished_at = kernel.clock.now
+                    task.stats.elapsed = kernel.clock.now - start
+                    continue
+                if yielded is None:
+                    runnable.append((task, None, None))
+                    continue
+                futures = (list(yielded)
+                           if isinstance(yielded, (list, tuple))
+                           else [yielded])
+                if not all(isinstance(f, IoFuture) for f in futures):
+                    raise InvalidArgumentError(
+                        f"task {task.name!r} yielded "
+                        f"{yielded!r}; expected None or IoFuture(s)")
+                park(task, futures)
+            return {task.name: task.stats for task in self.tasks}
+        finally:
+            if owns_engine:
+                engine.detach()
+
+    @property
+    def _blocked(self) -> int:
+        return self.__dict__.get("_blocked_count", 0)
+
+    @_blocked.setter
+    def _blocked(self, value: int) -> None:
+        self.__dict__["_blocked_count"] = value
 
 
 # ---------------------------------------------------------------------------
@@ -180,6 +354,55 @@ def grep_task(kernel, path: str, pattern: bytes,
             carry_end = base + len(blob)
             yield
         return None
+    finally:
+        kernel.close(fd)
+
+
+def reader_task_async(kernel, path: str, bufsize: int = 64 * 1024,
+                      cpu_per_byte: float = 0.0) -> Step:
+    """Engine-aware linear reader: faults block on device completions
+    (so other tasks run during the seek) instead of charging the clock
+    inline.  ``cpu_per_byte`` charges per-byte CPU after each buffer —
+    that CPU is what overlaps other tasks' device service."""
+    fd = kernel.open(path)
+    try:
+        while True:
+            data = yield from kernel.read_async(fd, bufsize)
+            if not data:
+                return None
+            if cpu_per_byte:
+                kernel.charge_cpu(len(data) * cpu_per_byte)
+            yield
+    finally:
+        kernel.close(fd)
+
+
+def wc_task_async(kernel, path: str, bufsize: int = 64 * 1024) -> Step:
+    """Linear wc over the async read path; returns (lines, words, chars).
+
+    Counting CPU is charged after each buffer arrives, so under the
+    :class:`EventScheduler` one task's counting overlaps another task's
+    device service."""
+    from repro.apps.common import SCAN_CPU_PER_BYTE
+
+    fd = kernel.open(path)
+    try:
+        lines = words = chars = 0
+        pending = False  # last chunk ended mid-word
+        while True:
+            data = yield from kernel.read_async(fd, bufsize)
+            if not data:
+                return (lines, words, chars)
+            kernel.charge_cpu(len(data) * SCAN_CPU_PER_BYTE)
+            lines += data.count(b"\n")
+            pieces = len(data.split())
+            words += pieces
+            if (pending and pieces
+                    and data[:1] not in b" \t\n\r\v\f"):
+                words -= 1  # continuation of the previous chunk's word
+            pending = bool(pieces) and data[-1:] not in b" \t\n\r\v\f"
+            chars += len(data)
+            yield
     finally:
         kernel.close(fd)
 

@@ -177,3 +177,144 @@ class TestKernelWriteback:
         inode = k.resolve("/mnt/hsm/w.dat")[1]
         assert fs.staged_count(inode) >= 4  # writes land in the stage
         k.close(fd)
+
+
+class TestTakeNext:
+    """The online form: one request at a time against the live head."""
+
+    def test_fcfs_pops_submission_order(self):
+        pending = _requests([5 * MB, 1 * MB, 9 * MB])
+        scheduler = FcfsScheduler()
+        picked = [scheduler.take_next(pending, 0).addr for _ in range(3)]
+        assert picked == [5 * MB, 1 * MB, 9 * MB]
+        assert pending == []
+
+    def test_sstf_picks_nearest_to_live_head(self):
+        pending = _requests([1 * MB, 5 * MB, 9 * MB])
+        assert SstfScheduler().take_next(pending, 6 * MB).addr == 5 * MB
+        assert len(pending) == 2
+
+    def test_sstf_equidistant_tie_breaks_to_lower_address(self):
+        """Service order must be a pure function of (pending, head) —
+        never of list construction order."""
+        scheduler = SstfScheduler()
+        for order in ([3 * MB, 5 * MB], [5 * MB, 3 * MB]):
+            pending = _requests(order)
+            assert scheduler.take_next(pending, 4 * MB).addr == 3 * MB
+
+    def test_sstf_order_deterministic_under_permutation(self):
+        scheduler = SstfScheduler()
+        addrs = [4 * MB, 2 * MB, 6 * MB, 0]
+        a = [r.addr for r in scheduler.order(_requests(addrs), 3 * MB)]
+        b = [r.addr
+             for r in scheduler.order(_requests(addrs[::-1]), 3 * MB)]
+        assert a == b
+
+    def test_clook_takes_lowest_at_or_above_head(self):
+        pending = _requests([1 * MB, 5 * MB, 9 * MB])
+        assert ClookScheduler().take_next(pending, 4 * MB).addr == 5 * MB
+
+    def test_clook_wraps_to_lowest_when_nothing_ahead(self):
+        """The wrap-around: head past every request sweeps back to the
+        start of the disk, not backwards to the nearest."""
+        pending = _requests([1 * MB, 3 * MB])
+        assert ClookScheduler().take_next(pending, 8 * MB).addr == 1 * MB
+
+    def test_clook_full_drain_matches_order(self):
+        scheduler = ClookScheduler()
+        addrs = [5 * MB, 1 * MB, 9 * MB, 3 * MB]
+        via_order = [r.addr for r in scheduler.order(_requests(addrs),
+                                                     4 * MB)]
+        pending = _requests(addrs)
+        # a LOOK sweep's head ends where each request ends
+        via_take, head = [], 4 * MB
+        while pending:
+            request = scheduler.take_next(pending, head)
+            via_take.append(request.addr)
+            head = request.end
+        assert via_take == via_order
+
+    @given(st.lists(st.integers(0, (8 * GB) // PAGE_SIZE - 1),
+                    min_size=1, max_size=20, unique=True),
+           st.sampled_from(["fcfs", "sstf", "clook"]),
+           st.integers(0, 8 * GB))
+    @settings(max_examples=50, deadline=None)
+    def test_take_next_drains_every_request(self, pages, name, head):
+        scheduler = make_scheduler(name)
+        pending = _requests([p * PAGE_SIZE for p in pages])
+        expect = sorted(r.addr for r in pending)
+        taken = []
+        while pending:
+            taken.append(scheduler.take_next(pending, head).addr)
+        assert sorted(taken) == expect
+
+
+class TestDeviceQueue:
+    def _queue(self, scheduler_name="clook"):
+        from repro.block.scheduler import DeviceQueue
+        from repro.sim.clock import VirtualClock
+        from repro.sim.events import EventLoop
+
+        disk = DiskDevice(rng=np.random.default_rng(21))
+        loop = EventLoop(VirtualClock())
+        return DeviceQueue(disk, loop, make_scheduler(scheduler_name)), loop
+
+    def test_single_request_completes(self):
+        queue, loop = self._queue()
+        future = queue.submit(0, PAGE_SIZE, is_write=False)
+        assert queue.depth == 1  # dispatched, in service
+        loop.run_until_idle()
+        completion = future.value
+        assert completion.queue_wait == 0.0
+        assert completion.finish_time == loop.clock.now
+        assert queue.depth == 0
+
+    def test_second_request_waits_for_first(self):
+        queue, loop = self._queue()
+        first = queue.submit(0, PAGE_SIZE, is_write=False)
+        second = queue.submit(5 * MB, PAGE_SIZE, is_write=False)
+        assert queue.depth == 2
+        loop.run_until_idle()
+        assert second.value.start_time >= first.value.finish_time
+        assert second.value.queue_wait > 0.0
+        assert queue.total_queue_wait > 0.0
+        assert queue.depth_high_water == 2
+
+    def test_elevator_orders_queued_requests(self):
+        """With three requests queued behind an in-flight one, C-LOOK
+        services them in sweep order, not arrival order."""
+        queue, loop = self._queue("clook")
+        queue.submit(0, PAGE_SIZE, is_write=False)  # in service
+        futures = {addr: queue.submit(addr, PAGE_SIZE, is_write=False)
+                   for addr in (9 * MB, 1 * MB, 5 * MB)}
+        loop.run_until_idle()
+        starts = {addr: futures[addr].value.start_time
+                  for addr in futures}
+        assert starts[1 * MB] < starts[5 * MB] < starts[9 * MB]
+
+    def test_congestion_epoch_moves_on_submit_and_complete(self):
+        queue, loop = self._queue()
+        epoch0 = queue.congestion_epoch
+        queue.submit(0, PAGE_SIZE, is_write=False)
+        assert queue.congestion_epoch > epoch0
+        epoch1 = queue.congestion_epoch
+        loop.run_until_idle()
+        assert queue.congestion_epoch > epoch1
+
+    def test_failed_request_does_not_wedge_queue(self):
+        queue, loop = self._queue()
+        queue.device.inject_failures(1)
+        bad = queue.submit(0, PAGE_SIZE, is_write=False)
+        good = queue.submit(PAGE_SIZE, PAGE_SIZE, is_write=False)
+        loop.run_until_idle()
+        assert bad.exception is not None
+        assert good.value.duration > 0.0
+
+    def test_estimated_delay_counts_inflight_and_pending(self):
+        queue, loop = self._queue()
+        assert queue.estimated_delay(loop.clock.now) == 0.0
+        queue.submit(0, PAGE_SIZE, is_write=False)
+        busy_only = queue.estimated_delay(loop.clock.now)
+        assert busy_only > 0.0
+        queue.submit(5 * MB, PAGE_SIZE, is_write=False)
+        assert queue.estimated_delay(loop.clock.now) > busy_only

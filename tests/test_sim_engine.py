@@ -1,0 +1,315 @@
+"""Tests for the discrete-event I/O engine (repro.sim.engine).
+
+The load-bearing property: the engine is an *overlay*.  A single task run
+under the EventScheduler must be bit-identical — virtual times and fault
+counts — to the same workload on the blocking syscall path, across every
+filesystem personality (ext2, CD-ROM, NFS, HSM).  Concurrency then adds
+overlap without adding nondeterminism.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import Machine
+from repro.sim.engine import IoEngine
+from repro.sim.errors import InvalidArgumentError, IoSimError
+from repro.sim.tasks import (
+    EventScheduler,
+    Task,
+    reader_task_async,
+    wc_task,
+    wc_task_async,
+)
+from repro.sim.units import PAGE_SIZE
+
+PROFILES = ("ext2", "cdrom", "nfs", "hsm")
+
+
+def _setup(profile: str, seed: int, pages: int):
+    """A booted machine with one ``pages``-page file on ``profile``'s
+    filesystem; returns (machine, path)."""
+    if profile == "hsm":
+        machine = Machine.hsm(cache_pages=256, stage_pages=512,
+                              seed=9000 + seed)
+        machine.boot()
+        machine.hsmfs.create_tape_file("f", pages * PAGE_SIZE, "VOL000")
+        return machine, "/mnt/hsm/f"
+    machine = Machine.unix_utilities(cache_pages=256, seed=9000 + seed)
+    machine.boot()
+    fs = {"ext2": machine.ext2, "cdrom": machine.cdrom,
+          "nfs": machine.nfs}[profile]
+    fs.create_text_file("f", pages * PAGE_SIZE, seed=seed)
+    return machine, f"/mnt/{profile}/f"
+
+
+def _run_sync(profile, seed, pages, bufsize):
+    machine, path = _setup(profile, seed, pages)
+    kernel = machine.kernel
+    fd = kernel.open(path)
+    while kernel.read(fd, bufsize):
+        pass
+    kernel.close(fd)
+    return kernel
+
+
+def _run_event(profile, seed, pages, bufsize):
+    machine, path = _setup(profile, seed, pages)
+    kernel = machine.kernel
+    task = Task("r", reader_task_async(kernel, path, bufsize=bufsize))
+    EventScheduler(kernel, [task]).run()
+    return kernel
+
+
+class TestSoloBitIdentity:
+    """A lone task under the engine replays the synchronous path exactly."""
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_fixed_workload(self, profile):
+        sync = _run_sync(profile, seed=3, pages=24, bufsize=64 * 1024)
+        event = _run_event(profile, seed=3, pages=24, bufsize=64 * 1024)
+        assert event.clock.now == sync.clock.now
+        assert event.counters.hard_faults == sync.counters.hard_faults
+        assert event.counters.pages_read == sync.counters.pages_read
+        assert event.counters.cache_hits == sync.counters.cache_hits
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 50),
+           pages=st.integers(1, 40),
+           bufshift=st.integers(12, 17))
+    def test_property(self, profile, seed, pages, bufshift):
+        bufsize = 1 << bufshift
+        sync = _run_sync(profile, seed, pages, bufsize)
+        event = _run_event(profile, seed, pages, bufsize)
+        assert event.clock.now == sync.clock.now
+        assert event.counters.hard_faults == sync.counters.hard_faults
+        assert event.counters.pages_read == sync.counters.pages_read
+
+    def test_engine_detached_after_run(self):
+        machine, path = _setup("ext2", seed=1, pages=4)
+        kernel = machine.kernel
+        EventScheduler(kernel, [
+            Task("r", reader_task_async(kernel, path))]).run()
+        assert kernel.engine is None
+
+
+class TestConcurrency:
+    def _three_device_machine(self, seed=901, pages=48):
+        machine = Machine.unix_utilities(cache_pages=1024, seed=seed)
+        machine.boot()
+        machine.ext2.create_text_file("f", pages * PAGE_SIZE, seed=1)
+        machine.cdrom.create_file("g", pages * PAGE_SIZE)
+        machine.nfs.create_text_file("h", pages * PAGE_SIZE, seed=3)
+        return machine, ["/mnt/ext2/f", "/mnt/cdrom/g", "/mnt/nfs/h"]
+
+    def test_distinct_devices_overlap(self):
+        """Readers on independent devices finish in less total virtual
+        time than the sum of their solo runs — the engine's raison d'etre."""
+        solos = []
+        _, paths = self._three_device_machine()
+        for i, path in enumerate(paths):
+            machine, paths_again = self._three_device_machine()
+            kernel = machine.kernel
+            start = kernel.clock.now
+            EventScheduler(kernel, [
+                Task("r", reader_task_async(kernel, paths_again[i]))]).run()
+            solos.append(kernel.clock.now - start)
+
+        machine, paths = self._three_device_machine()
+        kernel = machine.kernel
+        start = kernel.clock.now
+        tasks = [Task(f"r{i}", reader_task_async(kernel, path))
+                 for i, path in enumerate(paths)]
+        EventScheduler(kernel, tasks).run()
+        makespan = kernel.clock.now - start
+        assert makespan < sum(solos)
+        # ...and no faster than the slowest member: no time is invented
+        assert makespan >= max(solos)
+
+    def test_concurrent_runs_are_deterministic(self):
+        def once():
+            machine, paths = self._three_device_machine()
+            kernel = machine.kernel
+            tasks = [Task(f"r{i}", reader_task_async(kernel, path))
+                     for i, path in enumerate(paths)]
+            stats = EventScheduler(kernel, tasks).run()
+            return (kernel.clock.now,
+                    tuple((s.finished_at, s.virtual_time, s.hard_faults,
+                           s.wait_time) for s in stats.values()))
+
+        assert once() == once()
+
+    def test_same_device_contention_records_queue_wait(self):
+        machine = Machine.unix_utilities(cache_pages=1024, seed=905)
+        machine.boot()
+        machine.ext2.create_text_file("a", 32 * PAGE_SIZE, seed=1)
+        machine.ext2.create_text_file("b", 32 * PAGE_SIZE, seed=2)
+        kernel = machine.kernel
+        engine = kernel.attach_engine()
+        tasks = [Task("a", reader_task_async(kernel, "/mnt/ext2/a")),
+                 Task("b", reader_task_async(kernel, "/mnt/ext2/b"))]
+        EventScheduler(kernel, tasks).run()
+        report = engine.queue_report()
+        kernel.detach_engine()
+        disk = report["ext2-disk"]
+        assert disk["depth_high_water"] >= 2
+        assert disk["total_queue_wait_s"] > 0.0
+        device = machine.ext2.device
+        assert device.stats.queued_requests > 0
+        assert device.stats.queue_wait_time == pytest.approx(
+            disk["total_queue_wait_s"])
+
+    def test_wc_tasks_return_correct_results(self):
+        """Overlapped execution must not change computed answers."""
+        machine = Machine.unix_utilities(cache_pages=1024, seed=906)
+        machine.boot()
+        machine.ext2.create_text_file("a", 16 * PAGE_SIZE, seed=11)
+        machine.nfs.create_text_file("b", 16 * PAGE_SIZE, seed=12)
+        kernel = machine.kernel
+        stats = EventScheduler(kernel, [
+            Task("a", wc_task_async(kernel, "/mnt/ext2/a")),
+            Task("b", wc_task_async(kernel, "/mnt/nfs/b")),
+        ]).run()
+
+        reference = Machine.unix_utilities(cache_pages=1024, seed=906)
+        reference.boot()
+        reference.ext2.create_text_file("a", 16 * PAGE_SIZE, seed=11)
+        reference.nfs.create_text_file("b", 16 * PAGE_SIZE, seed=12)
+        rk = reference.kernel
+        for name, path in (("a", "/mnt/ext2/a"), ("b", "/mnt/nfs/b")):
+            task = Task(name, wc_task(rk, path))
+            while task.step(rk):
+                pass
+            assert stats[name].result == task.stats.result
+
+    def test_io_error_propagates_to_blocked_task(self):
+        machine, path = _setup("ext2", seed=5, pages=8)
+        kernel = machine.kernel
+        machine.ext2.device.inject_failures(1)
+        with pytest.raises(IoSimError):
+            EventScheduler(kernel, [
+                Task("r", reader_task_async(kernel, path))]).run()
+        assert kernel.engine is None  # cleanup happened despite the error
+
+
+class TestEngineLifecycle:
+    def test_double_attach_rejected(self):
+        machine, _ = _setup("ext2", seed=1, pages=1)
+        kernel = machine.kernel
+        kernel.attach_engine()
+        with pytest.raises(InvalidArgumentError):
+            IoEngine(kernel).attach()
+        kernel.detach_engine()
+        assert kernel.engine is None
+
+    def test_async_path_requires_engine(self):
+        machine, path = _setup("ext2", seed=1, pages=2)
+        kernel = machine.kernel
+        fd = kernel.open(path)
+        with pytest.raises(InvalidArgumentError):
+            list(kernel.read_async(fd, PAGE_SIZE))
+
+    def test_attach_clamps_stale_busy_horizon(self):
+        machine, _ = _setup("ext2", seed=1, pages=1)
+        kernel = machine.kernel
+        device = machine.ext2.device
+        # an off-clock access (lmbench-style probe without reset_state)
+        # pushes the busy horizon past the kernel clock
+        device.read(0, 1024 * 1024)
+        assert device.busy_until > kernel.clock.now
+        engine = kernel.attach_engine()
+        assert device.busy_until <= kernel.clock.now
+        assert engine.queue_delays(machine.ext2, kernel.clock.now) == {}
+        kernel.detach_engine()
+
+
+class TestQueueAwareSleds:
+    def _cold_file(self):
+        machine = Machine.unix_utilities(cache_pages=256, seed=907)
+        machine.boot()
+        machine.ext2.create_text_file("f", 16 * PAGE_SIZE, seed=1)
+        kernel = machine.kernel
+        fd = kernel.open("/mnt/ext2/f")
+        return machine, kernel, fd
+
+    def test_busy_device_inflates_sled_latency(self):
+        machine, kernel, fd = self._cold_file()
+        idle_vector = kernel.get_sleds(fd)
+        engine = kernel.attach_engine()
+        # park a large request on the disk: the queue is now congested
+        engine.submit(machine.ext2.device, 0, 4 * 1024 * 1024,
+                      is_write=False)
+        before = machine.ext2.device.queue_delay(kernel.clock.now)
+        busy_vector = kernel.get_sleds(fd)
+        after = machine.ext2.device.queue_delay(kernel.clock.now)
+        kernel.detach_engine()
+        idle_latency = idle_vector[0].latency
+        busy_latency = busy_vector[0].latency
+        assert busy_latency > idle_latency
+        # the delta is the device's remaining busy horizon, sampled at
+        # some instant inside the FSLEDS_GET call (which charges CPU)
+        assert after <= busy_latency - idle_latency <= before
+
+    def test_stamp_folds_in_congestion_epoch(self):
+        machine, kernel, fd = self._cold_file()
+        plain = kernel.sleds_stamp(fd)
+        assert len(plain) == 3  # legacy shape without an engine
+        engine = kernel.attach_engine()
+        stamped = kernel.sleds_stamp(fd)
+        assert len(stamped) == 4
+        assert stamped[:3] == plain
+        engine.submit(machine.ext2.device, 0, PAGE_SIZE, is_write=False)
+        assert kernel.sleds_stamp(fd) != stamped
+        kernel.detach_engine()
+        assert kernel.sleds_stamp(fd) == plain
+
+    def test_congestion_invalidates_sled_cache(self):
+        machine, kernel, fd = self._cold_file()
+        engine = kernel.attach_engine()
+        kernel.get_sleds(fd)
+        builds = kernel.counters.sleds_builds
+        kernel.get_sleds(fd)  # same stamp: served from cache
+        assert kernel.counters.sleds_builds == builds
+        engine.submit(machine.ext2.device, 0, PAGE_SIZE, is_write=False)
+        kernel.get_sleds(fd)  # congestion moved: must rebuild
+        assert kernel.counters.sleds_builds == builds + 1
+        kernel.detach_engine()
+
+    def test_sync_path_stamp_and_vector_unaffected(self):
+        """Engine-off behaviour is the pre-engine behaviour, exactly."""
+        machine, kernel, fd = self._cold_file()
+        vector = kernel.get_sleds(fd)
+        hits = kernel.counters.sleds_cache_hits
+        kernel.get_sleds(fd)
+        assert kernel.counters.sleds_cache_hits == hits + 1
+        assert kernel.get_sleds(fd) is vector
+
+
+class TestAsyncWriteback:
+    def test_fsync_async_flushes_dirty_pages(self):
+        machine = Machine.unix_utilities(cache_pages=256, seed=908)
+        machine.boot()
+        machine.ext2.create_text_file("f", 8 * PAGE_SIZE, seed=1)
+        kernel = machine.kernel
+
+        def writer():
+            fd = kernel.open("/mnt/ext2/f", "r+")
+            kernel.write(fd, b"x" * (4 * PAGE_SIZE))
+            yield from kernel.fsync_async(fd)
+            kernel.close(fd)
+            return kernel.counters.pages_written
+
+        stats = EventScheduler(kernel, [Task("w", writer())]).run()
+        assert stats["w"].result >= 4
+        assert not kernel._dirty
+
+    def test_fsync_async_requires_engine(self):
+        machine = Machine.unix_utilities(cache_pages=64, seed=909)
+        machine.boot()
+        machine.ext2.create_text_file("f", PAGE_SIZE, seed=1)
+        kernel = machine.kernel
+        fd = kernel.open("/mnt/ext2/f", "r+")
+        kernel.write(fd, b"y" * 16)
+        with pytest.raises(InvalidArgumentError):
+            list(kernel.fsync_async(fd))

@@ -1,0 +1,179 @@
+"""Tests for the discrete-event core (EventLoop, IoFuture)."""
+
+import pytest
+
+from repro.sim.clock import ClockError, VirtualClock
+from repro.sim.errors import InvalidArgumentError
+from repro.sim.events import EventLoop, IoFuture
+
+
+class TestEventLoopOrdering:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop(VirtualClock())
+        fired = []
+        loop.at(3.0, lambda: fired.append("c"))
+        loop.at(1.0, lambda: fired.append("a"))
+        loop.at(2.0, lambda: fired.append("b"))
+        loop.run_until_idle()
+        assert fired == ["a", "b", "c"]
+
+    def test_equal_timestamps_fire_fifo(self):
+        """The determinism rule: ties break by submission order, never
+        by hash or identity."""
+        loop = EventLoop(VirtualClock())
+        fired = []
+        for i in range(20):
+            loop.at(1.0, lambda i=i: fired.append(i))
+        loop.run_until_idle()
+        assert fired == list(range(20))
+
+    def test_clock_advances_to_event_time(self):
+        clock = VirtualClock()
+        loop = EventLoop(clock)
+        loop.at(0.5, lambda: None)
+        loop.step()
+        assert clock.now == 0.5
+
+    def test_charge_goes_to_event_category(self):
+        clock = VirtualClock()
+        loop = EventLoop(clock)
+        loop.at(0.25, lambda: None, category="disk")
+        loop.run_until_idle()
+        assert clock.category_total("disk") == 0.25
+
+    def test_event_at_current_time_fires_without_advance(self):
+        clock = VirtualClock()
+        clock.advance(1.0, "cpu")
+        loop = EventLoop(clock)
+        loop.at(1.0, lambda: None, category="disk")
+        loop.step()
+        assert clock.now == 1.0
+        assert clock.category_total("disk") == 0.0
+
+    def test_past_event_rejected(self):
+        clock = VirtualClock()
+        clock.advance(2.0, "cpu")
+        loop = EventLoop(clock)
+        with pytest.raises(InvalidArgumentError):
+            loop.at(1.0, lambda: None)
+
+    def test_after_negative_delay_rejected(self):
+        loop = EventLoop(VirtualClock())
+        with pytest.raises(InvalidArgumentError):
+            loop.after(-0.1, lambda: None)
+
+    def test_callback_may_schedule_more_events(self):
+        clock = VirtualClock()
+        loop = EventLoop(clock)
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                loop.after(1.0, lambda: chain(n + 1))
+
+        loop.after(1.0, lambda: chain(1))
+        assert loop.run_until_idle() == 3
+        assert fired == [1, 2, 3]
+        assert clock.now == 3.0
+
+    def test_runaway_loop_detected(self):
+        loop = EventLoop(VirtualClock())
+
+        def reschedule():
+            loop.after(0.0, reschedule)
+
+        loop.after(0.0, reschedule)
+        with pytest.raises(RuntimeError):
+            loop.run_until_idle(max_events=100)
+
+
+class TestEventCancel:
+    def test_cancelled_event_does_not_fire(self):
+        loop = EventLoop(VirtualClock())
+        fired = []
+        event = loop.at(1.0, lambda: fired.append("x"))
+        loop.at(2.0, lambda: fired.append("y"))
+        loop.cancel(event)
+        loop.run_until_idle()
+        assert fired == ["y"]
+
+    def test_pending_excludes_cancelled(self):
+        loop = EventLoop(VirtualClock())
+        event = loop.at(1.0, lambda: None)
+        loop.at(2.0, lambda: None)
+        assert loop.pending == 2
+        loop.cancel(event)
+        assert loop.pending == 1
+
+    def test_peek_time_skips_cancelled(self):
+        loop = EventLoop(VirtualClock())
+        event = loop.at(1.0, lambda: None)
+        loop.at(2.0, lambda: None)
+        loop.cancel(event)
+        assert loop.peek_time() == 2.0
+
+    def test_step_on_empty_returns_false(self):
+        loop = EventLoop(VirtualClock())
+        assert loop.step() is False
+        assert loop.peek_time() is None
+
+
+class TestAdvanceTo:
+    def test_exact_landing(self):
+        clock = VirtualClock()
+        clock.advance(0.1, "cpu")
+        target = clock.now + 0.2
+        clock.advance_to(target, "disk")
+        assert clock.now == target  # bit-exact, not approx
+
+    def test_backwards_rejected(self):
+        clock = VirtualClock()
+        clock.advance(1.0, "cpu")
+        with pytest.raises(ClockError):
+            clock.advance_to(0.5)
+
+
+class TestIoFuture:
+    def test_resolve_delivers_value(self):
+        future = IoFuture("f")
+        assert not future.done
+        future.resolve(42)
+        assert future.done
+        assert future.value == 42
+        assert future.exception is None
+
+    def test_value_before_resolution_raises(self):
+        future = IoFuture("f")
+        with pytest.raises(InvalidArgumentError):
+            _ = future.value
+
+    def test_fail_stores_and_reraises(self):
+        future = IoFuture("f")
+        error = OSError("EIO")
+        future.fail(error)
+        assert future.done
+        assert future.exception is error
+        with pytest.raises(OSError):
+            _ = future.value
+
+    def test_double_resolve_rejected(self):
+        future = IoFuture("f")
+        future.resolve(1)
+        with pytest.raises(InvalidArgumentError):
+            future.resolve(2)
+
+    def test_callbacks_run_in_registration_order(self):
+        future = IoFuture("f")
+        order = []
+        future.add_done_callback(lambda f: order.append(1))
+        future.add_done_callback(lambda f: order.append(2))
+        future.resolve(None)
+        assert order == [1, 2]
+
+    def test_callback_after_done_runs_immediately(self):
+        future = IoFuture("f")
+        future.resolve("v")
+        seen = []
+        future.add_done_callback(lambda f: seen.append(f.value))
+        assert seen == ["v"]

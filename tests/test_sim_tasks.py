@@ -7,11 +7,13 @@ from repro.apps.wc import wc
 from repro.machine import Machine
 from repro.sim.errors import InvalidArgumentError
 from repro.sim.tasks import (
+    EventScheduler,
     RoundRobin,
     Task,
     grep_task,
     make_task,
     reader_task,
+    reader_task_async,
     wc_task,
 )
 from repro.sim.units import PAGE_SIZE
@@ -110,6 +112,88 @@ class TestRoundRobin:
                                      bufsize=PAGE_SIZE))
         with pytest.raises(RuntimeError):
             RoundRobin(machine.kernel, [task]).run(max_rounds=3)
+
+    def test_finished_at_is_absolute_elapsed_is_relative(self):
+        """finished_at is absolute virtual time (comparable to
+        clock.now); elapsed is the distance from scheduler start."""
+        machine = _machine()
+        machine.ext2.create_text_file("f", 8 * PAGE_SIZE, seed=1)
+        k = machine.kernel
+        k.charge_cpu(1.0)  # scheduler starts at a nonzero clock
+        start = k.clock.now
+        task = Task("r", reader_task(k, "/mnt/ext2/f"))
+        stats = RoundRobin(k, [task]).run()["r"]
+        assert stats.finished_at == k.clock.now
+        assert stats.elapsed == pytest.approx(k.clock.now - start)
+        assert stats.finished_at > 1.0 > stats.elapsed
+        assert stats.started_at is not None
+        assert start <= stats.started_at <= stats.finished_at
+
+
+class TestEventSchedulerBasics:
+    """Scheduler mechanics; engine-level behaviour lives in
+    test_sim_engine.py."""
+
+    def test_needs_tasks(self):
+        machine = _machine()
+        with pytest.raises(InvalidArgumentError):
+            EventScheduler(machine.kernel, [])
+
+    def test_duplicate_names_rejected(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", PAGE_SIZE, seed=1)
+        tasks = [Task("x", reader_task_async(machine.kernel, "/mnt/ext2/f")),
+                 Task("x", reader_task_async(machine.kernel, "/mnt/ext2/f"))]
+        with pytest.raises(InvalidArgumentError):
+            EventScheduler(machine.kernel, tasks)
+
+    def test_plain_sync_tasks_also_run(self):
+        """Tasks that only yield None (the RoundRobin contract) work
+        unchanged under the event scheduler."""
+        machine = _machine()
+        machine.ext2.create_text_file("f", 8 * PAGE_SIZE, seed=1)
+        task = Task("r", reader_task(machine.kernel, "/mnt/ext2/f"))
+        stats = EventScheduler(machine.kernel, [task]).run()
+        assert task.done
+        assert stats["r"].finished_at == machine.kernel.clock.now
+
+    def test_bad_yield_rejected(self):
+        machine = _machine()
+
+        def bad():
+            yield "not a future"
+
+        with pytest.raises(InvalidArgumentError):
+            EventScheduler(machine.kernel, [Task("bad", bad())]).run()
+
+    def test_step_limit(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", 64 * PAGE_SIZE, seed=1)
+        task = Task("r", reader_task_async(machine.kernel, "/mnt/ext2/f",
+                                           bufsize=PAGE_SIZE))
+        with pytest.raises(RuntimeError):
+            EventScheduler(machine.kernel, [task]).run(max_steps=3)
+
+    def test_wait_time_accounted_for_blocked_task(self):
+        machine = _machine()
+        machine.ext2.create_text_file("f", 16 * PAGE_SIZE, seed=1)
+        task = Task("r", reader_task_async(machine.kernel, "/mnt/ext2/f"))
+        stats = EventScheduler(machine.kernel, [task]).run()["r"]
+        assert stats.io_waits > 0
+        assert stats.wait_time > 0.0
+        assert stats.wait_time < stats.finished_at
+
+    def test_per_task_accounting_sums_to_total(self):
+        """Solo run: all elapsed time is attributed to the one task
+        (its execution slices plus its I/O waits)."""
+        machine = _machine()
+        machine.ext2.create_text_file("f", 32 * PAGE_SIZE, seed=1)
+        k = machine.kernel
+        task = Task("r", reader_task_async(k, "/mnt/ext2/f"))
+        with k.process() as run:
+            stats = EventScheduler(k, [task]).run()["r"]
+        assert stats.virtual_time + stats.wait_time == pytest.approx(
+            run.elapsed, rel=1e-9)
 
 
 class TestGrepTask:
