@@ -10,23 +10,20 @@ and then concurrently under the :class:`~repro.sim.tasks.EventScheduler`:
   the solo virtual times (overlap happened) and no smaller than the
   slowest solo run (no time is invented);
 * **recorded**: per-device solo times, makespan, overlap ratio, aggregate
-  throughput, and the engine's queue report, written to
-  ``results/BENCH_concurrent_engine.json`` so CI archives the curve.
+  throughput, and the engine's queue report, published as
+  ``BENCH_concurrent_engine.json`` at the repo root (the committed
+  ``sleds-bench check`` baseline) and under ``results/`` (CI artifact).
 
-Everything measured here is *virtual* time — deterministic across hosts.
+Everything measured here is *virtual* time — deterministic across hosts,
+so every leaf of the payload participates in the regression gate.
 """
 
 from __future__ import annotations
 
-import json
-from pathlib import Path
-
+from repro.bench.results import publish_bench
 from repro.machine import Machine
 from repro.sim.tasks import EventScheduler, Task, reader_task_async
 from repro.sim.units import PAGE_SIZE
-
-RESULTS_PATH = Path(__file__).resolve().parents[1] / "results" / \
-    "BENCH_concurrent_engine.json"
 
 FILE_PAGES = 192  # 768 KB per reader: long enough to amortize readahead
 SEED = 777
@@ -79,8 +76,7 @@ def test_concurrent_overlap_and_record():
 
     overlap_ratio = makespan / solo_sum
     total_bytes = len(READERS) * FILE_PAGES * PAGE_SIZE
-    RESULTS_PATH.parent.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps({
+    publish_bench("concurrent_engine", {
         "benchmark": "concurrent_engine",
         "description": ("N independent readers, one per device class, "
                         "solo vs concurrent under the event engine"),
@@ -102,7 +98,7 @@ def test_concurrent_overlap_and_record():
             } for name, s in stats.items()
         },
         "queue_report": queue_report,
-    }, indent=2) + "\n")
+    })
     assert overlap_ratio < 1.0
 
 

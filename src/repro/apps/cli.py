@@ -15,6 +15,7 @@ Examples::
     sleds-run timeline /mnt/ext2/demo/big.txt       # traced wc + timeline
     sleds-run stats /mnt/ext2/demo/big.txt --warm   # metrics + accuracy
     sleds-run trace /mnt/ext2/demo/big.txt -o t.json  # Chrome trace JSON
+    sleds-run report --json report.json   # lifecycle + critical path
     sleds-run --scenario my_setup.json wc /mnt/nfs/pub/dataset.txt
 """
 
@@ -107,6 +108,17 @@ def build_parser() -> argparse.ArgumentParser:
                               "JSON dump")
     p_stats.add_argument("-o", "--out", default=None, metavar="FILE",
                          help="also write the metrics to FILE")
+
+    p_report = sub.add_parser(
+        "report", help="concurrent readers under lifecycle tracing: "
+                       "latency breakdown, critical path, prediction "
+                       "accuracy")
+    p_report.add_argument("paths", nargs="*",
+                          help="files to read concurrently (default: "
+                               "the demo three-reader mix)")
+    p_report.add_argument("--json", default=None, metavar="FILE",
+                          dest="json_out",
+                          help="also write the full report as JSON")
 
     p_trace = sub.add_parser(
         "trace", help="run an app under span tracing and export "
@@ -239,6 +251,68 @@ def main(argv: list[str] | None = None) -> int:
         if args.out:
             with open(args.out, "w") as handle:
                 handle.write(body + "\n")
+        return 0
+
+    if args.command == "report":
+        from repro.obs import Telemetry, critical_path
+        from repro.sim.tasks import EventScheduler, Task, reader_task_async
+        paths = args.paths or ["/mnt/ext2/demo/big.txt",
+                               "/mnt/ext2/demo/small.txt",
+                               "/mnt/nfs/pub/dataset.txt"]
+        telemetry = Telemetry()
+        kernel.attach_telemetry(telemetry)
+        engine = kernel.attach_engine()
+        # fetch each file's SLED vector up front so the accuracy join
+        # has predictions to grade the delivered latencies against
+        for path in paths:
+            fd = kernel.open(path)
+            kernel.get_sleds(fd)
+            kernel.close(fd)
+        start = kernel.clock.now
+        tasks = [Task(f"reader{i}", reader_task_async(kernel, path))
+                 for i, path in enumerate(paths)]
+        stats = EventScheduler(kernel, tasks).run()
+        end = kernel.clock.now
+        queue_report = engine.queue_report()
+        kernel.detach_engine()
+        kernel.detach_telemetry()
+
+        records = list(telemetry.lifecycle.records)
+        chain = critical_path(records, start, end)
+        print(f"{len(paths)} concurrent reader(s), makespan "
+              f"{human_time(end - start)}")
+        for task in tasks:
+            s = stats[task.name]
+            print(f"  {task.name}: virtual {human_time(s.virtual_time)}  "
+                  f"waited {human_time(s.wait_time)}  "
+                  f"faults {s.hard_faults}")
+        print()
+        print(telemetry.lifecycle.render_breakdown())
+        print()
+        print(chain.render())
+        print()
+        print(telemetry.accuracy.report().render())
+        if args.json_out:
+            payload = {
+                "paths": paths,
+                "makespan_s": end - start,
+                "per_task": {
+                    name: {
+                        "virtual_time_s": s.virtual_time,
+                        "wait_time_s": s.wait_time,
+                        "hard_faults": s.hard_faults,
+                        "io_waits": s.io_waits,
+                    } for name, s in stats.items()
+                },
+                "lifecycle": telemetry.lifecycle.to_dict(),
+                "critical_path": chain.to_dict(),
+                "accuracy": telemetry.accuracy.to_dict(),
+                "queues": queue_report,
+            }
+            with open(args.json_out, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"\nwrote report JSON to {args.json_out}")
         return 0
 
     if args.command == "trace":

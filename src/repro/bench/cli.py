@@ -6,6 +6,8 @@ Examples::
     sleds-bench --run fig7 fig8
     sleds-bench --run all --runs 5 --csv-dir results/
     sleds-bench --run fig11 --full-scale      # unscaled (slow)
+    sleds-bench check                         # gate new BENCH_*.json
+    sleds-bench check --baseline . --new results --rtol 0.25
 """
 
 from __future__ import annotations
@@ -110,7 +112,60 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def run_check(argv: list[str]) -> int:
+    """``sleds-bench check``: gate fresh BENCH_*.json against baselines.
+
+    Wall-clock subtrees are excluded (host-dependent); everything else is
+    virtual-time output and must stay within tolerance of the committed
+    baselines at the repo root.
+    """
+    from repro.bench.compare import compare_bench_dirs
+
+    parser = argparse.ArgumentParser(
+        prog="sleds-bench check",
+        description="Compare freshly generated BENCH_*.json benchmark "
+                    "payloads against committed baselines; non-zero exit "
+                    "on drift beyond tolerance.")
+    parser.add_argument("--baseline", type=Path, default=Path("."),
+                        help="directory with baseline BENCH_*.json "
+                             "(default: repo root)")
+    parser.add_argument("--new", type=Path, default=Path("results"),
+                        help="directory with freshly generated "
+                             "BENCH_*.json (default: results/)")
+    parser.add_argument("--rtol", type=float, default=0.25,
+                        help="relative tolerance before a metric counts "
+                             "as a regression (default 0.25)")
+    args = parser.parse_args(argv)
+    if not args.baseline.is_dir():
+        print(f"baseline directory not found: {args.baseline}",
+              file=sys.stderr)
+        return 2
+    if not args.new.is_dir():
+        print(f"new-results directory not found: {args.new}",
+              file=sys.stderr)
+        return 2
+    baselines = sorted(args.baseline.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no BENCH_*.json baselines under {args.baseline}",
+              file=sys.stderr)
+        return 2
+    comparison = compare_bench_dirs(args.baseline, args.new,
+                                    rtol=args.rtol)
+    print(f"checking {len(baselines)} baseline(s) from {args.baseline} "
+          f"against {args.new} (rtol={args.rtol:g})")
+    print(comparison.summary())
+    if comparison.clean:
+        print("bench check: PASS")
+        return 0
+    print("bench check: FAIL", file=sys.stderr)
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "check":
+        return run_check(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or not args.run:
         for exp_id in EXPERIMENTS:

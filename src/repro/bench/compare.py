@@ -5,6 +5,13 @@ module diffs two such directories (or individual files) and reports rows
 whose numeric cells drifted beyond a tolerance — the guard a maintainer
 wants when touching the device models or the cost constants.
 
+It also diffs the ``BENCH_*.json`` payloads the perf benchmarks publish
+at the repo root: every numeric leaf is compared against the committed
+baseline, except subtrees under a ``wall_clock`` key — those hold
+host-dependent wall-time measurements that legitimately vary between
+machines, while everything else is virtual-time/deterministic and must
+not drift.  ``sleds-bench check`` is the CI entry point.
+
 CLI: ``python -m repro.bench.compare old_results/ new_results/ [--rtol 0.2]``
 """
 
@@ -12,9 +19,13 @@ from __future__ import annotations
 
 import argparse
 import csv
+import json
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
+
+#: JSON keys whose whole subtree is excluded from the regression gate
+WALL_CLOCK_KEY = "wall_clock"
 
 
 @dataclass
@@ -127,6 +138,79 @@ def compare_dirs(old_dir: Path, new_dir: Path,
     return result
 
 
+def _flatten(value, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a JSON payload keyed by dotted/indexed path.
+
+    ``{"rows": [{"npages": 4}]}`` flattens to ``{"rows[0].npages": 4.0}``.
+    Subtrees under a key containing :data:`WALL_CLOCK_KEY` are dropped:
+    wall-time measurements vary with the host and must not gate CI.
+    Booleans, strings and nulls are ignored (shape changes catch those
+    via key-set comparison).
+    """
+    flat: dict[str, float] = {}
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if WALL_CLOCK_KEY in key:
+                continue
+            path = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(_flatten(item, path))
+    elif isinstance(value, list):
+        for index, item in enumerate(value):
+            flat.update(_flatten(item, f"{prefix}[{index}]"))
+    elif isinstance(value, bool):
+        pass
+    elif isinstance(value, (int, float)):
+        flat[prefix] = float(value)
+    return flat
+
+
+def _split_path(path: str) -> tuple[str, str]:
+    """Split a flattened path into (row_key, column) for Drift display."""
+    head, dot, leaf = path.rpartition(".")
+    if not dot:
+        return "", path
+    return head, leaf
+
+
+def compare_json_files(old: Path, new: Path, rtol: float = 0.25,
+                       atol: float = 1e-9) -> Comparison:
+    """Diff two benchmark JSON payloads leaf by leaf."""
+    result = Comparison()
+    name = old.stem
+    old_flat = _flatten(json.loads(old.read_text()))
+    new_flat = _flatten(json.loads(new.read_text()))
+    if set(old_flat) != set(new_flat):
+        gone = sorted(set(old_flat) - set(new_flat))
+        fresh = sorted(set(new_flat) - set(old_flat))
+        result.shape_changes.append(
+            f"{name}: metric set changed (-{gone} +{fresh})")
+        return result
+    for path in sorted(old_flat):
+        old_value = old_flat[path]
+        new_value = new_flat[path]
+        if abs(new_value - old_value) > (
+                atol + rtol * max(abs(old_value), 1e-12)):
+            row_key, column = _split_path(path)
+            result.drifts.append(Drift(name, row_key, column,
+                                       old_value, new_value))
+    return result
+
+
+def compare_bench_dirs(old_dir: Path, new_dir: Path,
+                       rtol: float = 0.25) -> Comparison:
+    """Diff every ``BENCH_*.json`` present in either directory."""
+    result = Comparison()
+    old_files = {p.name: p for p in sorted(old_dir.glob("BENCH_*.json"))}
+    new_files = {p.name: p for p in sorted(new_dir.glob("BENCH_*.json"))}
+    result.missing = sorted(set(old_files) - set(new_files))
+    result.added = sorted(set(new_files) - set(old_files))
+    for name in sorted(set(old_files) & set(new_files)):
+        sub = compare_json_files(old_files[name], new_files[name], rtol=rtol)
+        result.drifts.extend(sub.drifts)
+        result.shape_changes.extend(sub.shape_changes)
+    return result
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench.compare",
@@ -139,6 +223,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.old.is_dir():
         comparison = compare_dirs(args.old, args.new, rtol=args.rtol)
+    elif args.old.suffix == ".json":
+        comparison = compare_json_files(args.old, args.new, rtol=args.rtol)
     else:
         comparison = compare_files(args.old, args.new, rtol=args.rtol)
     print(comparison.summary())

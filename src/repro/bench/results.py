@@ -1,0 +1,35 @@
+"""Publishing helper for the perf benchmarks' ``BENCH_*.json`` payloads.
+
+The committed copies at the repo root are the regression baselines that
+``sleds-bench check`` gates CI against; the copies under ``results/``
+are the per-run artifacts.  Payloads must keep host-dependent wall-time
+measurements under a ``wall_clock`` key — the gate skips those subtrees
+(see :mod:`repro.bench.compare`) while every virtual-time metric is
+compared leaf by leaf against the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Repository root (``src/repro/bench/results.py`` → three parents up).
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+
+def publish_bench(name: str, payload: dict,
+                  repo_root: Path | None = None) -> list[Path]:
+    """Write ``BENCH_<name>.json`` to the repo root and ``results/``.
+
+    Returns the paths written.  The two copies are byte-identical; the
+    root one is meant to be committed as the check baseline, the
+    ``results/`` one uploaded as a CI artifact.
+    """
+    root = REPO_ROOT if repo_root is None else repo_root
+    text = json.dumps(payload, indent=2, sort_keys=False) + "\n"
+    paths = [root / f"BENCH_{name}.json",
+             root / "results" / f"BENCH_{name}.json"]
+    for path in paths:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    return paths

@@ -52,6 +52,10 @@ class Autochanger:
         #: a cartridge position, or the LRU drive order all of which feed
         #: estimate_latency.  Folded into HsmFs.state_epoch.
         self.state_version = 0
+        #: cumulative robot/load seconds, keyed like
+        #: :attr:`Device.component_totals` so the lifecycle layer can
+        #: diff it alongside the drives' own totals
+        self.component_totals: dict[str, float] = {}
 
     # -- queries ----------------------------------------------------------
 
@@ -113,6 +117,9 @@ class Autochanger:
         self.exchanges += 1
         self.loads += 1
         self._touch(victim)
+        if duration != 0.0:
+            self.component_totals["mount"] = (
+                self.component_totals.get("mount", 0.0) + duration)
         return victim, duration
 
     def access(self, label: str, addr: int, nbytes: int,

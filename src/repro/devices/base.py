@@ -118,6 +118,14 @@ class Device(ABC):
         #: must be purely observational — it gets the computed duration and
         #: may not influence device state or timing
         self.observer = None
+        #: component breakdown of the access currently being computed;
+        #: ``_access_time`` implementations fill it via :meth:`_components`
+        #: so the lifecycle layer can attribute where a duration went
+        self._last_components: dict[str, float] | None = None
+        #: cumulative virtual seconds per component ("positioning",
+        #: "transfer", ...; writes prefixed ``write_``).  Monotonic, so
+        #: observers can diff two snapshots to attribute one service call.
+        self.component_totals: dict[str, float] = {}
         self._pending_failures = 0
         self._bad_ranges: list[tuple[int, int]] = []
         #: virtual time until which the device is servicing earlier
@@ -145,7 +153,17 @@ class Device(ABC):
         self._maybe_fail(addr, nbytes, is_write)
         submit_time = self.busy_until if now is None else now
         start = max(submit_time, self.busy_until)
+        self._last_components = None
         duration = self._access_time(addr, nbytes, is_write)
+        components = self._last_components
+        if components is None:
+            components = {"transfer": duration}
+        self._last_components = None
+        prefix = "write_" if is_write else ""
+        totals = self.component_totals
+        for part, seconds in components.items():
+            key = prefix + part
+            totals[key] = totals.get(key, 0.0) + seconds
         if is_write:
             self.stats.writes += 1
             self.stats.bytes_written += nbytes
@@ -164,6 +182,19 @@ class Device(ABC):
         return Completion(device_name=self.name, addr=addr, nbytes=nbytes,
                           is_write=is_write, submit_time=submit_time,
                           start_time=start, duration=duration)
+
+    def _components(self, **parts: float) -> None:
+        """Record the component breakdown of the access being computed.
+
+        Purely observational: ``_access_time`` implementations keep their
+        original duration arithmetic (order of float additions included —
+        the timings are regression anchors) and call this alongside it so
+        every charged second is attributable to a named component.  Any
+        rounding daylight between the sum of parts and the returned
+        duration is attributed to the residual by the lifecycle layer.
+        """
+        self._last_components = {name: seconds for name, seconds
+                                 in parts.items() if seconds != 0.0}
 
     def read(self, addr: int, nbytes: int) -> float:
         """Time in seconds to read ``nbytes`` starting at ``addr``.

@@ -64,9 +64,12 @@ class CdromDevice(Device):
             # re-sync jitter of up to one sector window
             duration += float(self.rng.uniform(0.0, 10.0 * MSEC))
             self.stats.seeks += 1
-        duration += nbytes / self.spec.bandwidth
+        transfer = nbytes / self.spec.bandwidth
+        positioning = duration
+        duration += transfer
         self.head_pos = addr + nbytes
         self._next_sequential = addr + nbytes
+        self._components(positioning=positioning, transfer=transfer)
         return duration
 
     def head_position(self) -> int:

@@ -129,13 +129,20 @@ class DiskDevice(Device):
     def _access_time(self, addr: int, nbytes: int, is_write: bool) -> float:
         sequential = addr == self._next_sequential
         duration = self.controller_overhead
+        positioning = 0.0
         if not sequential:
-            duration += self.seek_time(self.head_pos, addr)
-            duration += float(self.rng.uniform(0.0, self.rotation_period))
+            seek = self.seek_time(self.head_pos, addr)
+            rotation = float(self.rng.uniform(0.0, self.rotation_period))
+            duration += seek
+            duration += rotation
+            positioning = seek + rotation
             self.stats.seeks += 1
-        duration += nbytes / self.bandwidth_at(addr)
+        transfer = nbytes / self.bandwidth_at(addr)
+        duration += transfer
         self.head_pos = addr + nbytes
         self._next_sequential = addr + nbytes
+        self._components(overhead=self.controller_overhead,
+                         positioning=positioning, transfer=transfer)
         return duration
 
     def head_position(self) -> int:

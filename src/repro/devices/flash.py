@@ -55,8 +55,11 @@ class FlashDevice(Device):
 
     def _access_time(self, addr: int, nbytes: int, is_write: bool) -> float:
         if not is_write:
-            return self.read_latency + nbytes / self.read_bandwidth
-        duration = self.program_latency + nbytes / self.write_bandwidth
+            transfer = nbytes / self.read_bandwidth
+            self._components(overhead=self.read_latency, transfer=transfer)
+            return self.read_latency + transfer
+        transfer = nbytes / self.write_bandwidth
+        duration = self.program_latency + transfer
         # partial erase blocks force a read-modify-write in the FTL
         misaligned_head = addr % self.erase_block != 0
         misaligned_tail = (addr + nbytes) % self.erase_block != 0
@@ -66,4 +69,5 @@ class FlashDevice(Device):
             duration += self.erase_penalty
         elif misaligned_head or misaligned_tail:
             duration += self.erase_penalty / 2
+        self._components(overhead=duration - transfer, transfer=transfer)
         return duration

@@ -30,4 +30,6 @@ class MemoryDevice(Device):
         super().__init__(spec, capacity=capacity, rng=rng)
 
     def _access_time(self, addr: int, nbytes: int, is_write: bool) -> float:
-        return self.spec.latency + nbytes / self.spec.bandwidth
+        transfer = nbytes / self.spec.bandwidth
+        self._components(overhead=self.spec.latency, transfer=transfer)
+        return self.spec.latency + transfer

@@ -132,8 +132,11 @@ class NfsDevice(Device):
             self.stats.seeks += 1
         if not is_write:
             self._server_cache_insert(addr, nbytes)
-        duration += server_time + nbytes / self.link_bandwidth
+        wire = nbytes / self.link_bandwidth
+        duration += server_time + wire
         self._next_sequential = addr + nbytes
+        self._components(network=self.rtt + self.request_overhead,
+                         server=server_time, transfer=wire)
         return duration
 
     def reset_state(self) -> None:

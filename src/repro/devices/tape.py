@@ -148,9 +148,12 @@ class TapeDevice(Device):
         if addr != self._next_sequential:
             duration += self.locate_time(self.loaded.position, addr)
             self.stats.seeks += 1
-        duration += nbytes / self.spec.bandwidth
+        transfer = nbytes / self.spec.bandwidth
+        positioning = duration
+        duration += transfer
         self.loaded.position = addr + nbytes
         self._next_sequential = addr + nbytes
+        self._components(positioning=positioning, transfer=transfer)
         return duration
 
     def reset_state(self) -> None:

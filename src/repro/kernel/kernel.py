@@ -147,6 +147,10 @@ class Kernel:
         #: None = the synchronous time model, bit-identical to the
         #: pre-engine substrate.  Set via attach_engine()/IoEngine.attach().
         self.engine = None
+        #: name of the task currently executing under a scheduler
+        #: (repro.sim.tasks sets it around each slice).  Observability
+        #: attribution only; never consulted by the timing model.
+        self.current_task = None
 
     # ------------------------------------------------------------------
     # mounts and path resolution
@@ -256,6 +260,26 @@ class Kernel:
         factor = 1.0 + self.noise * float(
             self.rng.stream("kernel-noise").exponential(1.0))
         return seconds * factor
+
+    def _traced_service(self, fs, key: tuple, raw_thunk):
+        """Wrap a device-service thunk for the event engine so that,
+        with telemetry attached at dispatch time, the per-component
+        seconds the devices charge are stashed for the lifecycle record
+        under ``key``.  With telemetry detached the wrapper adds nothing
+        but an attribute read — timings are bit-identical either way.
+        """
+        from repro.obs.lifecycle import component_delta, snapshot_components
+
+        def service() -> float:
+            telemetry = self.telemetry
+            if telemetry is None:
+                return self._noisy(raw_thunk())
+            before = snapshot_components(fs)
+            seconds = self._noisy(raw_thunk())
+            telemetry.lifecycle.stash(key, component_delta(before))
+            return seconds
+
+        return service
 
     def _fd(self, fd: int) -> OpenFile:
         try:
@@ -430,6 +454,8 @@ class Kernel:
 
     def _fault_in(self, of: OpenFile, offset: int, length: int,
                   use_readahead: bool = True) -> None:
+        from repro.obs.lifecycle import component_delta, snapshot_components
+
         inode = of.inode
         cache = self.page_cache
         npages = inode.npages
@@ -448,6 +474,8 @@ class Kernel:
             while (cluster < limit
                    and not cache.peek((inode.id, page + cluster))):
                 cluster += 1
+            if self.telemetry is not None:
+                before = snapshot_components(of.fs)
             seconds = self._noisy(of.fs.read_pages(inode, page, cluster))
             self.clock.advance(seconds, of.fs.device.time_category)
             self.counters.pages_read += cluster
@@ -460,7 +488,8 @@ class Kernel:
             if self.telemetry is not None:
                 self.telemetry.on_fault(
                     of.fs.device, inode.id, page, cluster, seconds,
-                    now=self.clock.now, window=window)
+                    now=self.clock.now, window=window, fs=of.fs,
+                    components=component_delta(before))
             for extra in range(page, page + cluster):
                 if cache.insert((inode.id, extra)) is not None:
                     self.counters.evictions += 1
@@ -561,7 +590,8 @@ class Kernel:
             if self.telemetry is not None:
                 self.telemetry.on_fault(
                     of.fs.device, inode.id, page, cluster, seconds,
-                    now=self.clock.now, window=window)
+                    now=self.clock.now, window=window, fs=of.fs,
+                    completion=completion)
             for extra in range(page, page + cluster):
                 if cache.insert((inode.id, extra)) is not None:
                     self.counters.evictions += 1
@@ -779,22 +809,25 @@ class Kernel:
             if self.telemetry is not None:
                 self.telemetry.on_queue_depth(fs.device, len(requests))
             for request in requests:
-                def service(r=request, device=fs.device):
-                    return self._noisy(device.write(r.addr, r.nbytes))
                 futures.append(queue.submit(
                     request.addr, request.nbytes, is_write=True,
-                    service=service,
+                    service=self._traced_service(
+                        fs, ("writeback", inode.id, request.addr),
+                        lambda r=request, device=fs.device:
+                        device.write(r.addr, r.nbytes)),
                     label=f"writeback:{fs.name}:{inode.id}"))
         else:
             # HSM-style write paths mutate staging state: one atomic thunk
             # per dirty run through the filesystem's own write_pages.
             total_pages = 0
             for start, run in _contiguous_runs(sorted(pages)):
-                def service(inode=inode, start=start, run=run):
-                    return self._noisy(fs.write_pages(inode, start, run))
+                addr = inode.extent_map.addr_of(start)
                 futures.append(queue.submit(
-                    inode.extent_map.addr_of(start), run * PAGE_SIZE,
-                    is_write=True, service=service,
+                    addr, run * PAGE_SIZE, is_write=True,
+                    service=self._traced_service(
+                        fs, ("writeback", inode.id, addr),
+                        lambda inode=inode, start=start, run=run:
+                        fs.write_pages(inode, start, run)),
                     label=f"writeback:{fs.name}:{inode.id}:{start}+{run}"))
                 total_pages += run
         if not futures:
@@ -808,6 +841,10 @@ class Kernel:
                 inode_id, (fs, inode, set()))[2].update(pages)
             raise
         self.counters.pages_written += total_pages
+        if self.telemetry is not None:
+            for future in futures:
+                if future.value is not None:
+                    self.telemetry.on_writeback(fs, inode, future.value)
 
     # ------------------------------------------------------------------
     # ioctl (the SLEDs kernel interface)
@@ -838,6 +875,7 @@ class Kernel:
                 inode_id = of.inode.id
                 stamp = self._sled_stamp(of)
                 cached = self._sled_cache.get(inode_id)
+                queue_delays = None
                 if cached is not None and cached[0] == stamp:
                     self.counters.sleds_cache_hits += 1
                     # stamp comparison only: flat cost, no page walk
@@ -855,7 +893,14 @@ class Kernel:
                     self.counters.sleds_builds += 1
                     self._sled_cache[inode_id] = (stamp, vector)
                 if tele is not None:
-                    tele.on_sleds(inode_id, vector)
+                    if queue_delays is None and self.engine is not None:
+                        # cache-hit path: same stamp ⇒ same congestion
+                        # epochs; recompute the delays for attribution
+                        # only (no clock, no RNG)
+                        queue_delays = self.engine.queue_delays(
+                            of.fs, self.clock.now)
+                    tele.on_sleds(inode_id, vector, fs=of.fs,
+                                  inode=of.inode, queue_delays=queue_delays)
                 return vector
             raise UnknownIoctlError(cmd)
         finally:

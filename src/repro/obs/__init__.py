@@ -8,8 +8,11 @@ Three pillars, one facade:
   vs. actual delivery time per device class;
 * :mod:`repro.obs.spans` — span-based tracing (syscall → fault → device)
   with Chrome trace-event JSON export;
+* :mod:`repro.obs.lifecycle` — per-request lifecycle records with an
+  exact latency-component breakdown, plus the critical-path analyzer
+  for event-scheduler runs;
 * :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade that attaches
-  all three to a kernel.
+  all of them to a kernel.
 
 Telemetry is strictly observational: it never advances the virtual clock
 and never draws randomness, so simulated timings are bit-identical whether
@@ -17,6 +20,12 @@ it is attached or not.
 """
 
 from repro.obs.accuracy import AccuracyReport, ClassAccuracy, SledAccuracyTracker
+from repro.obs.lifecycle import (
+    CriticalPathReport,
+    LifecycleRecord,
+    LifecycleTracker,
+    critical_path,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -31,13 +40,17 @@ __all__ = [
     "AccuracyReport",
     "ClassAccuracy",
     "Counter",
+    "CriticalPathReport",
     "Gauge",
     "Histogram",
+    "LifecycleRecord",
+    "LifecycleTracker",
     "MetricsRegistry",
     "SledAccuracyTracker",
     "Span",
     "SpanRecorder",
     "Telemetry",
     "chrome_trace",
+    "critical_path",
     "log_buckets",
 ]

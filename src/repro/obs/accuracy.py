@@ -68,9 +68,17 @@ class ClassAccuracy:
 
 @dataclass
 class AccuracyReport:
-    """Snapshot of per-class calibration, ready for printing."""
+    """Snapshot of per-class calibration, ready for printing.
+
+    ``by_component`` splits each class's fault error between the queue
+    and service terms of the prediction — (class, component) keys — so
+    a well-calibrated service model with a stale queue estimate is
+    distinguishable from the reverse.
+    """
 
     by_class: dict[str, ClassAccuracy] = field(default_factory=dict)
+    by_component: dict[tuple[str, str], ClassAccuracy] = field(
+        default_factory=dict)
     predictions_outstanding: int = 0
     unmatched_faults: int = 0
 
@@ -86,6 +94,13 @@ class AccuracyReport:
                 f"mean_err={'+' if acc.mean_error >= 0 else '-'}"
                 f"{human_time(abs(acc.mean_error)):<10} "
                 f"rel_err={acc.mean_relative_error:6.1%}")
+        for cls, component in sorted(self.by_component):
+            acc = self.by_component[(cls, component)]
+            lines.append(
+                f"  {cls:>8}/{component:<7}: "
+                f"mean_abs_err={human_time(acc.mean_abs_error):>10} "
+                f"mean_err={'+' if acc.mean_error >= 0 else '-'}"
+                f"{human_time(abs(acc.mean_error)):<10}")
         lines.append(
             f"  outstanding predictions: {self.predictions_outstanding}, "
             f"deliveries without a prediction: {self.unmatched_faults}")
@@ -96,9 +111,14 @@ class SledAccuracyTracker:
     """Pairs ``FSLEDS_GET`` predictions with observed delivery times."""
 
     def __init__(self, registry: MetricsRegistry | None = None) -> None:
-        #: (inode_id, page) -> (predicted latency, predicted bandwidth)
-        self._predictions: dict[tuple[int, int], tuple[float, float]] = {}
+        #: (inode_id, page) -> (predicted latency, predicted bandwidth,
+        #: predicted queue delay).  The latency already folds the queue
+        #: term in (that is the promise FSLEDS_GET makes); the separate
+        #: queue figure lets errors be attributed to queue vs. service.
+        self._predictions: dict[tuple[int, int],
+                                tuple[float, float, float]] = {}
         self._by_class: dict[str, ClassAccuracy] = {}
+        self._by_component: dict[tuple[str, str], ClassAccuracy] = {}
         self.unmatched_faults = 0
         self._abs_error = None
         if registry is not None:
@@ -109,37 +129,52 @@ class SledAccuracyTracker:
 
     # -- snapshotting -----------------------------------------------------
 
-    def record_prediction(self, inode_id: int, vector) -> int:
+    def record_prediction(self, inode_id: int, vector,
+                          queue_by_page: dict[int, float] | None = None
+                          ) -> int:
         """Snapshot per-page predictions from one SLED vector.
 
         Returns the number of pages snapshotted.  Re-asking for SLEDs on
         the same file refreshes the outstanding predictions.
+        ``queue_by_page`` names how much of each page's predicted latency
+        is queue delay (pages absent predict zero queueing).
         """
         npages = (vector.file_size + PAGE_SIZE - 1) // PAGE_SIZE
         for page in range(npages):
             sled = vector.sled_at(page * PAGE_SIZE)
+            queue = queue_by_page.get(page, 0.0) if queue_by_page else 0.0
             self._predictions[(inode_id, page)] = (sled.latency,
-                                                   sled.bandwidth)
+                                                   sled.bandwidth, queue)
         return npages
 
     def _consume(self, inode_id: int,
-                 page: int) -> tuple[float, float] | None:
+                 page: int) -> tuple[float, float, float] | None:
         return self._predictions.pop((inode_id, page), None)
 
     # -- observations ----------------------------------------------------
 
     def record_fault(self, inode_id: int, page: int, cluster: int,
-                     actual_seconds: float, device_class: str) -> None:
-        """One hard fault delivered ``cluster`` pages in ``actual_seconds``."""
+                     actual_seconds: float, device_class: str,
+                     queue_wait: float = 0.0
+                     ) -> tuple[float, float] | None:
+        """One hard fault delivered ``cluster`` pages after waiting
+        ``queue_wait`` seconds in queue and ``actual_seconds`` of
+        service.  Returns the consumed ``(predicted total, predicted
+        queue)`` pair, or None when no prediction was outstanding.
+        """
         prediction = self._consume(inode_id, page)
         for extra in range(page + 1, page + cluster):
             self._consume(inode_id, extra)
         if prediction is None:
             self.unmatched_faults += 1
-            return
-        latency, bandwidth = prediction
+            return None
+        latency, bandwidth, queue = prediction
         predicted = latency + (cluster * PAGE_SIZE) / bandwidth
-        self._record(device_class, predicted, actual_seconds)
+        self._record(device_class, predicted, actual_seconds + queue_wait)
+        self._record_component(device_class, "queue", queue, queue_wait)
+        self._record_component(device_class, "service",
+                               predicted - queue, actual_seconds)
+        return predicted, queue
 
     def record_hit(self, inode_id: int, page: int,
                    actual_seconds: float,
@@ -148,7 +183,7 @@ class SledAccuracyTracker:
         prediction = self._consume(inode_id, page)
         if prediction is None:
             return
-        latency, bandwidth = prediction
+        latency, bandwidth, _queue = prediction
         predicted = latency + PAGE_SIZE / bandwidth
         self._record(device_class, predicted, actual_seconds)
 
@@ -160,6 +195,12 @@ class SledAccuracyTracker:
             self._abs_error.labels(cls=device_class).observe(
                 abs(actual - predicted))
 
+    def _record_component(self, device_class: str, component: str,
+                          predicted: float, actual: float) -> None:
+        acc = self._by_component.setdefault((device_class, component),
+                                            ClassAccuracy())
+        acc.add(predicted, actual)
+
     # -- reporting --------------------------------------------------------
 
     @property
@@ -169,6 +210,7 @@ class SledAccuracyTracker:
     def report(self) -> AccuracyReport:
         return AccuracyReport(
             by_class={name: acc for name, acc in self._by_class.items()},
+            by_component=dict(self._by_component),
             predictions_outstanding=len(self._predictions),
             unmatched_faults=self.unmatched_faults)
 
@@ -188,6 +230,19 @@ class SledAccuracyTracker:
                 }
                 for name, acc in sorted(self._by_class.items())
             },
+            "components": {
+                f"{cls}/{component}": {
+                    "samples": acc.samples,
+                    "mean_abs_error": acc.mean_abs_error,
+                    "mean_error": acc.mean_error,
+                    "mean_predicted": (acc.predicted_sum / acc.samples
+                                       if acc.samples else 0.0),
+                    "mean_actual": (acc.actual_sum / acc.samples
+                                    if acc.samples else 0.0),
+                }
+                for (cls, component), acc in
+                sorted(self._by_component.items())
+            },
             "outstanding": len(self._predictions),
             "unmatched_faults": self.unmatched_faults,
         }
@@ -195,4 +250,5 @@ class SledAccuracyTracker:
     def clear(self) -> None:
         self._predictions.clear()
         self._by_class.clear()
+        self._by_component.clear()
         self.unmatched_faults = 0

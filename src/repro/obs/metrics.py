@@ -24,12 +24,14 @@ from bisect import bisect_left
 from dataclasses import dataclass
 
 
-def log_buckets(lo: float = 1e-7, hi: float = 150.0,
+def log_buckets(lo: float = 1e-7, hi: float = 600.0,
                 factor: float = 2.0) -> tuple[float, ...]:
     """Geometric bucket upper bounds covering ``[lo, hi]``.
 
-    The defaults span 100 ns (a memory access) to ~2.5 minutes (a tape
-    exchange plus a long locate) in doubling steps — 31 finite buckets.
+    The defaults span 100 ns (a memory access) to ~10 minutes (an
+    unload + exchange + load + full-wind locate on a cold tape library)
+    in doubling steps — 34 finite buckets — so per-component breakdown
+    histograms resolve page-cache hits and tape mounts in one ladder.
     """
     if lo <= 0 or hi <= lo or factor <= 1.0:
         raise ValueError(f"bad bucket spec: lo={lo}, hi={hi}, factor={factor}")

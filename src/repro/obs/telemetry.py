@@ -25,19 +25,22 @@ attached, detached, or never constructed (asserted by tests).
 from __future__ import annotations
 
 from repro.obs.accuracy import SledAccuracyTracker
+from repro.obs.lifecycle import LifecycleTracker
 from repro.obs.metrics import DEPTH_BUCKETS, MetricsRegistry
 from repro.obs.spans import SpanRecorder, chrome_trace
 from repro.sim.units import PAGE_SIZE
 
 
 class Telemetry:
-    """Metrics registry + span recorder + SLED accuracy tracker."""
+    """Metrics registry + span recorder + SLED accuracy tracker +
+    per-request lifecycle tracker."""
 
     def __init__(self, span_capacity: int = 100_000, tracer=None,
                  namespace: str = "repro") -> None:
         self.registry = MetricsRegistry(namespace=namespace)
         self.spans = SpanRecorder(capacity=span_capacity, tracer=tracer)
         self.accuracy = SledAccuracyTracker(registry=self.registry)
+        self.lifecycle = LifecycleTracker(registry=self.registry)
         self._kernel = None
         self._policy_name = "none"
         #: readahead-inserted pages that have not been read yet
@@ -182,7 +185,8 @@ class Telemetry:
             t - open_span.start)
 
     def on_fault(self, device, inode_id: int, page: int, cluster: int,
-                 seconds: float, now: float, window: int) -> None:
+                 seconds: float, now: float, window: int,
+                 fs=None, completion=None, components=None) -> None:
         cls = device.time_category
         self.faults.labels(device=cls).inc()
         self.fault_latency.labels(device=cls).observe(seconds)
@@ -193,7 +197,52 @@ class Telemetry:
         span = self.spans.add("fault", cls, now - seconds, now,
                               page=page, cluster=cluster, inode=inode_id)
         self._drain_pending(parent_id=span.id, floor=span.start)
-        self.accuracy.record_fault(inode_id, page, cluster, seconds, cls)
+        queue_wait = completion.queue_wait if completion is not None else 0.0
+        prediction = self.accuracy.record_fault(
+            inode_id, page, cluster, seconds, cls, queue_wait=queue_wait)
+        if fs is None:
+            return
+        # lifecycle record: event-engine faults hand the dispatch-time
+        # component capture over via the stash; synchronous faults pass
+        # the delta inline
+        if components is None:
+            components = self.lifecycle.pop_stash(
+                ("fault", inode_id, page, cluster)) or {}
+        if completion is not None:
+            submit, start, finish = (completion.submit_time,
+                                     completion.start_time,
+                                     completion.finish_time)
+        else:
+            submit = start = now - seconds
+            finish = now
+        predicted_latency, predicted_queue = (
+            prediction if prediction is not None else (None, None))
+        self.lifecycle.record(
+            kind="fault",
+            task=getattr(self._kernel, "current_task", None),
+            fs=fs.name, device_class=cls, inode=inode_id, page=page,
+            cluster=cluster, nbytes=cluster * PAGE_SIZE,
+            submit_time=submit, start_time=start, finish_time=finish,
+            components=components,
+            predicted_latency=predicted_latency,
+            predicted_queue=predicted_queue)
+
+    def on_writeback(self, fs, inode, completion, components=None) -> None:
+        """One event-engine writeback request completed."""
+        cls = fs.device.time_category
+        if components is None:
+            components = self.lifecycle.pop_stash(
+                ("writeback", inode.id, completion.addr)) or {}
+        self.lifecycle.record(
+            kind="writeback",
+            task=getattr(self._kernel, "current_task", None),
+            fs=fs.name, device_class=cls, inode=inode.id, page=-1,
+            cluster=completion.nbytes // PAGE_SIZE,
+            nbytes=completion.nbytes,
+            submit_time=completion.submit_time,
+            start_time=completion.start_time,
+            finish_time=completion.finish_time,
+            components=components)
 
     def on_hit(self, inode_id: int, page: int) -> None:
         """A read found its page resident; settle any SLED prediction."""
@@ -228,10 +277,28 @@ class Telemetry:
         queued (0 when the device goes idle)."""
         self.queue_depth_now.labels(device=device.name).set(depth)
 
-    def on_sleds(self, inode_id: int, vector) -> None:
+    def on_sleds(self, inode_id: int, vector, fs=None, inode=None,
+                 queue_delays=None) -> None:
         self.sleds_requests.inc()
         self.sleds_vector_sleds.observe(len(vector))
-        self.accuracy.record_prediction(inode_id, vector)
+        queue_by_page = None
+        if fs is not None and inode is not None and queue_delays:
+            # split each non-resident page's predicted latency into its
+            # queue term (what resolve_estimate folded in) and the rest,
+            # so fault-time errors attribute to queue vs. service
+            cache = self._kernel.page_cache if self._kernel else None
+            queue_by_page = {}
+            page = 0
+            for run, estimate in fs.span_estimates(inode, 0, inode.npages):
+                queue = estimate.queue_delay + queue_delays.get(
+                    estimate.device_key, 0.0)
+                if queue > 0.0:
+                    for p in range(page, page + run):
+                        if cache is None or not cache.peek((inode.id, p)):
+                            queue_by_page[p] = queue
+                page += run
+        self.accuracy.record_prediction(inode_id, vector,
+                                        queue_by_page=queue_by_page)
 
     def on_migration(self, files: int, seconds: float) -> None:
         self.migrated_files.inc(files)
@@ -325,6 +392,8 @@ class Telemetry:
             "accuracy": self.accuracy.to_dict(),
             "spans": {"recorded": len(self.spans),
                       "dropped": self.spans.dropped},
+            "lifecycle": {"recorded": len(self.lifecycle),
+                          "dropped": self.lifecycle.dropped},
         }
 
     def chrome_trace(self) -> dict:

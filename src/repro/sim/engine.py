@@ -107,10 +107,9 @@ class IoEngine:
         at dispatch time (noise applied as the synchronous path would)."""
         kernel = self.kernel
         addr = inode.extent_map.addr_of(page)
-
-        def service() -> float:
-            return kernel._noisy(fs.read_pages(inode, page, cluster))
-
+        service = kernel._traced_service(
+            fs, ("fault", inode.id, page, cluster),
+            lambda: fs.read_pages(inode, page, cluster))
         return self.queue_for(fs.device).submit(
             addr, cluster * PAGE_SIZE, is_write=False, service=service,
             label=f"fault:{fs.name}:{inode.id}:{page}+{cluster}")

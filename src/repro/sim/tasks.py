@@ -97,6 +97,10 @@ class Task:
             self.stats.started_at = kernel.clock.now
         clock_before = kernel.clock.now
         faults_before = kernel.counters.hard_faults
+        # attribution for observability (lifecycle records name the task
+        # whose slice issued each request); never read by the time model
+        previous_task = getattr(kernel, "current_task", None)
+        kernel.current_task = self.name
         try:
             if exception is not None:
                 yielded = self._gen.throw(exception)
@@ -107,6 +111,7 @@ class Task:
             self.done = True
             yielded = _DONE
         finally:
+            kernel.current_task = previous_task
             self.stats.steps += 1
             self.stats.virtual_time += kernel.clock.now - clock_before
             self.stats.hard_faults += (kernel.counters.hard_faults

@@ -1,0 +1,138 @@
+"""The benchmark regression gate: JSON flatten/compare + ``check`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.cli import main as bench_main
+from repro.bench.compare import (
+    _flatten,
+    compare_bench_dirs,
+    compare_json_files,
+)
+
+PAYLOAD = {
+    "benchmark": "demo",
+    "rows": [
+        {"npages": 1024, "virtual_s": 1.5,
+         "wall_clock": {"t_s": 0.010, "speedup": 80.0}},
+        {"npages": 4096, "virtual_s": 6.0,
+         "wall_clock": {"t_s": 0.041, "speedup": 75.0}},
+    ],
+    "overlap_ratio": 0.62,
+    "description": "strings are ignored",
+    "converged": True,
+}
+
+
+def _write(directory, payload, name="BENCH_demo.json"):
+    directory.mkdir(exist_ok=True)
+    path = directory / name
+    path.write_text(json.dumps(payload) + "\n")
+    return path
+
+
+class TestFlatten:
+
+    def test_paths_and_wall_clock_skip(self):
+        assert _flatten(PAYLOAD) == {
+            "rows[0].npages": 1024.0,
+            "rows[0].virtual_s": 1.5,
+            "rows[1].npages": 4096.0,
+            "rows[1].virtual_s": 6.0,
+            "overlap_ratio": 0.62,
+        }
+
+    def test_bools_and_strings_are_not_metrics(self):
+        assert _flatten({"ok": True, "label": "x", "n": 3}) == {"n": 3.0}
+
+
+class TestCompareJson:
+
+    def test_identical_is_clean(self, tmp_path):
+        old = _write(tmp_path / "old", PAYLOAD)
+        new = _write(tmp_path / "new", PAYLOAD)
+        assert compare_json_files(old, new).clean
+
+    def test_wall_clock_drift_is_ignored(self, tmp_path):
+        noisy = json.loads(json.dumps(PAYLOAD))
+        noisy["rows"][0]["wall_clock"]["t_s"] *= 100.0
+        noisy["rows"][1]["wall_clock"]["speedup"] /= 50.0
+        old = _write(tmp_path / "old", PAYLOAD)
+        new = _write(tmp_path / "new", noisy)
+        assert compare_json_files(old, new).clean
+
+    def test_regression_beyond_tolerance_drifts(self, tmp_path):
+        worse = json.loads(json.dumps(PAYLOAD))
+        worse["rows"][1]["virtual_s"] *= 1.30  # 30% > rtol 0.25
+        old = _write(tmp_path / "old", PAYLOAD)
+        new = _write(tmp_path / "new", worse)
+        comparison = compare_json_files(old, new)
+        assert not comparison.clean
+        (drift,) = comparison.drifts
+        assert drift.experiment == "BENCH_demo"
+        assert drift.row_key == "rows[1]"
+        assert drift.column == "virtual_s"
+        assert drift.relative > 0.25
+
+    def test_within_tolerance_passes(self, tmp_path):
+        close = json.loads(json.dumps(PAYLOAD))
+        close["overlap_ratio"] *= 1.10  # 10% < rtol 0.25
+        old = _write(tmp_path / "old", PAYLOAD)
+        new = _write(tmp_path / "new", close)
+        assert compare_json_files(old, new).clean
+
+    def test_metric_set_change_is_a_shape_change(self, tmp_path):
+        reshaped = json.loads(json.dumps(PAYLOAD))
+        del reshaped["overlap_ratio"]
+        old = _write(tmp_path / "old", PAYLOAD)
+        new = _write(tmp_path / "new", reshaped)
+        comparison = compare_json_files(old, new)
+        assert not comparison.clean
+        assert comparison.shape_changes
+
+    def test_dir_compare_flags_missing_results(self, tmp_path):
+        _write(tmp_path / "old", PAYLOAD)
+        (tmp_path / "new").mkdir()
+        comparison = compare_bench_dirs(tmp_path / "old", tmp_path / "new")
+        assert comparison.missing == ["BENCH_demo.json"]
+        assert not comparison.clean
+
+
+class TestCheckCli:
+
+    def test_passes_on_committed_baselines(self, tmp_path):
+        _write(tmp_path / "old", PAYLOAD)
+        _write(tmp_path / "new", PAYLOAD)
+        code = bench_main(["check", "--baseline", str(tmp_path / "old"),
+                           "--new", str(tmp_path / "new")])
+        assert code == 0
+
+    def test_fails_on_injected_regression(self, tmp_path):
+        worse = json.loads(json.dumps(PAYLOAD))
+        worse["overlap_ratio"] *= 1.30  # injected >=25% regression
+        _write(tmp_path / "old", PAYLOAD)
+        _write(tmp_path / "new", worse)
+        code = bench_main(["check", "--baseline", str(tmp_path / "old"),
+                           "--new", str(tmp_path / "new")])
+        assert code == 1
+
+    def test_missing_baselines_are_an_error(self, tmp_path):
+        (tmp_path / "old").mkdir()
+        (tmp_path / "new").mkdir()
+        code = bench_main(["check", "--baseline", str(tmp_path / "old"),
+                           "--new", str(tmp_path / "new")])
+        assert code == 2
+
+    def test_repo_baselines_match_fresh_results(self, tmp_path):
+        """The committed BENCH_*.json gate against a regenerated run —
+        the end-to-end path CI exercises (virtual time is deterministic,
+        so identical payloads modulo wall_clock)."""
+        from repro.bench.results import REPO_ROOT
+        baselines = sorted(REPO_ROOT.glob("BENCH_*.json"))
+        results = REPO_ROOT / "results"
+        if not baselines or not results.is_dir():
+            import pytest
+            pytest.skip("no committed BENCH baselines yet")
+        comparison = compare_bench_dirs(REPO_ROOT, results, rtol=0.25)
+        assert comparison.summary() and comparison.clean
