@@ -1,5 +1,11 @@
-"""Block-layer substrate: request batching and I/O scheduling."""
+"""Block-layer substrate: request batching, merging, and I/O scheduling."""
 
+from repro.block.merge import (
+    DEFAULT_MERGE_POLICIES,
+    BlockConfig,
+    MergeClassPolicy,
+    PlugQueue,
+)
 from repro.block.scheduler import (
     ClookScheduler,
     FcfsScheduler,
@@ -18,4 +24,8 @@ __all__ = [
     "ClookScheduler",
     "make_scheduler",
     "submit_batch",
+    "BlockConfig",
+    "MergeClassPolicy",
+    "PlugQueue",
+    "DEFAULT_MERGE_POLICIES",
 ]

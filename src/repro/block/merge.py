@@ -1,0 +1,360 @@
+"""Block-layer request coalescing and plugged batch dispatch.
+
+The engine's per-device queues (PR 3) gave us an online elevator, but
+every fault cluster still went to the device as its own request — adjacent
+faults, whether from one ``pread`` loop or from concurrent tasks walking
+the same file, each paid the per-request controller / RPC / positioning
+overhead a real block layer would merge away.  This module adds the two
+classic mechanisms between the kernel fault path and the
+:class:`~repro.block.scheduler.DeviceQueue`:
+
+* **coalescing** — pending requests on the same device whose page runs
+  are adjacent or overlapping merge into one multi-page transfer,
+  serviced as a single device command
+  (:meth:`~repro.devices.base.Device.submit_spans`), with per-class merge
+  windows: aggressive for tape/CD-ROM (huge positioning costs justify
+  reading through page gaps), bounded for disk, off for memory;
+* **plugging** — a :class:`PlugQueue` holds arriving requests for a short
+  virtual-time window (or until a depth/byte threshold) before flushing
+  the batch to the elevator, so concurrent tasks' faults actually meet
+  and merge.  With plugging off but merging on, the window is zero: the
+  plug flushes at the next event-loop step, which still batches requests
+  submitted within one scheduler slice (Linux's unplug-on-schedule).
+
+Both default **off** (:class:`BlockConfig`); an all-default config keeps
+the engine bit-identical to one with no block stage at all.  Time spent
+plugged is passed to the elevator as a backdated ``submit_time``, so it
+appears as queue wait and the lifecycle identity
+``fsum([queue_wait, *components]) == latency`` stays exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.sim.events import IoFuture
+from repro.sim.units import KB, MB, MSEC, PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class MergeClassPolicy:
+    """Per-device-class merge window.
+
+    ``max_bytes`` caps the merged union (0 disables merging for the
+    class); ``max_gap_pages`` is the largest forward page gap two runs may
+    bridge — the union reads through the gap, trading transfer time for a
+    saved positioning, which only pays on devices where positioning
+    dwarfs streaming (CD-ROM settle, tape locate).
+    """
+
+    max_bytes: int
+    max_gap_pages: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_bytes < 0:
+            raise ValueError(f"negative max_bytes: {self.max_bytes}")
+        if self.max_gap_pages < 0:
+            raise ValueError(f"negative max_gap_pages: {self.max_gap_pages}")
+
+
+#: Default merge windows per ``Device.time_category``.  Unlisted classes
+#: (memory, flash) do not merge.
+DEFAULT_MERGE_POLICIES = {
+    "disk": MergeClassPolicy(max_bytes=512 * KB, max_gap_pages=0),
+    "nfs": MergeClassPolicy(max_bytes=1 * MB, max_gap_pages=0),
+    "cdrom": MergeClassPolicy(max_bytes=4 * MB, max_gap_pages=32),
+    "tape": MergeClassPolicy(max_bytes=32 * MB, max_gap_pages=1024),
+}
+
+#: Sentinel policy for classes with no entry: merging off.
+_NO_MERGE = MergeClassPolicy(max_bytes=0, max_gap_pages=0)
+
+
+@dataclass(frozen=True)
+class BlockConfig:
+    """Block-layer front-end configuration (everything defaults off).
+
+    ``merge`` enables request coalescing, ``plug`` enables the virtual-
+    time accumulation window.  ``plug_window`` is how long a plug holds
+    its first request before flushing; ``plug_max_requests`` /
+    ``plug_max_bytes`` flush early when the batch is already worth
+    dispatching.  ``merge_policies`` maps ``Device.time_category`` to a
+    :class:`MergeClassPolicy`.
+    """
+
+    merge: bool = False
+    plug: bool = False
+    plug_window: float = 0.3 * MSEC
+    plug_max_requests: int = 32
+    plug_max_bytes: int = 2 * MB
+    merge_policies: dict = field(
+        default_factory=lambda: dict(DEFAULT_MERGE_POLICIES))
+
+    @property
+    def active(self) -> bool:
+        """Whether the block front-end intercepts fault submissions at
+        all; False routes faults straight to the device queues."""
+        return self.merge or self.plug
+
+    def policy_for(self, device) -> MergeClassPolicy:
+        """The merge window for ``device``'s class (off when unlisted)."""
+        return self.merge_policies.get(device.time_category, _NO_MERGE)
+
+
+@dataclass
+class FaultRun:
+    """One fault cluster held in a plug, waiting to be batched."""
+
+    fs: object
+    inode: object
+    page: int
+    cluster: int
+    addr: int
+    nbytes: int
+    future: IoFuture
+    submit_time: float
+    seq: int
+
+    @property
+    def end_page(self) -> int:
+        return self.page + self.cluster
+
+
+def plain_read_path(fs) -> bool:
+    """Whether ``fs`` reads through the stock ``FileSystem.read_pages``.
+
+    Stateful read paths (HSM staging picks drives, mounts cartridges and
+    stages to disk per run) cannot be collapsed into one device command —
+    such filesystems still plug, but never multi-merge.
+    """
+    from repro.fs.filesystem import FileSystem
+
+    return type(fs).read_pages is FileSystem.read_pages
+
+
+class PlugQueue:
+    """The plug in front of one device's elevator.
+
+    Fault clusters arrive via :meth:`submit` and are held until the plug
+    flushes — on the virtual-time window expiring, or a depth/byte
+    threshold, or an explicit :meth:`flush`.  The flush coalesces the
+    batch into merge groups and submits each group to the underlying
+    :class:`~repro.block.scheduler.DeviceQueue` with the *earliest*
+    member's arrival time, so plugged time surfaces as ordinary queue
+    wait.
+
+    ``service_factory(fs, inode, page, cluster, merged)`` builds the
+    dispatch-time service thunk (the engine supplies its traced
+    ``read_pages`` / ``read_pages_merged`` wrapper).
+    """
+
+    def __init__(self, device, queue, loop, config: BlockConfig,
+                 service_factory) -> None:
+        self.device = device
+        self.queue = queue
+        self.loop = loop
+        self.config = config
+        self.policy = config.policy_for(device)
+        self._service_factory = service_factory
+        self._plugged: list[FaultRun] = []
+        self._plugged_bytes = 0
+        self._timer = None
+        self._seq = 0
+        #: requests eliminated by merging (members beyond each primary)
+        self.merged_requests = 0
+        #: union bytes submitted by multi-member groups
+        self.merged_bytes = 0
+        self.flushes = 0
+        self.plug_wait_total = 0.0
+        #: optional hooks: on_merge(members, nbytes), on_plug(wait, batch)
+        self.on_merge = None
+        self.on_plug = None
+
+    @property
+    def depth(self) -> int:
+        """Requests currently held in the plug."""
+        return len(self._plugged)
+
+    # -- intake ----------------------------------------------------------
+
+    def submit(self, fs, inode, page: int, cluster: int) -> IoFuture:
+        """Hold one fault cluster; returns the future its task blocks on."""
+        now = self.loop.clock.now
+        future = IoFuture(f"plug:{fs.name}:{inode.id}:{page}+{cluster}")
+        run = FaultRun(fs=fs, inode=inode, page=page, cluster=cluster,
+                       addr=inode.extent_map.addr_of(page),
+                       nbytes=cluster * PAGE_SIZE, future=future,
+                       submit_time=now, seq=self._seq)
+        self._seq += 1
+        self._plugged.append(run)
+        self._plugged_bytes += run.nbytes
+        # plug churn invalidates queue-aware SLED estimates, same as
+        # elevator churn
+        self.queue.congestion_epoch += 1
+        if (len(self._plugged) >= self.config.plug_max_requests
+                or self._plugged_bytes >= self.config.plug_max_bytes):
+            self.flush()
+        elif self._timer is None:
+            window = self.config.plug_window if self.config.plug else 0.0
+            self._timer = self.loop.after(window, self.flush)
+        return future
+
+    def cancel(self, future: IoFuture) -> bool:
+        """Withdraw a still-plugged request; resolves its future with
+        ``None`` (the cancelled sentinel).  False if not held here."""
+        for index, run in enumerate(self._plugged):
+            if run.future is future:
+                del self._plugged[index]
+                self._plugged_bytes -= run.nbytes
+                self.queue.congestion_epoch += 1
+                future.resolve(None)
+                return True
+        return False
+
+    def estimated_delay(self) -> float:
+        """Nominal-spec service estimate of everything still plugged —
+        the term queue-aware SLEDs add on top of the elevator's."""
+        spec = self.device.spec
+        return sum(spec.latency + run.nbytes / spec.bandwidth
+                   for run in self._plugged)
+
+    # -- flush -----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Coalesce the held batch and hand it to the elevator."""
+        if self._timer is not None:
+            self.loop.cancel(self._timer)
+            self._timer = None
+        if not self._plugged:
+            return
+        batch = self._plugged
+        self._plugged = []
+        self._plugged_bytes = 0
+        self.flushes += 1
+        now = self.loop.clock.now
+        for run in batch:
+            wait = now - run.submit_time
+            self.plug_wait_total += wait
+            if self.on_plug is not None:
+                self.on_plug(wait, len(batch))
+        for group in self._coalesce(batch):
+            self._dispatch_group(group)
+
+    def _coalesce(self, batch: list[FaultRun]) -> list[list[FaultRun]]:
+        """Partition a flushed batch into merge groups.
+
+        Grouping is per inode (merging across files would interleave
+        unrelated extents); inodes are visited in first-appearance order
+        and runs page-sorted with the submission sequence as tie-break,
+        so the grouping is a pure function of the batch — deterministic
+        across runs.
+        """
+        if not self.config.merge or self.policy.max_bytes <= 0:
+            return [[run] for run in batch]
+        by_inode: dict[int, list[FaultRun]] = {}
+        order: list[int] = []
+        for run in batch:
+            key = run.inode.id
+            if key not in by_inode:
+                by_inode[key] = []
+                order.append(key)
+            by_inode[key].append(run)
+        groups: list[list[FaultRun]] = []
+        for key in order:
+            runs = sorted(by_inode[key], key=lambda r: (r.page, r.seq))
+            if not plain_read_path(runs[0].fs):
+                groups.extend([run] for run in runs)
+                continue
+            group = [runs[0]]
+            union_start, union_end = runs[0].page, runs[0].end_page
+            for run in runs[1:]:
+                new_end = max(union_end, run.end_page)
+                union_bytes = (new_end - union_start) * PAGE_SIZE
+                if (run.page <= union_end + self.policy.max_gap_pages
+                        and union_bytes <= self.policy.max_bytes):
+                    group.append(run)
+                    union_end = new_end
+                else:
+                    groups.append(group)
+                    group = [run]
+                    union_start, union_end = run.page, run.end_page
+            groups.append(group)
+        return groups
+
+    def _dispatch_group(self, group: list[FaultRun]) -> None:
+        if len(group) == 1:
+            run = group[0]
+            service = self._service_factory(run.fs, run.inode, run.page,
+                                            run.cluster, False)
+            inner = self.queue.submit(
+                run.addr, run.nbytes, is_write=False, service=service,
+                label=(f"fault:{run.fs.name}:{run.inode.id}:"
+                       f"{run.page}+{run.cluster}"),
+                submit_time=run.submit_time)
+            inner.add_done_callback(
+                lambda f, r=run: self._settle_single(f, r))
+            return
+        # primary member: earliest arrival — the union request inherits
+        # its submit time, and its completion carries the provenance
+        members = sorted(group, key=lambda r: (r.submit_time, r.page,
+                                               r.seq))
+        primary = members[0]
+        union_start = min(run.page for run in group)
+        union_end = max(run.end_page for run in group)
+        union_pages = union_end - union_start
+        nbytes = union_pages * PAGE_SIZE
+        fs, inode = primary.fs, primary.inode
+        service = self._service_factory(fs, inode, union_start,
+                                        union_pages, True)
+        self.merged_requests += len(group) - 1
+        self.merged_bytes += nbytes
+        if self.on_merge is not None:
+            self.on_merge(len(group), nbytes)
+        inner = self.queue.submit(
+            inode.extent_map.addr_of(union_start), nbytes, is_write=False,
+            service=service,
+            label=(f"merged:{fs.name}:{inode.id}:"
+                   f"{union_start}+{union_pages}x{len(group)}"),
+            submit_time=primary.submit_time)
+        merged_from = tuple((run.inode.id, run.page, run.cluster)
+                            for run in sorted(group, key=lambda r: r.seq))
+        inner.add_done_callback(
+            lambda f: self._settle_group(f, members, merged_from))
+
+    # -- settlement ------------------------------------------------------
+
+    @staticmethod
+    def _settle_single(inner: IoFuture, run: FaultRun) -> None:
+        if inner.exception is not None:
+            run.future.fail(inner.exception)
+        else:
+            # the inner value is the Completion, or None when the queued
+            # request was cancelled — forward either verbatim
+            run.future.resolve(inner._value)
+
+    @staticmethod
+    def _settle_group(inner: IoFuture, members: list[FaultRun],
+                      merged_from: tuple) -> None:
+        settle_order = sorted(members, key=lambda r: r.seq)
+        if inner.exception is not None:
+            for run in settle_order:
+                run.future.fail(inner.exception)
+            return
+        completion = inner._value
+        if completion is None:  # inner request cancelled
+            for run in settle_order:
+                run.future.resolve(None)
+            return
+        primary = members[0]
+        for run in settle_order:
+            if run is primary:
+                run.future.resolve(replace(completion, merged=True,
+                                           merged_from=merged_from))
+            else:
+                run.future.resolve(replace(completion,
+                                           submit_time=run.submit_time,
+                                           merged=True))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<PlugQueue {self.device.name!r} depth={self.depth} "
+                f"merged={self.merged_requests}>")

@@ -233,18 +233,27 @@ class DeviceQueue:
         return len(self._pending) + (1 if self._busy else 0)
 
     def submit(self, addr: int, nbytes: int, is_write: bool,
-               service=None, label: str = ""):
+               service=None, label: str = "",
+               submit_time: float | None = None):
         """Enqueue one request; returns an IoFuture resolving to its
-        :class:`~repro.devices.base.Completion`."""
+        :class:`~repro.devices.base.Completion`.
+
+        ``submit_time`` backdates the request's arrival (default: now) —
+        the plug/merge stage passes the original arrival time of a held
+        request so the time spent plugged shows up as queue wait, keeping
+        the lifecycle latency identity exact.
+        """
         from repro.sim.events import IoFuture
 
         now = self.loop.clock.now
+        if submit_time is None:
+            submit_time = now
         future = IoFuture(label or f"{self.device.name}@{addr}")
         tag = self._seq
         self._seq += 1
         request = IoRequest(addr=addr, nbytes=nbytes, is_write=is_write,
                             tag=tag)
-        self._entries[tag] = (future, now, service)
+        self._entries[tag] = (future, submit_time, service)
         self._pending.append(request)
         self.congestion_epoch += 1
         self.depth_high_water = max(self.depth_high_water, self.depth)
@@ -253,6 +262,26 @@ class DeviceQueue:
         if not self._busy:
             self._dispatch()
         return future
+
+    def cancel(self, future) -> bool:
+        """Withdraw a queued-but-not-dispatched request.
+
+        Finds the pending request whose waiter is ``future``; removes it
+        and resolves the future with ``None`` (so waiters wake rather than
+        wedge — the prefetcher reads a ``None`` completion as "cancelled").
+        Returns False when the request already dispatched, completed, or
+        was never here; in-service requests always run to completion.
+        """
+        for tag, entry in self._entries.items():
+            if entry[0] is future:
+                break
+        else:
+            return False
+        del self._entries[tag]
+        self._pending = [r for r in self._pending if r.tag != tag]
+        self.congestion_epoch += 1
+        future.resolve(None)
+        return True
 
     def estimated_delay(self, now: float) -> float:
         """Seconds a request arriving now would wait before service:

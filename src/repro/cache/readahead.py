@@ -64,3 +64,8 @@ class ReadaheadWindow:
         """Collapse the window (e.g. after an lseek)."""
         self._window = self.min_pages
         self._next_expected = None
+
+    def state(self) -> tuple[int, int | None, int, int]:
+        """Snapshot ``(window, next_expected, grows, collapses)`` — lets
+        tests pin that an operation left the heuristic untouched."""
+        return (self._window, self._next_expected, self.grows, self.collapses)

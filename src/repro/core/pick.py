@@ -70,7 +70,8 @@ class SledsPickSession:
     def __init__(self, kernel, fd: int, preferred_bufsize: int,
                  record_mode: bool = False, separator: bytes = b"\n",
                  refresh_every: int = 0, order: str = "sleds",
-                 pin_cached: bool = False) -> None:
+                 pin_cached: bool = False, prefetcher=None,
+                 prefetch_depth: int = 4) -> None:
         if preferred_bufsize <= 0:
             raise InvalidArgumentError(
                 f"preferred buffer size must be positive: {preferred_bufsize}")
@@ -80,6 +81,9 @@ class SledsPickSession:
         if refresh_every < 0:
             raise InvalidArgumentError(
                 f"refresh_every must be >= 0: {refresh_every}")
+        if prefetch_depth < 1:
+            raise InvalidArgumentError(
+                f"prefetch_depth must be >= 1: {prefetch_depth}")
         self.kernel = kernel
         self.fd = fd
         self.bufsize = preferred_bufsize
@@ -88,6 +92,8 @@ class SledsPickSession:
         self.refresh_every = refresh_every
         self.order = order
         self.pin_cached = pin_cached
+        self.prefetcher = prefetcher
+        self.prefetch_depth = prefetch_depth
         self.picks = 0
         self._heap: list[_Chunk] = []
         self._pinned: set = set()
@@ -97,6 +103,7 @@ class SledsPickSession:
         self._load_vector()
         if pin_cached:
             self._pin_cached_chunks()
+        self._feed_prefetcher()
 
     # -- internals ------------------------------------------------------
 
@@ -156,6 +163,20 @@ class SledsPickSession:
         self.kernel.charge_cpu(len(vector) * INIT_CPU_PER_SLED)
         self._heap = self._chunks_from(vector, within=_merge_spans(remaining))
         heapq.heapify(self._heap)
+        self._feed_prefetcher()
+
+    def _feed_prefetcher(self) -> None:
+        """Hand the next few picks to the attached prefetcher.
+
+        The chunks the session will return soonest are exactly the spans
+        worth speculating on: by the time ``next_read`` reaches them the
+        pages are (ideally) resident and the pick costs a cache hit."""
+        if self.prefetcher is None or not self._heap:
+            return
+        of = self.kernel._fd(self.fd)
+        for chunk in heapq.nsmallest(self.prefetch_depth, self._heap):
+            self.prefetcher.prefetch_span(
+                of.fs, of.inode, chunk.offset, chunk.length)
 
     # -- API -----------------------------------------------------------------
 
@@ -210,6 +231,7 @@ class SledsPickSession:
         chunk = heapq.heappop(self._heap)
         self.picks += 1
         self._unpin_chunk(chunk)
+        self._feed_prefetcher()
         return chunk.offset, chunk.length
 
     def remaining_chunks(self) -> int:
@@ -255,7 +277,8 @@ def _key(kernel, fd: int) -> tuple[int, int]:
 def sleds_pick_init(kernel, fd: int, preferred_bufsize: int,
                     record_mode: bool = False, separator: bytes = b"\n",
                     refresh_every: int = 0, order: str = "sleds",
-                    pin_cached: bool = False) -> int:
+                    pin_cached: bool = False, prefetcher=None,
+                    prefetch_depth: int = 4) -> int:
     """Start a pick session on ``fd``; returns the buffer size to use."""
     key = _key(kernel, fd)
     if key in _sessions:
@@ -264,7 +287,8 @@ def sleds_pick_init(kernel, fd: int, preferred_bufsize: int,
     session = SledsPickSession(
         kernel, fd, preferred_bufsize, record_mode=record_mode,
         separator=separator, refresh_every=refresh_every, order=order,
-        pin_cached=pin_cached)
+        pin_cached=pin_cached, prefetcher=prefetcher,
+        prefetch_depth=prefetch_depth)
     _sessions[key] = session
     return session.bufsize
 

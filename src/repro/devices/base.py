@@ -84,6 +84,13 @@ class Completion:
     submit_time: float
     start_time: float
     duration: float
+    #: True when this completion belongs to a request that was coalesced
+    #: with others by the block layer's merge stage
+    merged: bool = False
+    #: provenance of a coalesced request — ``(inode, page, cluster)`` per
+    #: member, non-empty only on the *primary* member's completion (the
+    #: one that records the union in the lifecycle log)
+    merged_from: tuple = ()
 
     @property
     def finish_time(self) -> float:
@@ -105,6 +112,20 @@ class Device(ABC):
 
     #: category name used when charging this device's time to the clock
     time_category = "device"
+
+    #: component names charged once per *request* rather than once per
+    #: scatter segment — continuation spans of a merged request waive them
+    #: (a real controller pays its per-command overhead once, an NFS server
+    #: answers one RPC).  Positioning is never waived; a fragmented span
+    #: that forces a seek still pays for it.
+    _merge_overhead_components: tuple[str, ...] = ()
+
+    #: largest forward address gap (bytes) a merged read services by
+    #: reading *through* the gap instead of repositioning.  The gap bytes
+    #: cost transfer time but are discarded: they are not counted in
+    #: ``bytes_read`` or the completion's ``nbytes``.  0 disables
+    #: read-through (seek-capable devices reposition instead).
+    _gap_read_through_bytes: int = 0
 
     def __init__(self, spec: DeviceSpec, capacity: int,
                  rng: np.random.Generator | None = None) -> None:
@@ -196,6 +217,98 @@ class Device(ABC):
         self._last_components = {name: seconds for name, seconds
                                  in parts.items() if seconds != 0.0}
 
+    def submit_spans(self, spans, is_write: bool = False,
+                     now: float | None = None) -> Completion:
+        """Submit one *merged* request covering several extent spans.
+
+        ``spans`` is a sequence of ``(addr, nbytes)`` pairs in address
+        order, the scatter list of a request the block layer coalesced.
+        The device services them as one command: per-request overhead
+        components (:attr:`_merge_overhead_components`) are charged on the
+        first span only, and small forward gaps between spans (up to
+        :attr:`_gap_read_through_bytes`) are read through sequentially
+        instead of repositioning.  A single span is bit-identical to
+        :meth:`submit`.
+
+        One request for statistics purposes: ``stats.reads`` (or writes)
+        increments once, the observer fires once, and the returned
+        :class:`Completion` carries the first span's address and the *sum*
+        of the span byte counts (gap bytes excluded — they are transferred
+        and discarded, never delivered).
+        """
+        spans = list(spans)
+        if not spans:
+            raise ValueError("submit_spans needs at least one span")
+        if len(spans) == 1:
+            addr, nbytes = spans[0]
+            return self.submit(addr, nbytes, is_write, now=now)
+        for addr, nbytes in spans:
+            self._check(addr, nbytes)
+        self._maybe_fail(*spans[0], is_write)
+        for addr, nbytes in spans[1:]:
+            self._check_bad_ranges(addr, nbytes, is_write)
+        submit_time = self.busy_until if now is None else now
+        start = max(submit_time, self.busy_until)
+        duration = 0.0
+        payload = 0
+        components: dict[str, float] = {}
+
+        def charge(addr: int, nbytes: int, is_write: bool,
+                   waive: tuple[str, ...]) -> float:
+            self._last_components = None
+            seconds = self._access_time(addr, nbytes, is_write)
+            parts = self._last_components
+            if parts is None:
+                parts = {"transfer": seconds}
+            self._last_components = None
+            for part in waive:
+                seconds -= parts.pop(part, 0.0)
+            for part, value in parts.items():
+                components[part] = components.get(part, 0.0) + value
+            return seconds
+
+        expected = None
+        for index, (addr, nbytes) in enumerate(spans):
+            if index > 0:
+                gap = addr - expected
+                if not is_write and 0 < gap <= self._gap_read_through_bytes:
+                    duration += charge(expected, gap, False,
+                                       self._merge_overhead_components)
+            waive = self._merge_overhead_components if index > 0 else ()
+            duration += charge(addr, nbytes, is_write, waive)
+            payload += nbytes
+            expected = addr + nbytes
+
+        prefix = "write_" if is_write else ""
+        totals = self.component_totals
+        for part, seconds in components.items():
+            key = prefix + part
+            totals[key] = totals.get(key, 0.0) + seconds
+        if is_write:
+            self.stats.writes += 1
+            self.stats.bytes_written += payload
+        else:
+            self.stats.reads += 1
+            self.stats.bytes_read += payload
+        self.stats.busy_time += duration
+        wait = start - submit_time
+        if wait > 0.0:
+            self.stats.queue_wait_time += wait
+            self.stats.queued_requests += 1
+        self.busy_until = start + duration
+        if self.observer is not None:
+            self.observer.on_device_access(self, spans[0][0], payload,
+                                           duration, is_write=is_write)
+        return Completion(device_name=self.name, addr=spans[0][0],
+                          nbytes=payload, is_write=is_write,
+                          submit_time=submit_time, start_time=start,
+                          duration=duration)
+
+    def read_spans(self, spans) -> float:
+        """Blocking multi-span read: duration of one merged request (the
+        never-queueing regime, like :meth:`read`)."""
+        return self.submit_spans(spans, is_write=False).duration
+
     def read(self, addr: int, nbytes: int) -> float:
         """Time in seconds to read ``nbytes`` starting at ``addr``.
 
@@ -267,6 +380,12 @@ class Device(ABC):
             self._pending_failures -= 1
             self.stats.errors += 1
             raise IoSimError(self.name, addr, is_write)
+        self._check_bad_ranges(addr, nbytes, is_write)
+
+    def _check_bad_ranges(self, addr: int, nbytes: int,
+                          is_write: bool) -> None:
+        from repro.sim.errors import IoSimError
+
         for lo, hi in self._bad_ranges:
             if addr < hi and addr + nbytes > lo:
                 self.stats.errors += 1

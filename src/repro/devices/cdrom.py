@@ -21,13 +21,17 @@ import math
 import numpy as np
 
 from repro.devices.base import Device, DeviceSpec
-from repro.sim.units import MB, MSEC
+from repro.sim.units import KB, MB, MSEC
 
 
 class CdromDevice(Device):
     """A CD-ROM drive: very high random-access latency, low bandwidth."""
 
     time_category = "cdrom"
+
+    #: pickup repositioning is so expensive (settle + travel + spin-up)
+    #: that a merged read streams through small inter-span gaps instead
+    _gap_read_through_bytes = 128 * KB
 
     def __init__(self, name: str = "cdrom", capacity: int = 650 * MB,
                  base_settle: float = 60.0 * MSEC,

@@ -53,6 +53,11 @@ class DiskDevice(Device):
 
     time_category = "disk"
 
+    #: the controller setup cost is per command, not per scatter segment —
+    #: continuation spans of a merged request skip it (seeks between
+    #: fragmented spans are still paid through ``_access_time``)
+    _merge_overhead_components = ("overhead",)
+
     def __init__(self, name: str = "disk", capacity: int = 9 * GB,
                  min_seek: float = 2.0 * MSEC, max_seek: float = 22.0 * MSEC,
                  rpm: float = 5400.0, zones: tuple[Zone, ...] = DEFAULT_ZONES,

@@ -38,6 +38,10 @@ class NfsDevice(Device):
 
     time_category = "nfs"
 
+    #: a merged request is one RPC: the wire round-trip and per-request
+    #: protocol overhead are charged once, not per scatter segment
+    _merge_overhead_components = ("network",)
+
     def __init__(self, name: str = "nfs", capacity: int = 9 * GB,
                  rtt: float = 2.5 * MSEC,
                  request_overhead: float = 1.5 * MSEC,

@@ -47,6 +47,10 @@ class TapeDevice(Device):
 
     time_category = "tape"
 
+    #: a locate is seconds-to-minutes; a merged read streams through gaps
+    #: up to several megabytes rather than winding the transport
+    _gap_read_through_bytes = 4 * MB
+
     def __init__(self, name: str = "tape0",
                  bandwidth: float = 5.0 * MB,
                  locate_startup: float = 4.0,

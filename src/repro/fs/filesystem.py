@@ -266,6 +266,32 @@ class FileSystem(ABC):
             remaining -= run
         return seconds
 
+    def read_pages_merged(self, inode: Inode, start_page: int,
+                          npages: int) -> float:
+        """Fetch pages as *one* block-layer-merged device request.
+
+        Same page walk as :meth:`read_pages`, but the extent runs are
+        collected into a scatter list and submitted through
+        :meth:`~repro.devices.base.Device.submit_spans`, so per-request
+        device overheads are paid once for the whole union.  A single-run
+        union is bit-identical to :meth:`read_pages`.  Only meaningful for
+        filesystems whose read path is this class's plain ``read_pages``
+        — the block layer never multi-merges stateful read paths (HSM
+        staging).
+        """
+        if npages <= 0:
+            return 0.0
+        spans: list[tuple[int, int]] = []
+        page = start_page
+        remaining = npages
+        while remaining > 0:
+            run = inode.extent_map.contiguous_run(page, remaining)
+            addr = inode.extent_map.addr_of(page)
+            spans.append((addr, run * PAGE_SIZE))
+            page += run
+            remaining -= run
+        return self.device.read_spans(spans)
+
     def write_pages(self, inode: Inode, start_page: int, npages: int) -> float:
         """Write pages back to the device; returns virtual seconds."""
         if npages <= 0:

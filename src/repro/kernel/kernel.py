@@ -110,11 +110,15 @@ class Kernel:
                  rng: RngStreams | None = None,
                  noise: float = 0.0,
                  syscall_overhead: float = 2.0 * USEC,
+                 readahead_min_pages: int = 4,
                  readahead_max_pages: int = 16,
                  writeback_threshold_pages: int = 256,
                  io_scheduler: str = "clook") -> None:
         if noise < 0:
             raise InvalidArgumentError(f"noise must be >= 0: {noise}")
+        if readahead_min_pages < 1:
+            raise InvalidArgumentError(
+                f"readahead_min_pages must be >= 1: {readahead_min_pages}")
         self.clock = VirtualClock()
         self.memory = memory or MemoryDevice()
         self.page_cache = PageCache(cache_pages, policy)
@@ -123,6 +127,7 @@ class Kernel:
         self.rng = rng or RngStreams()
         self.noise = noise
         self.syscall_overhead = syscall_overhead
+        self.readahead_min_pages = readahead_min_pages
         self.readahead_max_pages = readahead_max_pages
         self.writeback_threshold_pages = writeback_threshold_pages
         from repro.block.scheduler import make_scheduler
@@ -151,6 +156,10 @@ class Kernel:
         #: (repro.sim.tasks sets it around each slice).  Observability
         #: attribution only; never consulted by the timing model.
         self.current_task = None
+        #: optional SLED-driven prefetcher (see repro.sim.prefetch);
+        #: None = off.  When set, cache hits notify it so it can count
+        #: speculative fetches that actually got used.
+        self.prefetcher = None
 
     # ------------------------------------------------------------------
     # mounts and path resolution
@@ -222,17 +231,19 @@ class Kernel:
         if self.telemetry is not None:
             self.telemetry.detach()
 
-    def attach_engine(self, engine=None):
+    def attach_engine(self, engine=None, block=None):
         """Attach (and return) a discrete-event I/O engine.
 
         With an engine attached, the ``*_async`` syscalls queue requests on
         per-device elevators and block on completions, and ``FSLEDS_GET``
         folds live queue state into its latency estimates.  The plain
-        blocking syscalls keep working either way.
+        blocking syscalls keep working either way.  ``block`` (a
+        :class:`~repro.block.merge.BlockConfig`) enables the merge/plug
+        front-end; only consulted when ``engine`` is None.
         """
         from repro.sim.engine import IoEngine
         if engine is None:
-            engine = IoEngine(self)
+            engine = IoEngine(self, block=block)
         engine.attach()
         return engine
 
@@ -323,7 +334,8 @@ class Kernel:
         if mode == "w" and inode.size > 0:
             self._truncate(fs, inode)
         window = ReadaheadWindow(
-            min_pages=min(4, self.readahead_max_pages),
+            min_pages=min(self.readahead_min_pages,
+                          self.readahead_max_pages),
             max_pages=self.readahead_max_pages)
         of = OpenFile(
             fd=self._next_fd, path=path, fs=fs, inode=inode,
@@ -464,6 +476,8 @@ class Kernel:
             key = (inode.id, page)
             if cache.access(key):
                 self.counters.cache_hits += 1
+                if self.prefetcher is not None:
+                    self.prefetcher.note_access(key)
                 if self.telemetry is not None:
                     self.telemetry.on_hit(inode.id, page)
                 continue
@@ -559,6 +573,10 @@ class Kernel:
             raise InvalidArgumentError(
                 "no I/O engine attached; use the blocking read path or "
                 "kernel.attach_engine()")
+        if engine.block_active:
+            yield from self._fault_in_runs(of, offset, length,
+                                           use_readahead)
+            return
         inode = of.inode
         cache = self.page_cache
         npages = inode.npages
@@ -567,6 +585,8 @@ class Kernel:
             key = (inode.id, page)
             if cache.access(key):
                 self.counters.cache_hits += 1
+                if self.prefetcher is not None:
+                    self.prefetcher.note_access(key)
                 if self.telemetry is not None:
                     self.telemetry.on_hit(inode.id, page)
                 continue
@@ -579,6 +599,73 @@ class Kernel:
                 cluster += 1
             future = engine.submit_cluster(of.fs, inode, page, cluster)
             completion = yield future
+            seconds = completion.duration
+            self.counters.pages_read += cluster
+            self.counters.readahead_pages += cluster - 1
+            if self.tracer is not None:
+                self.tracer.emit(self.clock.now, "fault",
+                                 of.fs.device.time_category, seconds,
+                                 page=page, cluster=cluster,
+                                 inode=inode.id)
+            if self.telemetry is not None:
+                self.telemetry.on_fault(
+                    of.fs.device, inode.id, page, cluster, seconds,
+                    now=self.clock.now, window=window, fs=of.fs,
+                    completion=completion)
+            for extra in range(page, page + cluster):
+                if cache.insert((inode.id, extra)) is not None:
+                    self.counters.evictions += 1
+                if self.telemetry is not None and extra != page:
+                    self.telemetry.on_readahead_insert((inode.id, extra))
+
+    def _fault_in_runs(self, of: OpenFile, offset: int, length: int,
+                       use_readahead: bool = True):
+        """Batched fault path for an engine with an active block front.
+
+        Instead of submit-then-park per miss, *all* miss runs of the span
+        are discovered and submitted up front — they land in the device's
+        plug together, where adjacent runs (a ``pread`` loop's 1-page
+        clusters, or a readahead window walking a file) coalesce into one
+        device request — and the task parks once on the whole set.
+
+        Accounting is kept identical to the serial path: hit/miss/fault
+        counters are charged at discovery, in span order, with the same
+        readahead advice; pages covered by an *earlier run of this same
+        span* count as cache hits, exactly as the serial path would have
+        hit them after that run's insert.
+        """
+        engine = self.engine
+        inode = of.inode
+        cache = self.page_cache
+        npages = inode.npages
+        runs: list[tuple[int, int, int]] = []  # (page, cluster, window)
+        covered_until = -1  # end of the last planned run, exclusive
+        for page in page_span(offset, length):
+            window = of.readahead.advise(page) if use_readahead else 1
+            key = (inode.id, page)
+            if page < covered_until or cache.access(key):
+                self.counters.cache_hits += 1
+                if page >= covered_until and self.prefetcher is not None:
+                    self.prefetcher.note_access(key)
+                if self.telemetry is not None:
+                    self.telemetry.on_hit(inode.id, page)
+                continue
+            self.counters.cache_misses += 1
+            self.counters.hard_faults += 1
+            cluster = 1
+            limit = min(window, npages - page)
+            while (cluster < limit
+                   and not cache.peek((inode.id, page + cluster))):
+                cluster += 1
+            runs.append((page, cluster, window))
+            covered_until = page + cluster
+        if not runs:
+            return
+        futures = [engine.submit_cluster(of.fs, inode, page, cluster)
+                   for page, cluster, _ in runs]
+        yield futures
+        for (page, cluster, window), future in zip(runs, futures):
+            completion = future.value
             seconds = completion.duration
             self.counters.pages_read += cluster
             self.counters.readahead_pages += cluster - 1

@@ -74,12 +74,16 @@ class Machine:
     @classmethod
     def unix_utilities(cls, cache_pages: int = FULL_SCALE_CACHE_PAGES,
                        seed: int = 20000101, noise: float = 0.0,
-                       policy: str = "lru") -> "Machine":
+                       policy: str = "lru",
+                       readahead_min_pages: int = 4,
+                       readahead_max_pages: int = 16) -> "Machine":
         """The paper's Unix-utility testbed (Table 2)."""
         rng = RngStreams(seed)
         memory = MemoryDevice(latency=175 * NSEC, bandwidth=48 * MB)
         kernel = Kernel(cache_pages=cache_pages, policy=policy,
-                        memory=memory, rng=rng, noise=noise)
+                        memory=memory, rng=rng, noise=noise,
+                        readahead_min_pages=readahead_min_pages,
+                        readahead_max_pages=readahead_max_pages)
         machine = cls(kernel=kernel)
         root = Ext2Like(
             DiskDevice(name="root-disk", capacity=2 * GB,
@@ -100,12 +104,16 @@ class Machine:
     @classmethod
     def lheasoft(cls, cache_pages: int = FULL_SCALE_CACHE_PAGES,
                  seed: int = 20000102, noise: float = 0.0,
-                 policy: str = "lru") -> "Machine":
+                 policy: str = "lru",
+                 readahead_min_pages: int = 4,
+                 readahead_max_pages: int = 16) -> "Machine":
         """The paper's LHEASOFT testbed (Table 3)."""
         rng = RngStreams(seed)
         memory = MemoryDevice(latency=210 * NSEC, bandwidth=87 * MB)
         kernel = Kernel(cache_pages=cache_pages, policy=policy,
-                        memory=memory, rng=rng, noise=noise)
+                        memory=memory, rng=rng, noise=noise,
+                        readahead_min_pages=readahead_min_pages,
+                        readahead_max_pages=readahead_max_pages)
         machine = cls(kernel=kernel)
         disk = DiskDevice(
             name="lhea-disk",
@@ -125,12 +133,16 @@ class Machine:
     def hsm(cls, cache_pages: int = FULL_SCALE_CACHE_PAGES,
             stage_pages: int = 8192, drives: int = 2, cartridges: int = 8,
             seed: int = 20000103, noise: float = 0.0,
-            policy: str = "lru") -> "Machine":
+            policy: str = "lru",
+            readahead_min_pages: int = 4,
+            readahead_max_pages: int = 16) -> "Machine":
         """An HSM machine: tape library + disk staging cache + local disk."""
         rng = RngStreams(seed)
         memory = MemoryDevice(latency=175 * NSEC, bandwidth=48 * MB)
         kernel = Kernel(cache_pages=cache_pages, policy=policy,
-                        memory=memory, rng=rng, noise=noise)
+                        memory=memory, rng=rng, noise=noise,
+                        readahead_min_pages=readahead_min_pages,
+                        readahead_max_pages=readahead_max_pages)
         machine = cls(kernel=kernel)
         root = Ext2Like(
             DiskDevice(name="root-disk", capacity=2 * GB,

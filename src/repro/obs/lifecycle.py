@@ -85,14 +85,14 @@ def component_delta(
 def _normalize(delta: dict[str, float], kind: str) -> dict[str, float]:
     """Fold raw component keys into request-level component names.
 
-    Device writes observed during a *read* fault are HSM stage-in
-    traffic → ``"stage"``; for a writeback request the ``write_`` prefix
-    is redundant and is stripped.
+    Device writes observed during a *read* request (demand fault or
+    prefetch) are HSM stage-in traffic → ``"stage"``; for a writeback
+    request the ``write_`` prefix is redundant and is stripped.
     """
     out: dict[str, float] = {}
     for key, seconds in delta.items():
         if key.startswith("write_"):
-            name = "stage" if kind == "fault" else key[len("write_"):]
+            name = key[len("write_"):] if kind == "writeback" else "stage"
         else:
             name = key
         out[name] = out.get(name, 0.0) + seconds
@@ -133,11 +133,13 @@ class LifecycleRecord:
     writebacks, which are addressed by device block, not file page).
     ``predicted_latency``/``predicted_queue`` are the SLED promise in
     force when the request was issued (None when no FSLEDS_GET preceded
-    it).
+    it).  For a block-layer-coalesced request, the record covers the
+    *union* page run and ``merged_from`` lists the ``(inode, page,
+    cluster)`` of every member request that was folded into it.
     """
 
     id: int
-    kind: str  # "fault" | "writeback"
+    kind: str  # "fault" | "writeback" | "prefetch"
     task: str | None
     fs: str
     device_class: str
@@ -151,6 +153,7 @@ class LifecycleRecord:
     components: tuple[tuple[str, float], ...]
     predicted_latency: float | None = None
     predicted_queue: float | None = None
+    merged_from: tuple[tuple[int, int, int], ...] = ()
 
     @property
     def queue_wait(self) -> float:
@@ -189,6 +192,7 @@ class LifecycleRecord:
             "components": dict(self.components),
             "predicted_latency": self.predicted_latency,
             "predicted_queue": self.predicted_queue,
+            "merged_from": [list(member) for member in self.merged_from],
         }
 
 
@@ -244,7 +248,8 @@ class LifecycleTracker:
                nbytes: int, submit_time: float, start_time: float,
                finish_time: float, components: dict[str, float],
                predicted_latency: float | None = None,
-               predicted_queue: float | None = None) -> LifecycleRecord:
+               predicted_queue: float | None = None,
+               merged_from: tuple = ()) -> LifecycleRecord:
         queue_wait = start_time - submit_time
         latency = finish_time - submit_time
         closed = _close(_normalize(components, kind), queue_wait, latency)
@@ -254,7 +259,7 @@ class LifecycleTracker:
             cluster=cluster, nbytes=nbytes, submit_time=submit_time,
             start_time=start_time, finish_time=finish_time,
             components=closed, predicted_latency=predicted_latency,
-            predicted_queue=predicted_queue)
+            predicted_queue=predicted_queue, merged_from=merged_from)
         self._next_id += 1
         if len(self.records) == self.records.maxlen:
             self.dropped += 1

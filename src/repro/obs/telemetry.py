@@ -122,6 +122,32 @@ class Telemetry:
             "hsm_migration_seconds", "Virtual seconds per HSM migration")
         self.migrated_files = r.counter(
             "hsm_migrated_files_total", "Files migrated to tape")
+        self.merged_requests = r.counter(
+            "block_merged_requests_total",
+            "Requests eliminated by block-layer coalescing",
+            labels=("device",))
+        self.merge_members = r.histogram(
+            "block_merge_members", "Member requests per merged dispatch",
+            labels=("device",), buckets=DEPTH_BUCKETS)
+        self.merged_bytes = r.counter(
+            "block_merged_bytes_total",
+            "Union bytes submitted by merged requests", labels=("device",))
+        self.plug_latency = r.histogram(
+            "block_plug_latency_seconds",
+            "Virtual seconds a request spent held in the plug",
+            labels=("device",))
+        self.plug_batch = r.histogram(
+            "block_plug_batch_requests", "Requests per plug flush",
+            labels=("device",), buckets=DEPTH_BUCKETS)
+        self.prefetch_issued = r.counter(
+            "prefetch_issued_pages_total",
+            "Pages speculatively fetched by the SLED prefetcher")
+        self.prefetch_used = r.counter(
+            "prefetch_used_pages_total",
+            "Prefetched pages later hit by a read")
+        self.prefetch_cancelled = r.counter(
+            "prefetch_cancelled_requests_total",
+            "Prefetch requests withdrawn before dispatch")
         self.virtual_time = r.gauge(
             "virtual_time_seconds", "Virtual clock per charge category",
             labels=("category",))
@@ -202,6 +228,18 @@ class Telemetry:
             inode_id, page, cluster, seconds, cls, queue_wait=queue_wait)
         if fs is None:
             return
+        merged_from = ()
+        if completion is not None and completion.merged:
+            merged_from = completion.merged_from
+            if not merged_from:
+                # secondary member of a coalesced request: the primary
+                # member records the union once, with provenance —
+                # recording every member would multiply-count the one
+                # device service the union paid for
+                return
+            # the primary records the union run, not its own cluster
+            page = min(p for _, p, _ in merged_from)
+            cluster = max(p + c for _, p, c in merged_from) - page
         # lifecycle record: event-engine faults hand the dispatch-time
         # component capture over via the stash; synchronous faults pass
         # the delta inline
@@ -225,7 +263,8 @@ class Telemetry:
             submit_time=submit, start_time=start, finish_time=finish,
             components=components,
             predicted_latency=predicted_latency,
-            predicted_queue=predicted_queue)
+            predicted_queue=predicted_queue,
+            merged_from=merged_from)
 
     def on_writeback(self, fs, inode, completion, components=None) -> None:
         """One event-engine writeback request completed."""
@@ -276,6 +315,56 @@ class Telemetry:
         """A request finished service; ``depth`` is what is still
         queued (0 when the device goes idle)."""
         self.queue_depth_now.labels(device=device.name).set(depth)
+
+    def on_merge(self, device, members: int, nbytes: int) -> None:
+        """The block layer coalesced ``members`` requests into one
+        ``nbytes`` union dispatch."""
+        name = device.name
+        self.merged_requests.labels(device=name).inc(members - 1)
+        self.merge_members.labels(device=name).observe(members)
+        self.merged_bytes.labels(device=name).inc(nbytes)
+
+    def on_plug(self, device, wait: float, batch: int) -> None:
+        """One plugged request was released after ``wait`` virtual
+        seconds, in a flush of ``batch`` requests."""
+        name = device.name
+        self.plug_latency.labels(device=name).observe(wait)
+        self.plug_batch.labels(device=name).observe(batch)
+
+    def on_prefetch_issued(self, pages: int) -> None:
+        self.prefetch_issued.inc(pages)
+
+    def on_prefetch_used(self, pages: int = 1) -> None:
+        self.prefetch_used.inc(pages)
+
+    def on_prefetch_cancelled(self) -> None:
+        self.prefetch_cancelled.inc()
+
+    def on_prefetch_complete(self, fs, inode_id: int, page: int,
+                             cluster: int, completion) -> None:
+        """A speculative read finished; record its lifecycle.  Same
+        merged-member protocol as :meth:`on_fault`: a secondary member of
+        a coalesced request records nothing, a primary records the union
+        with provenance."""
+        merged_from = ()
+        if completion.merged:
+            merged_from = completion.merged_from
+            if not merged_from:
+                return
+            page = min(p for _, p, _ in merged_from)
+            cluster = max(p + c for _, p, c in merged_from) - page
+        components = self.lifecycle.pop_stash(
+            ("fault", inode_id, page, cluster)) or {}
+        self.lifecycle.record(
+            kind="prefetch",
+            task=getattr(self._kernel, "current_task", None),
+            fs=fs.name, device_class=fs.device.time_category,
+            inode=inode_id, page=page, cluster=cluster,
+            nbytes=cluster * PAGE_SIZE,
+            submit_time=completion.submit_time,
+            start_time=completion.start_time,
+            finish_time=completion.finish_time,
+            components=components, merged_from=merged_from)
 
     def on_sleds(self, inode_id: int, vector, fs=None, inode=None,
                  queue_delays=None) -> None:

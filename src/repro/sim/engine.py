@@ -30,6 +30,7 @@ what makes a solo run under the engine bit-identical to the blocking one.
 
 from __future__ import annotations
 
+from repro.block.merge import BlockConfig, PlugQueue
 from repro.block.scheduler import DeviceQueue, IoScheduler
 from repro.sim.errors import InvalidArgumentError
 from repro.sim.events import EventLoop, IoFuture
@@ -39,13 +40,23 @@ from repro.sim.units import PAGE_SIZE
 class IoEngine:
     """Per-device event-driven request queues over one kernel."""
 
-    def __init__(self, kernel, scheduler: IoScheduler | None = None) -> None:
+    def __init__(self, kernel, scheduler: IoScheduler | None = None,
+                 block: BlockConfig | None = None) -> None:
         self.kernel = kernel
         self.loop = EventLoop(kernel.clock)
         self.scheduler = scheduler if scheduler is not None \
             else kernel.io_scheduler
+        #: block-layer front-end config; None (or an all-off config)
+        #: routes fault clusters straight to the device queues
+        self.block = block
         self._queues: dict[int, DeviceQueue] = {}
+        self._plugs: dict[int, PlugQueue] = {}
         self._attached = False
+
+    @property
+    def block_active(self) -> bool:
+        """Whether fault submissions go through the merge/plug stage."""
+        return self.block is not None and self.block.active
 
     # -- lifecycle -------------------------------------------------------
 
@@ -102,17 +113,59 @@ class IoEngine:
         return self.queue_for(device).submit(addr, nbytes, is_write,
                                              service=service, label=label)
 
+    def plug_for(self, device) -> PlugQueue:
+        """The (lazily created) merge/plug stage for ``device``."""
+        plug = self._plugs.get(id(device))
+        if plug is None:
+            plug = PlugQueue(device, self.queue_for(device), self.loop,
+                             self.block, self._fault_service)
+            plug.on_merge = (
+                lambda members, nbytes, d=device:
+                self._on_merge(d, members, nbytes))
+            plug.on_plug = (
+                lambda wait, batch, d=device:
+                self._on_plug(d, wait, batch))
+            self._plugs[id(device)] = plug
+        return plug
+
+    def plugs(self) -> list[PlugQueue]:
+        """Every plug created so far (reporting / tests)."""
+        return list(self._plugs.values())
+
     def submit_cluster(self, fs, inode, page: int, cluster: int) -> IoFuture:
         """Enqueue one fault cluster, serviced through ``fs.read_pages``
-        at dispatch time (noise applied as the synchronous path would)."""
-        kernel = self.kernel
+        at dispatch time (noise applied as the synchronous path would).
+
+        With an active block config, the cluster goes through the
+        device's merge/plug stage instead of straight to the elevator."""
+        if self.block_active:
+            return self.plug_for(fs.device).submit(fs, inode, page, cluster)
         addr = inode.extent_map.addr_of(page)
-        service = kernel._traced_service(
-            fs, ("fault", inode.id, page, cluster),
-            lambda: fs.read_pages(inode, page, cluster))
+        service = self._fault_service(fs, inode, page, cluster, False)
         return self.queue_for(fs.device).submit(
             addr, cluster * PAGE_SIZE, is_write=False, service=service,
             label=f"fault:{fs.name}:{inode.id}:{page}+{cluster}")
+
+    def _fault_service(self, fs, inode, page: int, cluster: int,
+                       merged: bool):
+        """Dispatch-time service thunk for one fault (or merged union):
+        the filesystem read path wrapped in the kernel's noise + lifecycle
+        component tracing."""
+        if merged:
+            raw = lambda: fs.read_pages_merged(inode, page, cluster)  # noqa: E731
+        else:
+            raw = lambda: fs.read_pages(inode, page, cluster)  # noqa: E731
+        return self.kernel._traced_service(
+            fs, ("fault", inode.id, page, cluster), raw)
+
+    def cancel_request(self, device, future: IoFuture) -> bool:
+        """Withdraw a not-yet-dispatched request from ``device``'s plug
+        or elevator; the future resolves with ``None`` on success."""
+        plug = self._plugs.get(id(device))
+        if plug is not None and plug.cancel(future):
+            return True
+        queue = self._queues.get(id(device))
+        return queue.cancel(future) if queue is not None else False
 
     # -- queue-aware SLED inputs ----------------------------------------
 
@@ -122,6 +175,9 @@ class IoEngine:
         delays: dict[str, float] = {}
         for key, device in fs.device_table().items():
             delay = self.queue_for(device).estimated_delay(now)
+            plug = self._plugs.get(id(device))
+            if plug is not None:
+                delay += plug.estimated_delay()
             delay = max(delay, device.queue_delay(now))
             if delay > 0.0:
                 delays[key] = delay
@@ -150,8 +206,22 @@ class IoEngine:
         if telemetry is not None:
             telemetry.on_io_completed(device, depth)
 
+    def _on_merge(self, device, members: int, nbytes: int) -> None:
+        telemetry = self.kernel.telemetry
+        if telemetry is not None:
+            telemetry.on_merge(device, members, nbytes)
+
+    def _on_plug(self, device, wait: float, batch: int) -> None:
+        telemetry = self.kernel.telemetry
+        if telemetry is not None:
+            telemetry.on_plug(device, wait, batch)
+
     def queue_report(self) -> dict[str, dict]:
-        """Summary per device queue (benchmarks and examples print this)."""
+        """Summary per device queue (benchmarks and examples print this).
+
+        Merge/plug keys appear only for devices that actually have a plug
+        stage, so reports from engines without a block front keep their
+        exact historical shape."""
         report: dict[str, dict] = {}
         for queue in self._queues.values():
             report[queue.device.name] = {
@@ -160,6 +230,13 @@ class IoEngine:
                 "total_queue_wait_s": queue.total_queue_wait,
                 "congestion_epoch": queue.congestion_epoch,
             }
+        for plug in self._plugs.values():
+            report[plug.device.name].update({
+                "merged_requests": plug.merged_requests,
+                "merged_bytes": plug.merged_bytes,
+                "plug_flushes": plug.flushes,
+                "plug_wait_s": plug.plug_wait_total,
+            })
         return report
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -1,0 +1,384 @@
+"""Tests for the block-layer merge/plug stage (repro.block.merge).
+
+Two load-bearing properties:
+
+* **overlay** — with merging and plugging disabled (the default
+  ``BlockConfig``), the engine is bit-identical to one built with no
+  block config at all, across every filesystem personality; and that
+  no-config path is itself the pre-block engine, so the chain pins the
+  whole feature off the regression anchors;
+* **conservation** — with merging on, the same pages arrive (fault
+  counts and bytes unchanged) in strictly fewer device requests, the
+  lifecycle breakdown still closes exactly, and a mid-batch device error
+  fails every member of the merged request rather than wedging the queue.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.block.merge import (
+    DEFAULT_MERGE_POLICIES,
+    BlockConfig,
+    MergeClassPolicy,
+)
+from repro.machine import Machine
+from repro.obs import Telemetry
+from repro.sim.errors import IoSimError
+from repro.sim.tasks import EventScheduler, Task
+from repro.sim.units import KB, MB, MSEC, PAGE_SIZE
+
+PROFILES = ("ext2", "cdrom", "nfs", "hsm")
+
+MERGE_ALL = BlockConfig(merge=True, plug=True)
+
+
+def _setup(profile: str, seed: int, pages: int):
+    if profile == "hsm":
+        machine = Machine.hsm(cache_pages=256, stage_pages=512,
+                              seed=9000 + seed)
+        machine.boot()
+        machine.hsmfs.create_tape_file("f", pages * PAGE_SIZE, "VOL000")
+        return machine, "/mnt/hsm/f"
+    machine = Machine.unix_utilities(cache_pages=256, seed=9000 + seed)
+    machine.boot()
+    fs = {"ext2": machine.ext2, "cdrom": machine.cdrom,
+          "nfs": machine.nfs}[profile]
+    fs.create_text_file("f", pages * PAGE_SIZE, seed=seed)
+    return machine, f"/mnt/{profile}/f"
+
+
+def _interleaved_readers(kernel, path, pages, readers=2, chunk_pages=2):
+    """Tasks that stride chunk-sized preads across one file — adjacent
+    chunks land on different tasks, the coalescer's favourite shape."""
+    nchunks = max(1, pages // chunk_pages)
+
+    def reader(start):
+        fd = kernel.open(path)
+        for chunk in range(start, nchunks, readers):
+            yield from kernel.pread_async(
+                fd, chunk * chunk_pages * PAGE_SIZE, chunk_pages * PAGE_SIZE)
+        kernel.close(fd)
+
+    return [Task(f"r{i}", reader(i)) for i in range(readers)]
+
+
+def _fingerprint(machine, stats):
+    kernel = machine.kernel
+    counters = kernel.counters
+    return (
+        kernel.clock.now,
+        counters.hard_faults, counters.pages_read, counters.cache_hits,
+        counters.readahead_pages, counters.evictions,
+        tuple(sorted(
+            (name, s.virtual_time, s.wait_time, s.hard_faults, s.io_waits,
+             s.finished_at)
+            for name, s in stats.items())),
+    )
+
+
+def _run(profile, seed, pages, block):
+    machine, path = _setup(profile, seed, pages)
+    kernel = machine.kernel
+    engine = kernel.attach_engine(block=block)
+    tasks = _interleaved_readers(kernel, path, pages)
+    stats = EventScheduler(kernel, tasks, engine=engine).run()
+    return machine, stats, engine
+
+
+class TestDisabledBitIdentity:
+    """An all-off BlockConfig must change nothing at all."""
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_fixed_workload(self, profile):
+        plain, plain_stats, _ = _run(profile, 7, 32, None)
+        off, off_stats, engine = _run(profile, 7, 32, BlockConfig())
+        assert _fingerprint(off, off_stats) == _fingerprint(plain, plain_stats)
+        assert engine.plugs() == []  # the plug stage was never even built
+
+    @pytest.mark.parametrize("profile", PROFILES)
+    @settings(max_examples=6, deadline=None)
+    @given(seed=st.integers(0, 50), pages=st.integers(2, 40))
+    def test_property(self, profile, seed, pages):
+        plain, plain_stats, _ = _run(profile, seed, pages, None)
+        off, off_stats, _ = _run(profile, seed, pages, BlockConfig())
+        assert _fingerprint(off, off_stats) == _fingerprint(plain, plain_stats)
+
+    def test_active_flag(self):
+        assert not BlockConfig().active
+        assert BlockConfig(merge=True).active
+        assert BlockConfig(plug=True).active
+        assert MERGE_ALL.active
+
+
+class TestEnabledDeterminism:
+    @pytest.mark.parametrize("profile", PROFILES)
+    def test_two_runs_identical(self, profile):
+        a, a_stats, _ = _run(profile, 11, 32, MERGE_ALL)
+        b, b_stats, _ = _run(profile, 11, 32, MERGE_ALL)
+        assert _fingerprint(a, a_stats) == _fingerprint(b, b_stats)
+
+
+class TestCoalescing:
+    def test_fewer_requests_same_pages(self):
+        plain, plain_stats, _ = _run("ext2", 3, 64, None)
+        merged, merged_stats, engine = _run("ext2", 3, 64, MERGE_ALL)
+        p_disk = plain.ext2.device
+        m_disk = merged.ext2.device
+        # same pages faulted in, same bytes moved off the platter...
+        assert (merged.kernel.counters.hard_faults
+                == plain.kernel.counters.hard_faults)
+        assert m_disk.stats.bytes_read == p_disk.stats.bytes_read
+        # ...in strictly fewer device requests, and the batch finishes
+        # sooner because overhead+positioning amortise across the union
+        assert m_disk.stats.reads < p_disk.stats.reads
+        assert merged.kernel.clock.now < plain.kernel.clock.now
+        plug = engine.plugs()[0]
+        assert plug.merged_requests == p_disk.stats.reads - m_disk.stats.reads
+        assert plug.depth == 0  # nothing left plugged at exit
+
+    def test_merge_only_mode_unplugs_on_schedule(self):
+        """merge=True, plug=False batches only what arrives in one
+        scheduler slice — the zero-length window still coalesces the
+        concurrent readers' adjacent requests."""
+        merged, _, engine = _run("ext2", 3, 64,
+                                 BlockConfig(merge=True))
+        plain, _, _ = _run("ext2", 3, 64, None)
+        assert (merged.ext2.device.stats.reads
+                < plain.ext2.device.stats.reads)
+        # no timed window: the only plugged time is clock motion within
+        # the scheduler slice (other tasks' CPU), never a timer delay
+        plug = engine.plugs()[0]
+        assert plug.merged_requests > 0
+
+    def test_memory_class_never_merges(self):
+        config = MERGE_ALL
+        policy = config.policy_for(type("M", (), {"time_category": "memory"})())
+        assert policy.max_bytes == 0  # the no-merge sentinel
+        disk_policy = config.policy_for(
+            type("D", (), {"time_category": "disk"})())
+        assert disk_policy == DEFAULT_MERGE_POLICIES["disk"]
+
+    def test_policy_bounds_are_per_class(self):
+        assert DEFAULT_MERGE_POLICIES["disk"].max_bytes == 512 * KB
+        assert DEFAULT_MERGE_POLICIES["disk"].max_gap_pages == 0
+        assert DEFAULT_MERGE_POLICIES["tape"].max_gap_pages > \
+            DEFAULT_MERGE_POLICIES["cdrom"].max_gap_pages > 0
+
+    def test_hsm_runs_stay_singletons(self):
+        """HsmFs overrides read_pages (staging state machine), so its
+        clusters must not be multi-merged — but they still flow through
+        the plug stage unharmed."""
+        plain, plain_stats, _ = _run("hsm", 5, 24, None)
+        merged, merged_stats, engine = _run("hsm", 5, 24, MERGE_ALL)
+        assert (merged.kernel.counters.hard_faults
+                == plain.kernel.counters.hard_faults)
+        for plug in engine.plugs():
+            assert plug.merged_requests == 0
+
+
+class TestMergedLifecycle:
+    def _traced_run(self, block):
+        machine, path = _setup("ext2", 13, 48)
+        kernel = machine.kernel
+        telemetry = Telemetry()
+        kernel.attach_telemetry(telemetry)
+        engine = kernel.attach_engine(block=block)
+        tasks = _interleaved_readers(kernel, path, 48, readers=3)
+        EventScheduler(kernel, tasks, engine=engine).run()
+        return machine, telemetry
+
+    def test_merged_records_close_exactly(self):
+        machine, telemetry = self._traced_run(MERGE_ALL)
+        records = list(telemetry.lifecycle.records)
+        merged = [rec for rec in records if rec.merged_from]
+        assert merged, "workload produced no merged requests"
+        for rec in records:
+            total = math.fsum([rec.queue_wait]
+                              + [s for _, s in rec.components])
+            assert total == rec.latency  # exact closure survives merging
+        for rec in merged:
+            members = rec.merged_from
+            assert len(members) >= 2
+            lo = min(page for _, page, _ in members)
+            hi = max(page + cluster for _, page, cluster in members)
+            assert rec.page == lo and rec.cluster == hi - lo
+            assert rec.nbytes == sum(c for _, _, c in members) * PAGE_SIZE
+
+    def test_secondaries_do_not_duplicate_records(self):
+        """One lifecycle record per device request: merged groups record
+        the union once, not once per member."""
+        machine, telemetry = self._traced_run(MERGE_ALL)
+        assert (len(telemetry.lifecycle)
+                == machine.ext2.device.stats.reads)
+
+    def test_unmerged_records_have_no_provenance(self):
+        _, telemetry = self._traced_run(BlockConfig())
+        assert all(rec.merged_from == () for rec in
+                   telemetry.lifecycle.records)
+
+
+class TestMergedFailure:
+    def test_mid_union_defect_fails_every_member(self):
+        machine, path = _setup("ext2", 17, 16)
+        kernel = machine.kernel
+        engine = kernel.attach_engine(block=MERGE_ALL)
+        fd = kernel.open(path)
+        addr = kernel._fd(fd).inode.extent_map.addr_of(4)
+        machine.ext2.device.mark_bad_range(addr, PAGE_SIZE)
+
+        outcomes = {}
+
+        def reader(name, page):
+            try:
+                yield from kernel.pread_async(
+                    fd, page * PAGE_SIZE, 2 * PAGE_SIZE)
+            except IoSimError:
+                outcomes[name] = "eio"
+            else:
+                outcomes[name] = "ok"
+
+        tasks = [Task(f"r{i}", reader(f"r{i}", page))
+                 for i, page in enumerate((2, 4, 6))]
+        EventScheduler(kernel, tasks, engine=engine).run()
+        # pages 2..8 coalesce into one union covering the defect at
+        # page 4 -> the whole merged request fails, every waiter sees EIO
+        assert outcomes == {"r0": "eio", "r1": "eio", "r2": "eio"}
+        # the queue is not wedged: a clean read afterwards succeeds
+        assert len(kernel.pread(fd, 10 * PAGE_SIZE, PAGE_SIZE)) == PAGE_SIZE
+        kernel.close(fd)
+
+
+class TestPlugThresholds:
+    def _plugged_machine(self, **overrides):
+        machine, path = _setup("ext2", 19, 64)
+        kernel = machine.kernel
+        config = BlockConfig(merge=True, plug=True, **overrides)
+        engine = kernel.attach_engine(block=config)
+        return machine, path, kernel, engine
+
+    def test_depth_threshold_flushes_early(self):
+        machine, path, kernel, engine = self._plugged_machine(
+            plug_max_requests=2, plug_window=50 * MSEC)
+        tasks = _interleaved_readers(kernel, path, 64, readers=4)
+        EventScheduler(kernel, tasks, engine=engine).run()
+        plug = engine.plugs()[0]
+        assert plug.flushes > 0
+        # a 2-deep plug can never have waited anywhere near the window
+        assert plug.plug_wait_total < 50 * MSEC * plug.flushes
+
+    def test_byte_threshold_flushes_early(self):
+        machine, path, kernel, engine = self._plugged_machine(
+            plug_max_bytes=4 * PAGE_SIZE, plug_window=50 * MSEC)
+        tasks = _interleaved_readers(kernel, path, 64, readers=4)
+        EventScheduler(kernel, tasks, engine=engine).run()
+        assert engine.plugs()[0].flushes > 0
+
+    def test_plug_wait_is_bounded_by_window(self):
+        machine, path, kernel, engine = self._plugged_machine(
+            plug_window=0.5 * MSEC)
+        telemetry = Telemetry()
+        kernel.attach_telemetry(telemetry)
+        tasks = _interleaved_readers(kernel, path, 64, readers=3)
+        EventScheduler(kernel, tasks, engine=engine).run()
+        # plug latency shows up as queue wait in the closed breakdown,
+        # never exceeding the window per request
+        plug = engine.plugs()[0]
+        assert plug.plug_wait_total >= 0.0
+        for rec in telemetry.lifecycle.records:
+            assert rec.queue_wait >= 0.0
+
+
+class TestSubmitSpans:
+    """Device-level unit tests for the merged scatter-list primitive."""
+
+    def _disk(self, seed=1):
+        import numpy as np
+
+        from repro.devices.disk import DiskDevice
+        return DiskDevice(rng=np.random.default_rng(seed))
+
+    def test_single_span_is_submit(self):
+        a, b = self._disk(), self._disk()
+        one = a.submit_spans([(0, 4 * PAGE_SIZE)])
+        two = b.submit(0, 4 * PAGE_SIZE, is_write=False)
+        assert one == two
+        assert a.stats.reads == b.stats.reads == 1
+        assert a.busy_until == b.busy_until
+
+    def test_merged_cheaper_than_separate(self):
+        merged, separate = self._disk(), self._disk()
+        spans = [(0, 2 * PAGE_SIZE), (8 * PAGE_SIZE, 2 * PAGE_SIZE),
+                 (20 * PAGE_SIZE, 2 * PAGE_SIZE)]
+        one = merged.submit_spans(spans)
+        apart = sum(separate.read(addr, nbytes) for addr, nbytes in spans)
+        # per-request overhead charged once instead of three times
+        assert one.duration < apart
+        assert merged.stats.reads == 1 and separate.stats.reads == 3
+        assert one.nbytes == 6 * PAGE_SIZE
+
+    def test_overhead_component_charged_once(self):
+        disk = self._disk()
+        disk.submit_spans([(0, PAGE_SIZE), (4 * PAGE_SIZE, PAGE_SIZE)])
+        solo = self._disk()
+        solo.read(0, PAGE_SIZE)
+        # one controller overhead for the merged pair == one solo read's
+        assert disk.component_totals["overhead"] == pytest.approx(
+            solo.component_totals["overhead"])
+
+    def test_cdrom_gap_read_through(self):
+        import numpy as np
+
+        from repro.devices.cdrom import CdromDevice
+        drive = CdromDevice(rng=np.random.default_rng(3))
+        gap = drive._gap_read_through_bytes
+        assert gap > 0
+        completion = drive.submit_spans(
+            [(0, PAGE_SIZE), (PAGE_SIZE + gap, PAGE_SIZE)])
+        # gap bytes are transferred (charged) but never delivered
+        assert completion.nbytes == 2 * PAGE_SIZE
+        assert drive.stats.bytes_read == 2 * PAGE_SIZE
+
+    def test_empty_spans_rejected(self):
+        with pytest.raises(ValueError):
+            self._disk().submit_spans([])
+
+    def test_bad_range_in_any_span_fails(self):
+        disk = self._disk()
+        disk.mark_bad_range(8 * PAGE_SIZE, PAGE_SIZE)
+        with pytest.raises(IoSimError):
+            disk.submit_spans([(0, PAGE_SIZE), (8 * PAGE_SIZE, PAGE_SIZE)])
+
+    def test_injected_failure_consumed_once(self):
+        disk = self._disk()
+        disk.inject_failures(1)
+        with pytest.raises(IoSimError):
+            disk.submit_spans([(0, PAGE_SIZE), (4 * PAGE_SIZE, PAGE_SIZE)])
+        # the merged request consumed the single injected failure
+        disk.submit_spans([(0, PAGE_SIZE), (4 * PAGE_SIZE, PAGE_SIZE)])
+
+    def test_nfs_single_rpc(self):
+        import numpy as np
+
+        from repro.devices.network import NfsDevice
+        merged = NfsDevice(rng=np.random.default_rng(5))
+        separate = NfsDevice(rng=np.random.default_rng(5))
+        spans = [(0, 4 * PAGE_SIZE), (16 * PAGE_SIZE, 4 * PAGE_SIZE)]
+        one = merged.submit_spans(spans)
+        apart = sum(separate.read(addr, nbytes) for addr, nbytes in spans)
+        assert one.duration < apart  # one round-trip, not two
+
+
+class TestConfigValidation:
+    def test_frozen(self):
+        config = BlockConfig()
+        with pytest.raises(AttributeError):
+            config.merge = True
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            MergeClassPolicy(max_bytes=-1)
+        with pytest.raises(ValueError):
+            MergeClassPolicy(max_bytes=1 * MB, max_gap_pages=-1)

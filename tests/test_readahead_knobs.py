@@ -1,0 +1,152 @@
+"""Readahead window knobs and the pread no-interference guarantee.
+
+Satellite fixes around the block-layer PR: the kernel's minimum readahead
+window used to be hardcoded at ``min(4, readahead_max_pages)``; it is now
+a constructor knob threaded through the machine profiles.  And the
+positional reads (`pread`/`pread_async`) advertise "no offset motion, no
+readahead" — a regression test pins that they really never touch the
+sequential window heuristic.
+"""
+
+import pytest
+
+from repro.kernel.kernel import Kernel
+from repro.machine import Machine
+from repro.sim.errors import InvalidArgumentError
+from repro.sim.tasks import EventScheduler, Task
+from repro.sim.units import PAGE_SIZE
+
+
+def _machine(**kwargs):
+    machine = Machine.unix_utilities(cache_pages=512, seed=321, **kwargs)
+    machine.ext2.create_text_file("f", 64 * PAGE_SIZE, seed=1)
+    return machine
+
+
+class TestMinPagesKnob:
+    def test_default_matches_old_hardcoded_value(self):
+        machine = _machine()
+        kernel = machine.kernel
+        assert kernel.readahead_min_pages == 4
+        fd = kernel.open("/mnt/ext2/f")
+        assert kernel._fd(fd).readahead.min_pages == 4
+        kernel.close(fd)
+
+    def test_knob_reaches_open_files(self):
+        machine = _machine(readahead_min_pages=8, readahead_max_pages=32)
+        kernel = machine.kernel
+        fd = kernel.open("/mnt/ext2/f")
+        window = kernel._fd(fd).readahead
+        assert window.min_pages == 8
+        assert window.max_pages == 32
+        assert window.window_pages == 8
+        kernel.close(fd)
+
+    def test_min_capped_by_max(self):
+        """min_pages above max_pages clamps instead of exploding — the
+        old ``min(4, max)`` behaviour, generalised."""
+        machine = _machine(readahead_min_pages=16, readahead_max_pages=8)
+        kernel = machine.kernel
+        fd = kernel.open("/mnt/ext2/f")
+        assert kernel._fd(fd).readahead.min_pages == 8
+        kernel.close(fd)
+
+    def test_validation(self):
+        with pytest.raises(InvalidArgumentError):
+            Kernel(readahead_min_pages=0)
+
+    def test_all_profiles_thread_the_knob(self):
+        for build in (Machine.unix_utilities, Machine.lheasoft,
+                      Machine.hsm):
+            machine = build(cache_pages=64, readahead_min_pages=2,
+                            readahead_max_pages=8)
+            assert machine.kernel.readahead_min_pages == 2
+            assert machine.kernel.readahead_max_pages == 8
+
+    def test_bigger_min_fetches_bigger_clusters(self):
+        small = _machine(readahead_min_pages=1)
+        big = _machine(readahead_min_pages=8)
+        for machine in (small, big):
+            fd = machine.kernel.open("/mnt/ext2/f")
+            machine.kernel.read(fd, PAGE_SIZE)
+            machine.kernel.close(fd)
+        # a single one-page read faults min_pages' worth on a miss
+        assert big.kernel.counters.pages_read > \
+            small.kernel.counters.pages_read
+
+
+class TestPreadWindowIsolation:
+    def _grown_file(self):
+        """An open file whose window grew via genuinely sequential
+        reads."""
+        machine = _machine()
+        kernel = machine.kernel
+        fd = kernel.open("/mnt/ext2/f")
+        for _ in range(6):
+            kernel.read(fd, 4 * PAGE_SIZE)
+        window = kernel._fd(fd).readahead
+        assert window.grows > 0
+        return machine, kernel, fd, window
+
+    def test_pread_leaves_window_untouched(self):
+        machine, kernel, fd, window = self._grown_file()
+        before = window.state()
+        # a scatter of positional reads, cold and cached, forward and back
+        for offset in (40, 1, 62, 7, 40):
+            kernel.pread(fd, offset * PAGE_SIZE, PAGE_SIZE)
+        assert window.state() == before  # grows/collapses pinned exactly
+        kernel.close(fd)
+
+    def test_pread_async_leaves_window_untouched(self):
+        machine, kernel, fd, window = self._grown_file()
+        before = window.state()
+        engine = kernel.attach_engine()
+
+        def task():
+            for offset in (40, 1, 62, 7, 40):
+                yield from kernel.pread_async(fd, offset * PAGE_SIZE,
+                                              PAGE_SIZE)
+
+        EventScheduler(kernel, [Task("p", task())], engine=engine).run()
+        assert window.state() == before
+        kernel.close(fd)
+
+    def test_pread_async_with_block_layer_leaves_window_untouched(self):
+        """The batched fault path (block layer on) honours the same
+        contract."""
+        from repro.block.merge import BlockConfig
+
+        machine, kernel, fd, window = self._grown_file()
+        before = window.state()
+        engine = kernel.attach_engine(
+            block=BlockConfig(merge=True, plug=True))
+
+        def task():
+            for offset in (40, 1, 62, 7, 40):
+                yield from kernel.pread_async(fd, offset * PAGE_SIZE,
+                                              PAGE_SIZE)
+
+        EventScheduler(kernel, [Task("p", task())], engine=engine).run()
+        assert window.state() == before
+        kernel.close(fd)
+
+    def test_sequential_read_still_grows_after_pread(self):
+        """The heuristic keeps working for the streaming path after
+        positional interruptions."""
+        machine, kernel, fd, window = self._grown_file()
+        grows_before = window.grows
+        kernel.pread(fd, 50 * PAGE_SIZE, PAGE_SIZE)
+        kernel.read(fd, 4 * PAGE_SIZE)  # continues the sequential stream
+        assert window.grows >= grows_before
+        kernel.close(fd)
+
+    def test_state_snapshot_shape(self):
+        machine = _machine()
+        kernel = machine.kernel
+        fd = kernel.open("/mnt/ext2/f")
+        window = kernel._fd(fd).readahead
+        state = window.state()
+        assert state == (window.window_pages, None, 0, 0)
+        kernel.read(fd, PAGE_SIZE)
+        assert window.state()[1] is not None
+        kernel.close(fd)
