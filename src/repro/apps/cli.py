@@ -16,6 +16,8 @@ Examples::
     sleds-run stats /mnt/ext2/demo/big.txt --warm   # metrics + accuracy
     sleds-run trace /mnt/ext2/demo/big.txt -o t.json  # Chrome trace JSON
     sleds-run report --json report.json   # lifecycle + critical path
+    sleds-run slo --json slo.json         # per-class latency objectives
+    sleds-run profile --json prof.json    # wall-clock hot-path profile
     sleds-run --scenario my_setup.json wc /mnt/nfs/pub/dataset.txt
 """
 
@@ -120,6 +122,47 @@ def build_parser() -> argparse.ArgumentParser:
                           dest="json_out",
                           help="also write the full report as JSON")
 
+    p_slo = sub.add_parser(
+        "slo", help="concurrent readers graded against per-class latency "
+                    "objectives: rolling p50/p99, compliance, error-budget "
+                    "burn rate, plus a sampled metric time series")
+    p_slo.add_argument("paths", nargs="*",
+                       help="files to read concurrently (default: the "
+                            "demo three-reader mix)")
+    p_slo.add_argument("--objective", action="append", default=None,
+                       metavar="CLS=SECONDS",
+                       help="latency objective for one device class "
+                            "(repeatable; default: built-in per-class "
+                            "objectives)")
+    p_slo.add_argument("--compliance", type=float, default=0.99,
+                       help="fraction of requests that must meet the "
+                            "objective (default 0.99)")
+    p_slo.add_argument("--window", type=int, default=512,
+                       help="rolling window (requests) for quantiles and "
+                            "burn rate")
+    p_slo.add_argument("--interval", type=float, default=0.005,
+                       help="time-series sampling cadence in virtual "
+                            "seconds (default 5 ms)")
+    p_slo.add_argument("--json", default=None, metavar="FILE",
+                       dest="json_out",
+                       help="also write the SLO report as JSON")
+    p_slo.add_argument("--series-out", default=None, metavar="FILE",
+                       help="write the sampled time series as JSON")
+    p_slo.add_argument("--openmetrics-out", default=None, metavar="FILE",
+                       help="write the sampled series as OpenMetrics text")
+
+    p_prof = sub.add_parser(
+        "profile", help="run the concurrent-reader workload with the "
+                        "wall-clock hot-path profiler attached")
+    p_prof.add_argument("paths", nargs="*",
+                        help="files to read concurrently (default: the "
+                             "demo three-reader mix)")
+    p_prof.add_argument("--repeat", type=int, default=1,
+                        help="run the workload N times (default 1)")
+    p_prof.add_argument("--json", default=None, metavar="FILE",
+                        dest="json_out",
+                        help="also write the profile as JSON")
+
     p_trace = sub.add_parser(
         "trace", help="run an app under span tracing and export "
                       "Chrome trace-event JSON")
@@ -131,6 +174,55 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the trace JSON to FILE "
                               "(default: stdout)")
     return parser
+
+
+#: files the report/slo/profile commands read when none are given
+DEMO_READ_MIX = ["/mnt/ext2/demo/big.txt",
+                 "/mnt/ext2/demo/small.txt",
+                 "/mnt/nfs/pub/dataset.txt"]
+
+#: default per-device-class latency objectives for ``sleds-run slo``
+DEFAULT_SLO_OBJECTIVES = {
+    "memory": 0.001,
+    "disk": 0.02,
+    "nfs": 0.06,
+    "cdrom": 1.0,
+    "tape": 300.0,
+}
+
+
+def _parse_objectives(specs: list[str] | None) -> dict[str, float]:
+    if not specs:
+        return dict(DEFAULT_SLO_OBJECTIVES)
+    out: dict[str, float] = {}
+    for spec in specs:
+        cls, sep, value = spec.partition("=")
+        if not sep or not cls:
+            raise SystemExit(
+                f"--objective needs CLS=SECONDS, got {spec!r}")
+        try:
+            out[cls] = float(value)
+        except ValueError:
+            raise SystemExit(
+                f"--objective {spec!r}: {value!r} is not a number") from None
+    return out
+
+
+def _prefetch_sleds(kernel, paths: list[str]) -> None:
+    """Fetch each file's SLED vector so the accuracy join has
+    predictions to grade the delivered latencies against."""
+    for path in paths:
+        fd = kernel.open(path)
+        kernel.get_sleds(fd)
+        kernel.close(fd)
+
+
+def _run_readers(kernel, paths: list[str], prefix: str = "reader"):
+    """Run one concurrent reader per path; returns (tasks, stats)."""
+    from repro.sim.tasks import EventScheduler, Task, reader_task_async
+    tasks = [Task(f"{prefix}{i}", reader_task_async(kernel, path))
+             for i, path in enumerate(paths)]
+    return tasks, EventScheduler(kernel, tasks).run()
 
 
 def _run_instrumented(kernel, args):
@@ -255,23 +347,13 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "report":
         from repro.obs import Telemetry, critical_path
-        from repro.sim.tasks import EventScheduler, Task, reader_task_async
-        paths = args.paths or ["/mnt/ext2/demo/big.txt",
-                               "/mnt/ext2/demo/small.txt",
-                               "/mnt/nfs/pub/dataset.txt"]
+        paths = args.paths or list(DEMO_READ_MIX)
         telemetry = Telemetry()
         kernel.attach_telemetry(telemetry)
         engine = kernel.attach_engine()
-        # fetch each file's SLED vector up front so the accuracy join
-        # has predictions to grade the delivered latencies against
-        for path in paths:
-            fd = kernel.open(path)
-            kernel.get_sleds(fd)
-            kernel.close(fd)
+        _prefetch_sleds(kernel, paths)
         start = kernel.clock.now
-        tasks = [Task(f"reader{i}", reader_task_async(kernel, path))
-                 for i, path in enumerate(paths)]
-        stats = EventScheduler(kernel, tasks).run()
+        tasks, stats = _run_readers(kernel, paths)
         end = kernel.clock.now
         queue_report = engine.queue_report()
         kernel.detach_engine()
@@ -306,13 +388,99 @@ def main(argv: list[str] | None = None) -> int:
                 },
                 "lifecycle": telemetry.lifecycle.to_dict(),
                 "critical_path": chain.to_dict(),
-                "accuracy": telemetry.accuracy.to_dict(),
+                # the report snapshot, by_component included — the
+                # machine-readable twin of the rendered accuracy table
+                "accuracy": telemetry.accuracy.report().to_dict(),
                 "queues": queue_report,
             }
             with open(args.json_out, "w") as handle:
                 json.dump(payload, handle, indent=2, sort_keys=True)
                 handle.write("\n")
             print(f"\nwrote report JSON to {args.json_out}")
+        return 0
+
+    if args.command == "slo":
+        from repro.obs import SloTracker, Telemetry
+        paths = args.paths or list(DEMO_READ_MIX)
+        objectives = _parse_objectives(args.objective)
+        telemetry = Telemetry()
+        kernel.attach_telemetry(telemetry)
+        series = telemetry.enable_timeseries(interval=args.interval)
+        slo = SloTracker.for_classes(
+            objectives, compliance_target=args.compliance,
+            window=args.window, registry=telemetry.registry
+        ).attach(telemetry)
+        kernel.attach_engine()
+        _prefetch_sleds(kernel, paths)
+        start = kernel.clock.now
+        tasks, stats = _run_readers(kernel, paths)
+        end = kernel.clock.now
+        series.sample(end)  # final state always lands on the series
+        kernel.detach_engine()
+        kernel.detach_telemetry()
+        slo.detach()
+
+        print(f"{len(paths)} concurrent reader(s), makespan "
+              f"{human_time(end - start)}, "
+              f"{sum(s.hard_faults for s in stats.values())} fault(s)")
+        print()
+        print(slo.render())
+        print(f"\ntime series: {len(series)} sample(s) across "
+              f"{len(series.family_names_sampled())} metric families "
+              f"(cadence {args.interval} virtual s)")
+        if args.json_out:
+            payload = {
+                "paths": paths,
+                "makespan_s": end - start,
+                "objectives": objectives,
+                "compliance_target": args.compliance,
+                "window": args.window,
+                "slo": slo.to_dict(),
+            }
+            with open(args.json_out, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"wrote SLO report JSON to {args.json_out}")
+        if args.series_out:
+            with open(args.series_out, "w") as handle:
+                json.dump(series.to_dict(), handle, indent=2,
+                          sort_keys=True)
+                handle.write("\n")
+            print(f"wrote time-series JSON to {args.series_out}")
+        if args.openmetrics_out:
+            with open(args.openmetrics_out, "w") as handle:
+                handle.write(series.render_openmetrics())
+            print(f"wrote OpenMetrics series to {args.openmetrics_out}")
+        return 0
+
+    if args.command == "profile":
+        from repro.block.merge import BlockConfig
+        from repro.obs import HotPathProfiler
+        if args.repeat < 1:
+            raise SystemExit(f"--repeat must be >= 1: {args.repeat}")
+        paths = args.paths or list(DEMO_READ_MIX)
+        profiler = HotPathProfiler().attach(kernel)
+        # merge+plug on so the block-layer flush site is exercised too
+        kernel.attach_engine(block=BlockConfig(merge=True, plug=True))
+        start = kernel.clock.now
+        for rep in range(args.repeat):
+            _prefetch_sleds(kernel, paths)
+            _run_readers(kernel, paths, prefix=f"r{rep}.")
+        end = kernel.clock.now
+        kernel.detach_engine()
+        virtual = end - start
+
+        print(f"{args.repeat} x {len(paths)} concurrent reader(s), "
+              f"{human_time(virtual)} virtual")
+        print()
+        print(profiler.render(virtual_seconds=virtual))
+        if args.json_out:
+            with open(args.json_out, "w") as handle:
+                json.dump(profiler.to_dict(virtual_seconds=virtual),
+                          handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"\nwrote profile JSON to {args.json_out}")
+        profiler.detach(kernel)
         return 0
 
     if args.command == "trace":

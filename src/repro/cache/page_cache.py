@@ -90,6 +90,9 @@ class PageCache:
         #: on_cache_access / on_cache_insert / on_cache_evict /
         #: on_cache_remove; purely observational, never affects residency
         self.observer = None
+        #: optional wall-clock profiler (repro.obs.profile) timing the
+        #: residency-update path; never affects residency or virtual time
+        self.profiler = None
 
     # -- queries ------------------------------------------------------------
 
@@ -168,8 +171,12 @@ class PageCache:
         pinned does the cache sacrifice one, counting it in
         ``stats.forced_pinned_evictions``.
         """
+        profiler = self.profiler
+        t0 = profiler.begin() if profiler is not None else 0.0
         if key in self._resident:
             self.policy.on_hit(key)
+            if profiler is not None:
+                profiler.add("cache.residency", t0)
             return None
         evicted: PageKey | None = None
         if len(self._resident) >= self.capacity_pages:
@@ -180,6 +187,8 @@ class PageCache:
         self.stats.insertions += 1
         if self.observer is not None:
             self.observer.on_cache_insert(key)
+        if profiler is not None:
+            profiler.add("cache.residency", t0)
         return evicted
 
     def _evict_one(self) -> PageKey:

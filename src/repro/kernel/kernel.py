@@ -160,6 +160,10 @@ class Kernel:
         #: None = off.  When set, cache hits notify it so it can count
         #: speculative fetches that actually got used.
         self.prefetcher = None
+        #: optional wall-clock hot-path profiler (repro.obs.profile);
+        #: None = off.  Measures host CPU time only — virtual timings
+        #: are bit-identical with a profiler attached or not.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # mounts and path resolution
@@ -245,6 +249,8 @@ class Kernel:
         if engine is None:
             engine = IoEngine(self, block=block)
         engine.attach()
+        if self.profiler is not None:
+            engine.loop.profiler = self.profiler
         return engine
 
     def detach_engine(self) -> None:
@@ -972,9 +978,14 @@ class Kernel:
                     queue_delays = (
                         self.engine.queue_delays(of.fs, self.clock.now)
                         if self.engine is not None else None)
+                    profiler = self.profiler
+                    if profiler is not None:
+                        t0 = profiler.begin()
                     vector = build_sled_vector(
                         self.page_cache, of.fs, of.inode, self.sleds_table,
                         queue_delays=queue_delays)
+                    if profiler is not None:
+                        profiler.add("kernel.sled_build", t0)
                     # kernel walks the file's state: charge ~0.2 us per page
                     self.charge_cpu(of.inode.npages * 0.2 * USEC)
                     self.counters.sleds_builds += 1

@@ -11,6 +11,12 @@ Three pillars, one facade:
 * :mod:`repro.obs.lifecycle` — per-request lifecycle records with an
   exact latency-component breakdown, plus the critical-path analyzer
   for event-scheduler runs;
+* :mod:`repro.obs.timeseries` — windowed sampling of the registry on a
+  virtual-time cadence, with OpenMetrics/JSON export;
+* :mod:`repro.obs.slo` — per-request-class (and per-tenant) latency
+  objectives: rolling p50/p99, compliance, error-budget burn rate;
+* :mod:`repro.obs.profile` — wall-clock profiling of the simulator's hot
+  paths (event dispatch, SLED builds, cache residency, block merge);
 * :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade that attaches
   all of them to a kernel.
 
@@ -33,8 +39,11 @@ from repro.obs.metrics import (
     MetricsRegistry,
     log_buckets,
 )
+from repro.obs.profile import HotPathProfiler
+from repro.obs.slo import SloTarget, SloTracker
 from repro.obs.spans import Span, SpanRecorder, chrome_trace
 from repro.obs.telemetry import Telemetry
+from repro.obs.timeseries import TimeSeriesRecorder
 
 __all__ = [
     "AccuracyReport",
@@ -43,13 +52,17 @@ __all__ = [
     "CriticalPathReport",
     "Gauge",
     "Histogram",
+    "HotPathProfiler",
     "LifecycleRecord",
     "LifecycleTracker",
     "MetricsRegistry",
     "SledAccuracyTracker",
+    "SloTarget",
+    "SloTracker",
     "Span",
     "SpanRecorder",
     "Telemetry",
+    "TimeSeriesRecorder",
     "chrome_trace",
     "critical_path",
     "log_buckets",

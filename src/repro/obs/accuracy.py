@@ -106,6 +106,33 @@ class AccuracyReport:
             f"deliveries without a prediction: {self.unmatched_faults}")
         return "\n".join(lines)
 
+    @staticmethod
+    def _acc_dict(acc: ClassAccuracy) -> dict:
+        return {
+            "samples": acc.samples,
+            "mean_abs_error": acc.mean_abs_error,
+            "mean_error": acc.mean_error,
+            "mean_relative_error": acc.mean_relative_error,
+            "mean_predicted": (acc.predicted_sum / acc.samples
+                               if acc.samples else 0.0),
+            "mean_actual": (acc.actual_sum / acc.samples
+                            if acc.samples else 0.0),
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot, ``by_component`` included — the machine-
+        readable twin of :meth:`render`."""
+        return {
+            "by_class": {name: self._acc_dict(acc)
+                         for name, acc in sorted(self.by_class.items())},
+            "by_component": {
+                f"{cls}/{component}": self._acc_dict(acc)
+                for (cls, component), acc in
+                sorted(self.by_component.items())},
+            "predictions_outstanding": self.predictions_outstanding,
+            "unmatched_faults": self.unmatched_faults,
+        }
+
 
 class SledAccuracyTracker:
     """Pairs ``FSLEDS_GET`` predictions with observed delivery times."""

@@ -217,6 +217,10 @@ class LifecycleTracker:
             raise ValueError(f"capacity must be positive: {capacity}")
         self.records: deque[LifecycleRecord] = deque(maxlen=capacity)
         self.dropped = 0
+        #: callables invoked with each record as it closes (SLO trackers
+        #: subscribe here); observers read the record and must not touch
+        #: the clock or RNG — attachment keeps runs bit-identical
+        self.observers: list = []
         self._next_id = 0
         self._stash: dict[tuple, dict[str, float]] = {}
         self._records_total = None
@@ -274,6 +278,8 @@ class LifecycleTracker:
             for name, seconds in closed:
                 self._component_seconds.labels(
                     cls=cls, component=name).observe(seconds)
+        for observer in self.observers:
+            observer(rec)
         return rec
 
     # -- aggregation ------------------------------------------------------

@@ -20,6 +20,7 @@ Families with an empty label schema proxy mutations directly
 
 from __future__ import annotations
 
+import warnings
 from bisect import bisect_left
 from dataclasses import dataclass
 
@@ -156,14 +157,30 @@ class _LabelSchema:
 
 
 class Family:
-    """One metric family: a label schema plus its children."""
+    """One metric family: a label schema plus its children.
+
+    ``max_cardinality`` caps the number of distinct label-value children.
+    Unbounded label values (a bug pattern: labelling by inode or request
+    id) would otherwise grow the registry without limit and silently
+    bloat every exposition; past the cap, new label combinations collapse
+    into a single ``_overflow`` child, a warning fires once, and
+    :attr:`overflows` counts every collapsed lookup.
+    """
 
     def __init__(self, name: str, help_text: str,
-                 label_names: tuple[str, ...], factory) -> None:
+                 label_names: tuple[str, ...], factory,
+                 spec: tuple | None = None,
+                 max_cardinality: int = 1024) -> None:
         self.name = name
         self.help_text = help_text
         self.schema = _LabelSchema(tuple(label_names))
         self._factory = factory
+        #: registration identity beyond name/help/labels (histogram
+        #: bounds); compared when the same family is re-registered
+        self.spec = spec
+        self.max_cardinality = max_cardinality
+        self.overflows = 0
+        self._warned_overflow = False
         self._children: dict[tuple[str, ...], object] = {}
 
     @property
@@ -173,6 +190,25 @@ class Family:
 
     def labels(self, **kv):
         key = self.schema.key_of(kv)
+        child = self._children.get(key)
+        if child is None:
+            if len(self._children) >= self.max_cardinality:
+                return self._overflow_child()
+            child = self._factory()
+            self._children[key] = child
+        return child
+
+    def _overflow_child(self):
+        """The shared sink for label combinations past the cap."""
+        self.overflows += 1
+        if not self._warned_overflow:
+            self._warned_overflow = True
+            warnings.warn(
+                f"metric family {self.name!r} exceeded its label "
+                f"cardinality cap ({self.max_cardinality}); new label "
+                f"combinations collapse into one '_overflow' series",
+                RuntimeWarning, stacklevel=3)
+        key = tuple("_overflow" for _ in self.schema.names)
         child = self._children.get(key)
         if child is None:
             child = self._factory()
@@ -210,31 +246,54 @@ class Family:
 class MetricsRegistry:
     """Registry of metric families with deterministic export."""
 
-    def __init__(self, namespace: str = "repro") -> None:
+    def __init__(self, namespace: str = "repro",
+                 max_label_cardinality: int = 1024) -> None:
+        if max_label_cardinality <= 0:
+            raise ValueError(f"max_label_cardinality must be positive: "
+                             f"{max_label_cardinality}")
         self.namespace = namespace
+        self.max_label_cardinality = max_label_cardinality
         self._families: dict[str, Family] = {}
 
     def _register(self, name: str, help_text: str,
-                  labels: tuple[str, ...], factory) -> Family:
-        if name in self._families:
-            raise ValueError(f"metric {name!r} already registered")
-        family = Family(name, help_text, labels, factory)
+                  labels: tuple[str, ...], factory,
+                  spec: tuple) -> Family:
+        existing = self._families.get(name)
+        if existing is not None:
+            # re-registering the identical family is idempotent (two
+            # subsystems sharing one registry may both declare it); any
+            # mismatch in help/type/labels/buckets is a programming error
+            # and must not silently shadow the first registration
+            if (existing.help_text == help_text
+                    and existing.schema.names == tuple(labels)
+                    and existing.spec == spec):
+                return existing
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{existing.spec[0]}{existing.schema.names} "
+                f"{existing.help_text!r}; conflicting re-registration as "
+                f"{spec[0]}{tuple(labels)} {help_text!r}")
+        family = Family(name, help_text, labels, factory, spec=spec,
+                        max_cardinality=self.max_label_cardinality)
         self._families[name] = family
         return family
 
     def counter(self, name: str, help_text: str,
                 labels: tuple[str, ...] = ()) -> Family:
-        return self._register(name, help_text, labels, Counter)
+        return self._register(name, help_text, labels, Counter,
+                              spec=("counter",))
 
     def gauge(self, name: str, help_text: str,
               labels: tuple[str, ...] = ()) -> Family:
-        return self._register(name, help_text, labels, Gauge)
+        return self._register(name, help_text, labels, Gauge,
+                              spec=("gauge",))
 
     def histogram(self, name: str, help_text: str,
                   labels: tuple[str, ...] = (),
                   buckets: tuple[float, ...] = LATENCY_BUCKETS) -> Family:
         return self._register(name, help_text, labels,
-                              lambda: Histogram(buckets))
+                              lambda: Histogram(buckets),
+                              spec=("histogram", tuple(buckets)))
 
     def get(self, name: str) -> Family:
         return self._families[name]

@@ -1,0 +1,302 @@
+"""Per-request-class SLO tracking: rolling quantiles and error budgets.
+
+The paper's thesis is that latency must be *managed*, not just measured
+after the fact.  Managing means having a target: this module lets a run
+declare latency objectives per request class — and, forward-compatibly,
+per tenant/task group — and grades every traced request against them as
+it closes.
+
+* :class:`SloTarget` declares one objective: "requests of class ``cls``
+  (optionally from tenant ``tenant``) finish within
+  ``latency_objective`` seconds, ``compliance_target`` of the time".
+* :class:`SloTracker` subscribes to the
+  :class:`~repro.obs.lifecycle.LifecycleTracker` record stream and
+  maintains, per target: rolling p50/p99 over a bounded request window,
+  cumulative and windowed compliance ratios, and the **error-budget burn
+  rate** — the windowed violation rate over the allowed violation rate
+  (burn rate 1.0 spends the budget exactly as fast as the objective
+  allows; above 1.0 the budget is burning down; a sustained burn rate of
+  ``r`` exhausts the budget in ``1/r`` of the objective period).
+
+Matching: a record matches a target when the target's ``cls`` equals the
+record's device class (or is ``"*"``), and — if the target names a
+``tenant`` — the record's task matches it exactly or by ``prefix*``
+glob.  A record may match several targets (a per-class and a per-tenant
+objective both see it).
+
+Everything here is observational: grading reads values the timing model
+already produced; no clock advances, no RNG draws — runs are
+bit-identical with a tracker attached or not.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.obs.lifecycle import LifecycleRecord
+from repro.sim.units import human_time
+
+__all__ = ["SloTarget", "SloTracker", "window_quantile"]
+
+
+def window_quantile(values: list[float], q: float) -> float:
+    """Exact quantile (nearest-rank) over a small sample window."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1]: {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class SloTarget:
+    """One latency objective.
+
+    ``cls`` is a device class (``"disk"``, ``"nfs"``, ...) or ``"*"``;
+    ``tenant`` is None (class-wide), an exact task name, or a
+    ``prefix*`` glob over task names — the forward-compatible hook for
+    per-tenant/task-group SLOs on the multi-tenant roadmap item.
+    ``compliance_target`` is the fraction of requests that must meet
+    ``latency_objective``; its complement is the error budget.
+    """
+
+    name: str
+    cls: str
+    latency_objective: float
+    compliance_target: float = 0.99
+    tenant: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.latency_objective <= 0.0:
+            raise ValueError(
+                f"latency objective must be positive: "
+                f"{self.latency_objective}")
+        if not 0.0 < self.compliance_target < 1.0:
+            raise ValueError(
+                f"compliance target must be in (0, 1): "
+                f"{self.compliance_target}")
+
+    def matches(self, record: LifecycleRecord) -> bool:
+        if self.cls != "*" and record.device_class != self.cls:
+            return False
+        if self.tenant is None:
+            return True
+        task = record.task or ""
+        if self.tenant.endswith("*"):
+            return task.startswith(self.tenant[:-1])
+        return task == self.tenant
+
+    @property
+    def error_budget(self) -> float:
+        """Allowed violation fraction (the budget being burned)."""
+        return 1.0 - self.compliance_target
+
+
+class _TargetState:
+    """Accumulated grading for one target."""
+
+    __slots__ = ("target", "window", "violations_window", "total",
+                 "violations", "latency_sum", "worst")
+
+    def __init__(self, target: SloTarget, window: int) -> None:
+        self.target = target
+        #: (latency, violated) pairs of the most recent requests
+        self.window: deque[tuple[float, bool]] = deque(maxlen=window)
+        self.violations_window = 0
+        self.total = 0
+        self.violations = 0
+        self.latency_sum = 0.0
+        self.worst = 0.0
+
+    def observe(self, latency: float) -> bool:
+        violated = latency > self.target.latency_objective
+        if (len(self.window) == self.window.maxlen
+                and self.window[0][1]):
+            self.violations_window -= 1
+        self.window.append((latency, violated))
+        if violated:
+            self.violations_window += 1
+            self.violations += 1
+        self.total += 1
+        self.latency_sum += latency
+        if latency > self.worst:
+            self.worst = latency
+        return violated
+
+    # -- derived ----------------------------------------------------------
+
+    @property
+    def compliance(self) -> float:
+        """Cumulative fraction of requests meeting the objective."""
+        if self.total == 0:
+            return 1.0
+        return 1.0 - self.violations / self.total
+
+    @property
+    def window_compliance(self) -> float:
+        if not self.window:
+            return 1.0
+        return 1.0 - self.violations_window / len(self.window)
+
+    @property
+    def burn_rate(self) -> float:
+        """Windowed violation rate over the allowed violation rate."""
+        if not self.window:
+            return 0.0
+        rate = self.violations_window / len(self.window)
+        return rate / self.target.error_budget
+
+    def quantile(self, q: float) -> float:
+        return window_quantile([lat for lat, _ in self.window], q)
+
+    def to_dict(self) -> dict:
+        t = self.target
+        return {
+            "name": t.name,
+            "cls": t.cls,
+            "tenant": t.tenant,
+            "latency_objective_s": t.latency_objective,
+            "compliance_target": t.compliance_target,
+            "requests": self.total,
+            "violations": self.violations,
+            "compliance": self.compliance,
+            "window_requests": len(self.window),
+            "window_violations": self.violations_window,
+            "window_compliance": self.window_compliance,
+            "burn_rate": self.burn_rate,
+            "p50_s": self.quantile(0.50),
+            "p99_s": self.quantile(0.99),
+            "mean_latency_s": (self.latency_sum / self.total
+                               if self.total else 0.0),
+            "worst_latency_s": self.worst,
+        }
+
+
+class SloTracker:
+    """Grades lifecycle records against declared SLO targets.
+
+    Attach to a :class:`~repro.obs.telemetry.Telemetry` (it subscribes to
+    the lifecycle record stream) or feed records directly via
+    :meth:`observe`.  ``window`` bounds the rolling-quantile/burn-rate
+    sample per target.  When a ``registry`` is supplied, per-target
+    graded/violated counters and a burn-rate gauge are exported alongside
+    the rest of the metrics (and therefore sampled by any attached
+    :class:`~repro.obs.timeseries.TimeSeriesRecorder`).
+    """
+
+    def __init__(self, targets: list[SloTarget] | tuple[SloTarget, ...],
+                 window: int = 512, registry=None) -> None:
+        if not targets:
+            raise ValueError("need at least one SLO target")
+        names = [t.name for t in targets]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate SLO target names: {names}")
+        if window <= 0:
+            raise ValueError(f"window must be positive: {window}")
+        self.states = {t.name: _TargetState(t, window)
+                       for t in targets}
+        self.unmatched = 0
+        self._telemetry = None
+        self._graded = self._violated = self._burn = None
+        if registry is not None:
+            self._graded = registry.counter(
+                "slo_requests_total", "Requests graded per SLO target",
+                labels=("slo",))
+            self._violated = registry.counter(
+                "slo_violations_total",
+                "Requests that missed their SLO latency objective",
+                labels=("slo",))
+            self._burn = registry.gauge(
+                "slo_burn_rate",
+                "Windowed error-budget burn rate per SLO target "
+                "(1.0 = spending the budget exactly at the allowed rate)",
+                labels=("slo",))
+
+    @classmethod
+    def for_classes(cls, objectives: dict[str, float],
+                    compliance_target: float = 0.99,
+                    window: int = 512, registry=None) -> "SloTracker":
+        """Convenience: one per-class target per ``{cls: objective}``."""
+        targets = [SloTarget(name=f"{c}-latency", cls=c,
+                             latency_objective=objective,
+                             compliance_target=compliance_target)
+                   for c, objective in sorted(objectives.items())]
+        return cls(targets, window=window, registry=registry)
+
+    # -- lifecycle-stream subscription ------------------------------------
+
+    def attach(self, telemetry) -> "SloTracker":
+        """Subscribe to ``telemetry``'s lifecycle record stream."""
+        if self._telemetry is not None:
+            raise ValueError("SLO tracker is already attached")
+        telemetry.lifecycle.observers.append(self.observe)
+        self._telemetry = telemetry
+        return self
+
+    def detach(self) -> None:
+        if self._telemetry is None:
+            return
+        try:
+            self._telemetry.lifecycle.observers.remove(self.observe)
+        except ValueError:
+            pass
+        self._telemetry = None
+
+    # -- grading ----------------------------------------------------------
+
+    def observe(self, record: LifecycleRecord) -> None:
+        latency = record.latency
+        matched = False
+        for state in self.states.values():
+            if not state.target.matches(record):
+                continue
+            matched = True
+            violated = state.observe(latency)
+            name = state.target.name
+            if self._graded is not None:
+                self._graded.labels(slo=name).inc()
+                if violated:
+                    self._violated.labels(slo=name).inc()
+                self._burn.labels(slo=name).set(state.burn_rate)
+        if not matched:
+            self.unmatched += 1
+
+    # -- reporting ---------------------------------------------------------
+
+    def report_rows(self) -> list[dict]:
+        return [self.states[name].to_dict()
+                for name in sorted(self.states)]
+
+    def render(self) -> str:
+        lines = ["SLO compliance (rolling window):"]
+        rows = self.report_rows()
+        if not any(row["requests"] for row in rows):
+            lines.append("  (no requests matched any target)")
+        for row in rows:
+            if row["requests"] == 0:
+                lines.append(f"  {row['name']:>16}: no traffic")
+                continue
+            scope = row["cls"] + (f"/{row['tenant']}" if row["tenant"]
+                                  else "")
+            lines.append(
+                f"  {row['name']:>16} [{scope}] "
+                f"obj<{human_time(row['latency_objective_s'])} "
+                f"n={row['requests']:<6d} "
+                f"p50={human_time(row['p50_s']):>9} "
+                f"p99={human_time(row['p99_s']):>9} "
+                f"compliance={row['compliance']:7.2%} "
+                f"(target {row['compliance_target']:.1%}) "
+                f"burn={row['burn_rate']:5.2f}x")
+        if self.unmatched:
+            lines.append(f"  requests matching no target: {self.unmatched}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "targets": self.report_rows(),
+            "unmatched": self.unmatched,
+        }

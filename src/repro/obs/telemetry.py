@@ -41,6 +41,10 @@ class Telemetry:
         self.spans = SpanRecorder(capacity=span_capacity, tracer=tracer)
         self.accuracy = SledAccuracyTracker(registry=self.registry)
         self.lifecycle = LifecycleTracker(registry=self.registry)
+        #: optional time-series recorder (repro.obs.timeseries); None =
+        #: off.  Ticked from the hooks below with the virtual time each
+        #: hook already carries — sampling never reads the clock itself.
+        self.timeseries = None
         self._kernel = None
         self._policy_name = "none"
         #: readahead-inserted pages that have not been read yet
@@ -197,6 +201,32 @@ class Telemetry:
             yield from fs.observable_devices()
 
     # ------------------------------------------------------------------
+    # time-series sampling
+    # ------------------------------------------------------------------
+
+    def enable_timeseries(self, interval: float = 0.005,
+                          capacity: int = 4096,
+                          families: tuple[str, ...] | None = None):
+        """Start sampling the registry every ``interval`` virtual seconds
+        (see :mod:`repro.obs.timeseries`); returns the recorder."""
+        from repro.obs.timeseries import TimeSeriesRecorder
+        if self.timeseries is not None:
+            raise ValueError("a time-series recorder is already enabled")
+        self.timeseries = TimeSeriesRecorder(
+            self.registry, interval=interval, capacity=capacity,
+            families=families, snapshot_hook=self.snapshot)
+        return self.timeseries
+
+    def disable_timeseries(self) -> None:
+        """Stop sampling; recorded samples stay readable."""
+        self.timeseries = None
+
+    def _tick(self, now: float) -> None:
+        timeseries = self.timeseries
+        if timeseries is not None:
+            timeseries.tick(now)
+
+    # ------------------------------------------------------------------
     # kernel hooks (called only while attached)
     # ------------------------------------------------------------------
 
@@ -209,6 +239,7 @@ class Telemetry:
         self.syscalls.labels(name=open_span.name).inc()
         self.syscall_latency.labels(name=open_span.name).observe(
             t - open_span.start)
+        self._tick(t)
 
     def on_fault(self, device, inode_id: int, page: int, cluster: int,
                  seconds: float, now: float, window: int,
@@ -220,55 +251,71 @@ class Telemetry:
         self.readahead_window.set(window)
         if cluster > 1:
             self.readahead_issued.inc(cluster - 1)
-        span = self.spans.add("fault", cls, now - seconds, now,
-                              page=page, cluster=cluster, inode=inode_id)
-        self._drain_pending(parent_id=span.id, floor=span.start)
+        self._tick(now)
+        # span attrs keep the *request's own* page run; the lifecycle
+        # record below may widen to the merged union
+        span_attrs: dict = {"page": page, "cluster": cluster,
+                            "inode": inode_id}
         queue_wait = completion.queue_wait if completion is not None else 0.0
         prediction = self.accuracy.record_fault(
             inode_id, page, cluster, seconds, cls, queue_wait=queue_wait)
-        if fs is None:
-            return
+        rec = None
+        skip_record = fs is None
         merged_from = ()
-        if completion is not None and completion.merged:
+        if not skip_record and completion is not None and completion.merged:
             merged_from = completion.merged_from
             if not merged_from:
                 # secondary member of a coalesced request: the primary
                 # member records the union once, with provenance —
                 # recording every member would multiply-count the one
                 # device service the union paid for
-                return
-            # the primary records the union run, not its own cluster
-            page = min(p for _, p, _ in merged_from)
-            cluster = max(p + c for _, p, c in merged_from) - page
-        # lifecycle record: event-engine faults hand the dispatch-time
-        # component capture over via the stash; synchronous faults pass
-        # the delta inline
-        if components is None:
-            components = self.lifecycle.pop_stash(
-                ("fault", inode_id, page, cluster)) or {}
-        if completion is not None:
-            submit, start, finish = (completion.submit_time,
-                                     completion.start_time,
-                                     completion.finish_time)
-        else:
-            submit = start = now - seconds
-            finish = now
-        predicted_latency, predicted_queue = (
-            prediction if prediction is not None else (None, None))
-        self.lifecycle.record(
-            kind="fault",
-            task=getattr(self._kernel, "current_task", None),
-            fs=fs.name, device_class=cls, inode=inode_id, page=page,
-            cluster=cluster, nbytes=cluster * PAGE_SIZE,
-            submit_time=submit, start_time=start, finish_time=finish,
-            components=components,
-            predicted_latency=predicted_latency,
-            predicted_queue=predicted_queue,
-            merged_from=merged_from)
+                skip_record = True
+            else:
+                # the primary records the union run, not its own cluster
+                page = min(p for _, p, _ in merged_from)
+                cluster = max(p + c for _, p, c in merged_from) - page
+        if not skip_record:
+            # lifecycle record: event-engine faults hand the dispatch-time
+            # component capture over via the stash; synchronous faults
+            # pass the delta inline
+            if components is None:
+                components = self.lifecycle.pop_stash(
+                    ("fault", inode_id, page, cluster)) or {}
+            if completion is not None:
+                submit, start, finish = (completion.submit_time,
+                                         completion.start_time,
+                                         completion.finish_time)
+            else:
+                submit = start = now - seconds
+                finish = now
+            predicted_latency, predicted_queue = (
+                prediction if prediction is not None else (None, None))
+            rec = self.lifecycle.record(
+                kind="fault",
+                task=getattr(self._kernel, "current_task", None),
+                fs=fs.name, device_class=cls, inode=inode_id, page=page,
+                cluster=cluster, nbytes=cluster * PAGE_SIZE,
+                submit_time=submit, start_time=start, finish_time=finish,
+                components=components,
+                predicted_latency=predicted_latency,
+                predicted_queue=predicted_queue,
+                merged_from=merged_from)
+        if rec is not None:
+            # carry the closed breakdown + provenance into the trace so
+            # chrome://tracing shows where this request's latency went
+            span_attrs["queue_wait"] = rec.queue_wait
+            span_attrs["components"] = dict(rec.components)
+            if rec.merged_from:
+                span_attrs["merged_from"] = [list(member)
+                                             for member in rec.merged_from]
+        span = self.spans.add("fault", cls, now - seconds, now,
+                              **span_attrs)
+        self._drain_pending(parent_id=span.id, floor=span.start)
 
     def on_writeback(self, fs, inode, completion, components=None) -> None:
         """One event-engine writeback request completed."""
         cls = fs.device.time_category
+        self._tick(completion.finish_time)
         if components is None:
             components = self.lifecycle.pop_stash(
                 ("writeback", inode.id, completion.addr)) or {}
@@ -346,6 +393,7 @@ class Telemetry:
         merged-member protocol as :meth:`on_fault`: a secondary member of
         a coalesced request records nothing, a primary records the union
         with provenance."""
+        self._tick(completion.finish_time)
         merged_from = ()
         if completion.merged:
             merged_from = completion.merged_from

@@ -123,6 +123,73 @@ class TestFamilies:
             reg.gauge("x_total", "X again")
 
 
+class TestRegistrationHygiene:
+    def test_identical_reregistration_is_idempotent(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", "X", labels=("device",))
+        b = reg.counter("x_total", "X", labels=("device",))
+        assert a is b
+
+    def test_mismatched_help_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "X")
+        with pytest.raises(ValueError, match="x_total"):
+            reg.counter("x_total", "different help")
+
+    def test_mismatched_labels_raise(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "X", labels=("device",))
+        with pytest.raises(ValueError):
+            reg.counter("x_total", "X", labels=("cls",))
+
+    def test_mismatched_histogram_buckets_raise(self):
+        reg = MetricsRegistry()
+        reg.histogram("lat_seconds", "L", buckets=(0.1, 1.0))
+        with pytest.raises(ValueError):
+            reg.histogram("lat_seconds", "L", buckets=(0.5, 1.0))
+        # identical buckets are fine
+        reg.histogram("lat_seconds", "L", buckets=(0.1, 1.0))
+
+
+class TestCardinalityCap:
+    def test_overflow_routes_to_sink_child(self):
+        reg = MetricsRegistry(max_label_cardinality=2)
+        fam = reg.counter("reads_total", "Reads", labels=("device",))
+        fam.labels(device="a").inc()
+        fam.labels(device="b").inc()
+        with pytest.warns(RuntimeWarning, match="cardinality"):
+            fam.labels(device="c").inc()
+        assert fam.overflows == 1
+        sink = dict((labels["device"], child.value)
+                    for labels, child in fam.children())
+        assert sink == {"a": 1.0, "b": 1.0, "_overflow": 1.0}
+
+    def test_warns_once_but_keeps_counting(self):
+        import warnings
+
+        reg = MetricsRegistry(max_label_cardinality=1)
+        fam = reg.counter("reads_total", "Reads", labels=("device",))
+        fam.labels(device="a").inc()
+        with pytest.warns(RuntimeWarning):
+            fam.labels(device="b").inc()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            fam.labels(device="c").inc()
+            fam.labels(device="d").inc()
+        assert fam.overflows == 3
+
+    def test_existing_children_unaffected_by_cap(self):
+        reg = MetricsRegistry(max_label_cardinality=1)
+        fam = reg.counter("reads_total", "Reads", labels=("device",))
+        fam.labels(device="a").inc()
+        fam.labels(device="a").inc()  # re-use never overflows
+        assert fam.overflows == 0
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(max_label_cardinality=0)
+
+
 class TestExposition:
     def _registry(self):
         reg = MetricsRegistry(namespace="repro")

@@ -1,0 +1,118 @@
+"""Tests for the hot-path wall-clock profiler (repro.obs.profile)."""
+
+import time
+
+from repro.block import BlockConfig
+from repro.machine import Machine
+from repro.obs import HotPathProfiler
+from repro.obs.profile import SITES
+from repro.sim.tasks import EventScheduler, Task, reader_task_async
+from repro.sim.units import MB
+
+
+class TestAccounting:
+    def test_add_accumulates(self):
+        prof = HotPathProfiler()
+        t0 = prof.begin()
+        prof.add("event_loop.dispatch", t0)
+        prof.add("event_loop.dispatch", prof.begin())
+        site = prof.rows()[0]
+        assert site["site"] == "event_loop.dispatch"
+        assert site["calls"] == 2
+        assert site["wall_seconds"] >= 0.0
+        assert prof.calls("event_loop.dispatch") == 2
+        assert prof.calls("never.hit") == 0
+
+    def test_scope_context_manager(self):
+        prof = HotPathProfiler()
+        with prof.scope("kernel.sled_build"):
+            time.sleep(0.001)
+        row = prof.rows()[0]
+        assert row["calls"] == 1
+        assert row["wall_seconds"] >= 0.001
+        assert row["wall_max_us"] >= 1000.0
+
+    def test_rows_sorted_by_wall_time(self):
+        prof = HotPathProfiler()
+        with prof.scope("cache.residency"):
+            time.sleep(0.002)
+        with prof.scope("block.merge_flush"):
+            pass
+        assert [r["site"] for r in prof.rows()] == [
+            "cache.residency", "block.merge_flush"]
+
+    def test_wall_per_virtual_second(self):
+        prof = HotPathProfiler()
+        with prof.scope("cache.residency"):
+            time.sleep(0.001)
+        row = prof.rows(virtual_seconds=2.0)[0]
+        assert row["wall_per_virtual_second"] == (
+            row["wall_seconds"] / 2.0)
+        # no ratio without a virtual duration
+        assert "wall_per_virtual_second" not in prof.rows()[0]
+
+    def test_render_and_to_dict(self):
+        prof = HotPathProfiler()
+        assert "no instrumented site was hit" in prof.render()
+        with prof.scope("event_loop.dispatch"):
+            pass
+        text = prof.render(virtual_seconds=1.0)
+        assert "event_loop.dispatch" in text and "wall/vsec" in text
+        dump = prof.to_dict(virtual_seconds=1.0)
+        assert dump["virtual_seconds"] == 1.0
+        assert dump["total_wall_seconds"] == prof.total_wall_seconds
+
+    def test_clear(self):
+        prof = HotPathProfiler()
+        with prof.scope("cache.residency"):
+            pass
+        prof.clear()
+        assert prof.rows() == [] and prof.total_wall_seconds == 0.0
+
+
+class TestWiring:
+    def _machine(self):
+        machine = Machine.unix_utilities(cache_pages=256, seed=123)
+        machine.boot()
+        machine.ext2.create_text_file("data/f.txt", MB // 2, seed=7)
+        return machine
+
+    def test_attach_before_engine(self):
+        machine = self._machine()
+        prof = HotPathProfiler().attach(machine.kernel)
+        assert machine.kernel.profiler is prof
+        assert machine.kernel.page_cache.profiler is prof
+        engine = machine.kernel.attach_engine()
+        # engine arriving later still gets the instrumented loop
+        assert engine.loop.profiler is prof
+        prof.detach(machine.kernel)
+        assert machine.kernel.profiler is None
+        assert engine.loop.profiler is None
+
+    def test_attach_after_engine(self):
+        machine = self._machine()
+        engine = machine.kernel.attach_engine()
+        prof = HotPathProfiler().attach(machine.kernel)
+        assert engine.loop.profiler is prof
+
+    def test_real_run_covers_core_sites(self):
+        machine = self._machine()
+        prof = HotPathProfiler().attach(machine.kernel)
+        machine.kernel.attach_engine(
+            block=BlockConfig(merge=True, plug=True))
+        path = "/mnt/ext2/data/f.txt"
+        fd = machine.kernel.open(path)
+        machine.kernel.get_sleds(fd)  # exercise the SLED-build site
+        machine.kernel.close(fd)
+        tasks = [Task("reader",
+                      reader_task_async(machine.kernel, path))]
+        EventScheduler(machine.kernel, tasks).run()
+        hit = {row["site"] for row in prof.rows()}
+        # the acceptance bar: at least dispatch + SLED builds, and every
+        # site name reported is a declared one
+        assert "event_loop.dispatch" in hit
+        assert "kernel.sled_build" in hit
+        assert "cache.residency" in hit
+        assert "block.merge_flush" in hit
+        assert hit <= set(SITES)
+        assert prof.calls("event_loop.dispatch") > 0

@@ -1,0 +1,177 @@
+"""Tests for per-class / per-tenant SLO tracking (repro.obs.slo)."""
+
+import pytest
+
+from repro.machine import Machine
+from repro.obs import SloTarget, SloTracker, Telemetry
+from repro.obs.lifecycle import LifecycleRecord
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import window_quantile
+from repro.sim.units import MB
+
+
+def _record(cls="disk", task="grep", latency=0.01, kind="fault"):
+    return LifecycleRecord(
+        id=1, kind=kind, task=task, fs="ext2", device_class=cls,
+        inode=7, page=0, cluster=1, nbytes=4096,
+        submit_time=0.0, start_time=0.0, finish_time=latency,
+        components=(("transfer", latency),))
+
+
+class TestWindowQuantile:
+    def test_nearest_rank(self):
+        values = [float(i) for i in range(1, 101)]
+        assert window_quantile(values, 0.0) == 1.0
+        assert window_quantile(values, 0.5) == 51.0
+        assert window_quantile(values, 0.99) == 99.0
+        assert window_quantile(values, 1.0) == 100.0
+
+    def test_empty_and_bad_q(self):
+        assert window_quantile([], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            window_quantile([1.0], 1.5)
+
+
+class TestTargetMatching:
+    def test_class_match(self):
+        t = SloTarget("d", cls="disk", latency_objective=0.02)
+        assert t.matches(_record(cls="disk"))
+        assert not t.matches(_record(cls="nfs"))
+
+    def test_wildcard_class(self):
+        t = SloTarget("any", cls="*", latency_objective=0.02)
+        assert t.matches(_record(cls="disk"))
+        assert t.matches(_record(cls="tape"))
+
+    def test_tenant_exact(self):
+        t = SloTarget("g", cls="*", latency_objective=0.02, tenant="grep")
+        assert t.matches(_record(task="grep"))
+        assert not t.matches(_record(task="grep.0"))
+        assert not t.matches(_record(task=None))
+
+    def test_tenant_glob(self):
+        t = SloTarget("g", cls="disk", latency_objective=0.02,
+                      tenant="reader*")
+        assert t.matches(_record(task="reader.0"))
+        assert t.matches(_record(task="reader"))
+        assert not t.matches(_record(task="writer.0"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SloTarget("bad", cls="disk", latency_objective=0.0)
+        with pytest.raises(ValueError):
+            SloTarget("bad", cls="disk", latency_objective=0.1,
+                      compliance_target=1.0)
+
+    def test_error_budget(self):
+        t = SloTarget("d", cls="disk", latency_objective=0.02,
+                      compliance_target=0.95)
+        assert t.error_budget == pytest.approx(0.05)
+
+
+class TestTrackerMath:
+    def _tracker(self, **kw):
+        return SloTracker([SloTarget("disk-lat", cls="disk",
+                                     latency_objective=0.01,
+                                     compliance_target=0.9)], **kw)
+
+    def test_compliance_and_burn(self):
+        slo = self._tracker(window=100)
+        for _ in range(8):
+            slo.observe(_record(latency=0.005))
+        for _ in range(2):
+            slo.observe(_record(latency=0.05))
+        row = slo.report_rows()[0]
+        assert row["requests"] == 10 and row["violations"] == 2
+        assert row["compliance"] == pytest.approx(0.8)
+        # 20% violation rate against a 10% budget: burning at 2x
+        assert row["burn_rate"] == pytest.approx(2.0)
+        assert row["p50_s"] == pytest.approx(0.005)
+        assert row["worst_latency_s"] == pytest.approx(0.05)
+
+    def test_window_forgets_old_violations(self):
+        slo = self._tracker(window=4)
+        for _ in range(3):
+            slo.observe(_record(latency=0.05))  # violations
+        for _ in range(4):
+            slo.observe(_record(latency=0.001))  # window fills with passes
+        row = slo.report_rows()[0]
+        assert row["violations"] == 3  # cumulative remembers
+        assert row["window_violations"] == 0  # window forgot
+        assert row["burn_rate"] == 0.0
+        assert row["window_compliance"] == 1.0
+
+    def test_no_traffic_defaults(self):
+        row = self._tracker().report_rows()[0]
+        assert row["compliance"] == 1.0
+        assert row["burn_rate"] == 0.0
+        assert "no traffic" in self._tracker().render()
+
+    def test_unmatched_counted(self):
+        slo = self._tracker()
+        slo.observe(_record(cls="nfs"))
+        assert slo.unmatched == 1
+
+    def test_record_can_match_multiple_targets(self):
+        slo = SloTracker([
+            SloTarget("disk-lat", cls="disk", latency_objective=0.01),
+            SloTarget("tenant-lat", cls="*", latency_objective=0.02,
+                      tenant="grep*"),
+        ])
+        slo.observe(_record(cls="disk", task="grep.1", latency=0.015))
+        rows = {r["name"]: r for r in slo.report_rows()}
+        assert rows["disk-lat"]["violations"] == 1  # over 10 ms
+        assert rows["tenant-lat"]["violations"] == 0  # under 20 ms
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            SloTracker([])
+        t = SloTarget("x", cls="disk", latency_objective=0.01)
+        with pytest.raises(ValueError):
+            SloTracker([t, t])
+        with pytest.raises(ValueError):
+            SloTracker([t], window=0)
+
+    def test_for_classes_builder(self):
+        slo = SloTracker.for_classes({"disk": 0.02, "nfs": 0.06})
+        assert sorted(slo.states) == ["disk-latency", "nfs-latency"]
+
+    def test_registry_metrics(self):
+        reg = MetricsRegistry()
+        slo = self._tracker(registry=reg)
+        slo.observe(_record(latency=0.05))
+        graded = reg.get("slo_requests_total").labels(slo="disk-lat")
+        violated = reg.get("slo_violations_total").labels(slo="disk-lat")
+        burn = reg.get("slo_burn_rate").labels(slo="disk-lat")
+        assert graded.value == 1 and violated.value == 1
+        assert burn.value == pytest.approx(10.0)  # 100% rate / 10% budget
+
+
+class TestTelemetrySubscription:
+    def test_attach_grades_real_run(self):
+        machine = Machine.unix_utilities(cache_pages=256, seed=123)
+        machine.boot()
+        machine.ext2.create_text_file("data/f.txt", MB // 2, seed=7)
+        telemetry = Telemetry()
+        telemetry.attach(machine.kernel)
+        slo = SloTracker.for_classes({"disk": 0.02},
+                                     registry=telemetry.registry)
+        slo.attach(telemetry)
+        from repro.apps.wc import wc
+        wc(machine.kernel, "/mnt/ext2/data/f.txt")
+        telemetry.detach()
+        row = slo.report_rows()[0]
+        assert row["requests"] > 0
+        assert row["requests"] == len(
+            [r for r in telemetry.lifecycle.records
+             if r.device_class == "disk"])
+        assert 0.0 < row["p50_s"] <= row["p99_s"]
+
+    def test_double_attach_rejected_and_detach(self):
+        telemetry = Telemetry()
+        slo = SloTracker.for_classes({"disk": 0.02}).attach(telemetry)
+        with pytest.raises(ValueError):
+            slo.attach(telemetry)
+        slo.detach()
+        assert telemetry.lifecycle.observers == []
+        slo.detach()  # idempotent

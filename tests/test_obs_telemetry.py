@@ -115,6 +115,64 @@ class TestSpans:
         cats = {e["cat"] for e in events}
         assert {"syscall", "fault", "device"} <= cats
 
+    def test_fault_spans_carry_latency_breakdown(self, telemetry_machine):
+        """Every closed fault span names its queue wait and per-component
+        seconds, and the breakdown matches the lifecycle record's."""
+        machine, telemetry = telemetry_machine
+        _wc_run(machine)
+        faults = telemetry.spans.spans("fault")
+        assert faults
+        by_key = {(r.inode, r.page): r
+                  for r in telemetry.lifecycle.records}
+        checked = 0
+        for span in faults:
+            attrs = dict(span.attrs)
+            assert "queue_wait" in attrs and "components" in attrs
+            rec = by_key.get((attrs["inode"], attrs["page"]))
+            if rec is None:
+                continue
+            checked += 1
+            assert attrs["queue_wait"] == rec.queue_wait
+            assert attrs["components"] == dict(rec.components)
+        assert checked > 0
+        # and the breakdown survives into the Chrome trace args
+        events = telemetry.chrome_trace()["traceEvents"]
+        fault_events = [e for e in events if e["cat"] == "fault"]
+        assert all("components" in e["args"] for e in fault_events)
+
+    def test_merged_fault_spans_carry_provenance(self):
+        from repro.block.merge import BlockConfig
+        from repro.sim.tasks import EventScheduler, Task
+
+        machine = _machine()
+        machine.ext2.create_text_file("data/f.txt", 32 * PAGE_SIZE, seed=7)
+        telemetry = Telemetry()
+        machine.kernel.attach_telemetry(telemetry)
+        engine = machine.kernel.attach_engine(
+            block=BlockConfig(merge=True, plug=True))
+        kernel = machine.kernel
+
+        def reader(start):
+            fd = kernel.open("/mnt/ext2/data/f.txt")
+            for chunk in range(start, 16, 2):
+                yield from kernel.pread_async(
+                    fd, chunk * 2 * PAGE_SIZE, 2 * PAGE_SIZE)
+            kernel.close(fd)
+
+        tasks = [Task(f"r{i}", reader(i)) for i in range(2)]
+        EventScheduler(kernel, tasks, engine=engine).run()
+        merged_spans = [s for s in telemetry.spans.spans("fault")
+                        if "merged_from" in dict(s.attrs)]
+        assert merged_spans, "merge workload produced no coalesced faults"
+        merged_recs = {(r.inode, tuple(map(tuple, r.merged_from)))
+                       for r in telemetry.lifecycle.records
+                       if r.merged_from}
+        for span in merged_spans:
+            attrs = dict(span.attrs)
+            members = tuple(tuple(m) for m in attrs["merged_from"])
+            assert len(members) >= 2
+            assert (attrs["inode"], members) in merged_recs
+
     def test_legacy_tracer_bridge(self):
         from repro.sim.trace import Tracer
         machine = _machine()

@@ -186,3 +186,52 @@ class TestCli:
         assert main(["trace", "/mnt/ext2/demo/small.txt"]) == 0
         doc = json.loads(capsys.readouterr().out)
         assert doc["traceEvents"]
+
+    def test_report_json_exports_by_component(self, capsys, tmp_path):
+        out_path = tmp_path / "report.json"
+        assert main(["report", "--json", str(out_path)]) == 0
+        dump = json.loads(out_path.read_text())
+        acc = dump["accuracy"]
+        assert "by_class" in acc and "by_component" in acc
+        assert any(key.endswith("/queue") or key.endswith("/service")
+                   for key in acc["by_component"])
+
+    def test_slo_command(self, capsys, tmp_path):
+        json_path = tmp_path / "slo.json"
+        series_path = tmp_path / "series.json"
+        om_path = tmp_path / "series.om"
+        assert main(["slo", "--json", str(json_path),
+                     "--series-out", str(series_path),
+                     "--openmetrics-out", str(om_path)]) == 0
+        out = capsys.readouterr().out
+        assert "SLO compliance" in out
+        dump = json.loads(json_path.read_text())
+        rows = {r["name"]: r for r in dump["slo"]["targets"]}
+        graded = [r for r in rows.values() if r["requests"]]
+        assert graded, "demo mix graded no requests"
+        for row in graded:
+            assert row["p50_s"] <= row["p99_s"]
+            assert 0.0 <= row["compliance"] <= 1.0
+            assert row["burn_rate"] >= 0.0
+        series = json.loads(series_path.read_text())
+        assert series["samples"] >= 2
+        assert len(series["families"]) >= 3
+        assert om_path.read_text().endswith("# EOF\n")
+
+    def test_slo_custom_objective_and_bad_spec(self, capsys):
+        assert main(["slo", "/mnt/ext2/demo/small.txt",
+                     "--objective", "disk=0.000001"]) == 0
+        out = capsys.readouterr().out
+        assert "disk-latency" in out
+        with pytest.raises(SystemExit):
+            main(["slo", "--objective", "disk"])
+
+    def test_profile_command(self, capsys, tmp_path):
+        out_path = tmp_path / "prof.json"
+        assert main(["profile", "--json", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "hot-path profile" in out
+        dump = json.loads(out_path.read_text())
+        sites = {row["site"] for row in dump["sites"]}
+        assert {"event_loop.dispatch", "kernel.sled_build"} <= sites
+        assert all(row["calls"] > 0 for row in dump["sites"])
