@@ -43,12 +43,13 @@ from repro.core import (
     sleds_total_delivery_time,
 )
 from repro.kernel import FSLEDS_FILL, FSLEDS_GET, Kernel
-from repro.machine import Machine
+from repro.machine import Machine, MachineConfig
 
 __version__ = "1.0.0"
 
 __all__ = [
     "Machine",
+    "MachineConfig",
     "Kernel",
     "Sled",
     "SledVector",

@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from repro.apps.findutil import find
 from repro.apps.gmc import file_properties, format_panel, should_wait_prompt
@@ -162,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--json", default=None, metavar="FILE",
                         dest="json_out",
                         help="also write the profile as JSON")
+    p_prof.add_argument("--budget", type=float, default=None,
+                        metavar="FAULTS_PER_S",
+                        help="minimum simulated hard-faults per wall "
+                             "second; exit non-zero when the measured "
+                             "throughput falls below it (the "
+                             "docs/performance.md core-throughput gate)")
 
     p_trace = sub.add_parser(
         "trace", help="run an app under span tracing and export "
@@ -458,14 +465,20 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs import HotPathProfiler
         if args.repeat < 1:
             raise SystemExit(f"--repeat must be >= 1: {args.repeat}")
+        if args.budget is not None and args.budget <= 0:
+            raise SystemExit(f"--budget must be > 0: {args.budget}")
         paths = args.paths or list(DEMO_READ_MIX)
         profiler = HotPathProfiler().attach(kernel)
         # merge+plug on so the block-layer flush site is exercised too
         kernel.attach_engine(block=BlockConfig(merge=True, plug=True))
         start = kernel.clock.now
+        faults_before = kernel.counters.hard_faults
+        wall_start = time.perf_counter()
         for rep in range(args.repeat):
             _prefetch_sleds(kernel, paths)
             _run_readers(kernel, paths, prefix=f"r{rep}.")
+        wall = time.perf_counter() - wall_start
+        faults = kernel.counters.hard_faults - faults_before
         end = kernel.clock.now
         kernel.detach_engine()
         virtual = end - start
@@ -481,6 +494,14 @@ def main(argv: list[str] | None = None) -> int:
                 handle.write("\n")
             print(f"\nwrote profile JSON to {args.json_out}")
         profiler.detach(kernel)
+        if args.budget is not None:
+            faults_per_s = faults / wall if wall > 0 else float("inf")
+            verdict = "PASS" if faults_per_s >= args.budget else "FAIL"
+            print(f"\nthroughput: {faults:,} hard faults in {wall:.3f}s "
+                  f"wall = {faults_per_s:,.0f} faults/s "
+                  f"(budget {args.budget:,.0f}): {verdict}")
+            if faults_per_s < args.budget:
+                return 1
         return 0
 
     if args.command == "trace":

@@ -30,7 +30,7 @@ appears as queue wait and the lifecycle identity
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.sim.events import IoFuture
 from repro.sim.units import KB, MB, MSEC, PAGE_SIZE
@@ -352,12 +352,11 @@ class PlugQueue:
         primary = members[0]
         for run in settle_order:
             if run is primary:
-                run.future.resolve(replace(completion, merged=True,
-                                           merged_from=merged_from))
+                run.future.resolve(completion.replace(
+                    merged=True, merged_from=merged_from))
             else:
-                run.future.resolve(replace(completion,
-                                           submit_time=run.submit_time,
-                                           merged=True))
+                run.future.resolve(completion.replace(
+                    submit_time=run.submit_time, merged=True))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<PlugQueue {self.device.name!r} depth={self.depth} "

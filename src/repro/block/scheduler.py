@@ -294,8 +294,6 @@ class DeviceQueue:
         return delay
 
     def _dispatch(self) -> None:
-        from dataclasses import replace
-
         from repro.devices.base import Completion
 
         request = self.scheduler.take_next(
@@ -310,16 +308,17 @@ class DeviceQueue:
         try:
             if service is not None:
                 duration = service()
-                completion = Completion(
+                completion = Completion.new(
                     device_name=self.device.name, addr=request.addr,
                     nbytes=request.nbytes, is_write=request.is_write,
                     submit_time=submit_time, start_time=now,
                     duration=duration)
             else:
-                completion = replace(
-                    self.device.submit(request.addr, request.nbytes,
-                                       request.is_write, now=now),
-                    submit_time=submit_time)
+                # freshly built and solely owned: backdate in place rather
+                # than allocating a copy
+                completion = self.device.submit(request.addr, request.nbytes,
+                                                request.is_write, now=now)
+                completion.submit_time = submit_time
         except Exception as exc:
             # a failed request must not wedge the queue: report it to the
             # waiter and keep servicing (real controllers do the same)

@@ -9,10 +9,20 @@ from repro.cache.policies import (
     make_policy,
 )
 from repro.cache.readahead import ReadaheadWindow
+from repro.cache.residency import (
+    BitmapResidency,
+    RunResidency,
+    SetResidency,
+    make_residency,
+)
 
 __all__ = [
     "PageCache",
     "CacheStats",
+    "RunResidency",
+    "BitmapResidency",
+    "SetResidency",
+    "make_residency",
     "ReplacementPolicy",
     "LruPolicy",
     "ClockPolicy",

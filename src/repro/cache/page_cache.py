@@ -16,13 +16,17 @@ Two access styles matter:
   SLEDs describe.
 
 For the SLED builder the cache additionally maintains a per-inode
-*residency index* (``inode_id -> set of resident page indices``) and a
-per-inode *generation*: a monotonically increasing counter bumped on every
-insert, eviction, or invalidation that changes the inode's residency.  The
-index makes per-inode queries O(resident-in-inode) instead of O(npages) or
-O(cache-size); the generation is the cache half of the stamp that lets the
-kernel serve repeated ``FSLEDS_GET`` requests without re-walking the file
-(see :mod:`repro.core.builder` and ``docs/performance.md``).
+*residency index* (pluggable — sorted interval runs by default, an
+optional numpy bitmap, or the plain-set reference; see
+:mod:`repro.cache.residency`) and a per-inode *generation*: a
+monotonically increasing counter bumped on every insert, eviction, or
+invalidation that changes the inode's residency.  The run-based index
+makes per-inode queries — :meth:`resident_runs`, :meth:`resident_count`,
+:meth:`resident_pages`, :meth:`invalidate_inode` — O(runs) instead of
+O(pages) or O(cache-size); the generation is the cache half of the stamp
+that lets the kernel serve repeated ``FSLEDS_GET`` requests without
+re-walking the file (see :mod:`repro.core.builder` and
+``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -30,6 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.cache.policies import PageKey, ReplacementPolicy, make_policy
+from repro.cache.residency import make_residency
 
 _EMPTY_PAGES: frozenset[int] = frozenset()
 
@@ -68,7 +73,8 @@ class PageCache:
 
     def __init__(self, capacity_pages: int,
                  policy: str | ReplacementPolicy = "lru",
-                 max_pinned_fraction: float = 0.9) -> None:
+                 max_pinned_fraction: float = 0.9,
+                 residency: str = "runs") -> None:
         if capacity_pages <= 0:
             raise ValueError(f"cache capacity must be positive: {capacity_pages}")
         if not 0.0 <= max_pinned_fraction <= 1.0:
@@ -80,8 +86,8 @@ class PageCache:
         self.max_pinned_fraction = max_pinned_fraction
         self._resident: set[PageKey] = set()
         self._pinned: set[PageKey] = set()
-        #: per-inode residency index: inode_id -> resident page indices
-        self._by_inode: dict[int, set[int]] = {}
+        #: per-inode residency index backend (runs | bitmap | sets)
+        self._index = make_residency(residency)
         #: per-inode residency generation; entries survive full eviction so
         #: a generation never moves backwards for a given inode id
         self._generations: dict[int, int] = {}
@@ -93,6 +99,11 @@ class PageCache:
         #: optional wall-clock profiler (repro.obs.profile) timing the
         #: residency-update path; never affects residency or virtual time
         self.profiler = None
+
+    @property
+    def residency_kind(self) -> str:
+        """Which residency index backend this cache runs on."""
+        return self._index.kind
 
     # -- queries ------------------------------------------------------------
 
@@ -112,35 +123,48 @@ class PageCache:
         with no interleaving bump guarantee identical residency."""
         return self._generations.get(inode_id, 0)
 
-    def resident_set(self, inode_id: int) -> frozenset[int] | set[int]:
-        """The inode's resident page indices — a read-only view, valid
-        until the next mutation.  O(1); callers must not modify it."""
-        return self._by_inode.get(inode_id, _EMPTY_PAGES)
+    def resident_set(self, inode_id: int) -> frozenset[int]:
+        """The inode's resident page indices, as a fresh frozenset.
+
+        O(resident-in-inode) materialisation; prefer :meth:`resident_runs`
+        on hot paths — a densely resident inode is only a few runs."""
+        return self._index.pages(inode_id)
+
+    def resident_runs(self, inode_id: int,
+                      npages: int) -> list[tuple[int, int]]:
+        """Sorted resident ``[start, end)`` page runs clipped to
+        ``[0, npages)`` — the shape the SLED interval-merge builder
+        consumes.  O(runs) on the run/bitmap backends."""
+        profiler = self.profiler
+        if profiler is None:
+            return self._index.runs(inode_id, npages)
+        t0 = profiler.begin()
+        runs = self._index.runs(inode_id, npages)
+        profiler.add("cache.resident_runs", t0)
+        return runs
 
     def resident_pages(self, inode_id: int, npages: int) -> list[bool]:
-        """Residency bitmap for the first ``npages`` pages of an inode."""
-        pages = self._by_inode.get(inode_id, _EMPTY_PAGES)
-        return [idx in pages for idx in range(npages)]
+        """Residency bitmap for the first ``npages`` pages of an inode.
+
+        O(runs + npages) output fill, no per-page membership probes."""
+        return self._index.bitmap(inode_id, npages)
 
     def resident_count(self, inode_id: int, npages: int) -> int:
-        """Number of the inode's first ``npages`` pages currently cached."""
-        pages = self._by_inode.get(inode_id, _EMPTY_PAGES)
-        return sum(1 for page in pages if page < npages)
+        """Number of the inode's first ``npages`` pages currently cached.
+
+        O(runs) on the run backend (O(1) when the whole index fits)."""
+        return self._index.count(inode_id, npages)
 
     # -- index maintenance -----------------------------------------------
 
     def _index_add(self, key: PageKey) -> None:
         inode_id, page = key
-        self._by_inode.setdefault(inode_id, set()).add(page)
+        self._index.add(inode_id, page)
         self._generations[inode_id] = self._generations.get(inode_id, 0) + 1
 
     def _index_discard(self, key: PageKey) -> None:
         inode_id, page = key
-        pages = self._by_inode.get(inode_id)
-        if pages is not None:
-            pages.discard(page)
-            if not pages:
-                del self._by_inode[inode_id]
+        self._index.discard(inode_id, page)
         self._generations[inode_id] = self._generations.get(inode_id, 0) + 1
 
     # -- the read/write path --------------------------------------------------
@@ -263,13 +287,14 @@ class PageCache:
     def invalidate_inode(self, inode_id: int) -> int:
         """Drop every cached page of an inode; returns the count dropped.
 
-        O(resident-in-inode) via the residency index.  Always bumps the
-        inode's generation, so a kernel-cached SLED vector is invalidated
-        even when nothing was resident.
+        O(resident-in-inode) via the residency index, pages visited in
+        ascending order.  Always bumps the inode's generation, so a
+        kernel-cached SLED vector is invalidated even when nothing was
+        resident.
         """
-        pages = self._by_inode.pop(inode_id, None)
-        count = len(pages) if pages else 0
-        for page in pages or ():
+        count = 0
+        for page in self._index.pop_inode(inode_id):
+            count += 1
             key = (inode_id, page)
             self._resident.discard(key)
             self._pinned.discard(key)
@@ -289,8 +314,8 @@ class PageCache:
                 self.observer.on_cache_remove(key)
         self._resident.clear()
         self._pinned.clear()
-        for inode_id in self._by_inode:
+        for inode_id in list(self._index.inodes()):
             self._generations[inode_id] = self._generations.get(inode_id, 0) + 1
-        self._by_inode.clear()
+        self._index.clear()
         self.stats.invalidations += count
         return count

@@ -21,7 +21,13 @@ PageKey = Hashable
 
 
 class ReplacementPolicy(ABC):
-    """Interface the :class:`~repro.cache.page_cache.PageCache` drives."""
+    """Interface the :class:`~repro.cache.page_cache.PageCache` drives.
+
+    Implementations are slotted: policy calls sit on the per-fault hot
+    path, and ``__slots__`` keeps attribute loads dict-free.
+    """
+
+    __slots__ = ()
 
     #: short name used as the ``policy`` label on telemetry metrics
     name = "abstract"
@@ -64,6 +70,8 @@ class LruPolicy(ReplacementPolicy):
 
     name = "lru"
 
+    __slots__ = ("_order",)
+
     def __init__(self) -> None:
         self._order: OrderedDict[PageKey, None] = OrderedDict()
 
@@ -99,6 +107,8 @@ class ClockPolicy(ReplacementPolicy):
     """
 
     name = "clock"
+
+    __slots__ = ("_ring",)
 
     def __init__(self) -> None:
         self._ring: OrderedDict[PageKey, bool] = OrderedDict()
@@ -143,6 +153,8 @@ class TwoQPolicy(ReplacementPolicy):
     """
 
     name = "2q"
+
+    __slots__ = ("a1in_fraction", "ghost_fraction", "_a1in", "_am", "_ghost")
 
     def __init__(self, a1in_fraction: float = 0.25,
                  ghost_fraction: float = 0.5) -> None:

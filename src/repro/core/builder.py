@@ -95,9 +95,11 @@ def build_sled_vector(cache: PageCache, fs: FileSystem, inode: Inode,
                       ) -> SledVector:
     """The FSLEDS_GET payload: a validated SLED vector for ``inode``.
 
-    Cost is O(resident-in-inode + estimate runs), not O(npages): resident
-    intervals come from the cache's per-inode index and the non-resident
-    gaps are filled by one ``span_estimates`` call each.
+    Cost is O(resident runs + estimate runs), not O(npages) and not even
+    O(resident pages): resident *intervals* come straight from the
+    cache's run-based per-inode index (:meth:`PageCache.resident_runs` —
+    no sort, no per-page walk) and the non-resident gaps are filled by
+    one ``span_estimates`` call each.
 
     ``queue_delays`` (device_key -> seconds, from
     :meth:`~repro.sim.engine.IoEngine.queue_delays`) inflates the latency
@@ -110,28 +112,22 @@ def build_sled_vector(cache: PageCache, fs: FileSystem, inode: Inode,
     npages = inode.npages
     row = table.memory
     memory_level = (row.latency, row.bandwidth)
-    resident = sorted(p for p in cache.resident_set(inode.id)
-                      if 0 <= p < npages)
     levels: list[tuple[int, tuple[float, float]]] = []
     cursor = 0
-    i = 0
-    while cursor < npages:
-        if i < len(resident) and resident[i] == cursor:
-            run = 1
-            while (i + run < len(resident)
-                   and resident[i + run] == cursor + run):
-                run += 1
-            levels.append((run, memory_level))
-            cursor += run
-            i += run
-        else:
-            gap_end = resident[i] if i < len(resident) else npages
+    for start, end in cache.resident_runs(inode.id, npages):
+        if start > cursor:
             for run_pages, estimate in fs.span_estimates(
-                    inode, cursor, gap_end - cursor):
+                    inode, cursor, start - cursor):
                 levels.append((run_pages,
                                resolve_estimate(table, estimate,
                                                 queue_delays)))
-            cursor = gap_end
+        levels.append((end - start, memory_level))
+        cursor = end
+    if cursor < npages:
+        for run_pages, estimate in fs.span_estimates(
+                inode, cursor, npages - cursor):
+            levels.append((run_pages,
+                           resolve_estimate(table, estimate, queue_delays)))
     return _emit(levels, size)
 
 

@@ -67,7 +67,6 @@ class DeviceStats:
         self.queued_requests = 0
 
 
-@dataclass(frozen=True)
 class Completion:
     """The outcome of one :meth:`Device.submit` call.
 
@@ -75,22 +74,85 @@ class Completion:
     device actually began service (``max(submit_time, busy_until)``), and
     ``duration`` the service time alone — so ``queue_wait`` is pure
     head-of-line blocking, never transfer time.
+
+    A slotted, slab-allocated record: one is created per device request
+    (every fault, writeback, and prefetch), which at millions of faults
+    per run made completions the dominant allocation.  :meth:`new` draws
+    from a free list, and the blocking ``read``/``write``/``read_spans``
+    wrappers — where the completion provably never escapes — return it
+    via :meth:`recycle`.  Async completions stay ordinary garbage: their
+    lifetime is owned by futures and the lifecycle log.
     """
 
-    device_name: str
-    addr: int
-    nbytes: int
-    is_write: bool
-    submit_time: float
-    start_time: float
-    duration: float
-    #: True when this completion belongs to a request that was coalesced
-    #: with others by the block layer's merge stage
-    merged: bool = False
-    #: provenance of a coalesced request — ``(inode, page, cluster)`` per
-    #: member, non-empty only on the *primary* member's completion (the
-    #: one that records the union in the lifecycle log)
-    merged_from: tuple = ()
+    __slots__ = ("device_name", "addr", "nbytes", "is_write", "submit_time",
+                 "start_time", "duration", "merged", "merged_from")
+
+    _pool: list["Completion"] = []
+    _POOL_CAP = 4096
+
+    def __init__(self, device_name: str, addr: int, nbytes: int,
+                 is_write: bool, submit_time: float, start_time: float,
+                 duration: float, merged: bool = False,
+                 merged_from: tuple = ()) -> None:
+        self.device_name = device_name
+        self.addr = addr
+        self.nbytes = nbytes
+        self.is_write = is_write
+        self.submit_time = submit_time
+        self.start_time = start_time
+        self.duration = duration
+        #: True when this completion belongs to a request that was
+        #: coalesced with others by the block layer's merge stage
+        self.merged = merged
+        #: provenance of a coalesced request — ``(inode, page, cluster)``
+        #: per member, non-empty only on the *primary* member's completion
+        #: (the one that records the union in the lifecycle log)
+        self.merged_from = merged_from
+
+    @classmethod
+    def new(cls, device_name: str, addr: int, nbytes: int, is_write: bool,
+            submit_time: float, start_time: float, duration: float,
+            merged: bool = False, merged_from: tuple = ()) -> "Completion":
+        """Slab-allocating constructor: reuse a recycled shell if any."""
+        pool = cls._pool
+        if pool:
+            self = pool.pop()
+            self.device_name = device_name
+            self.addr = addr
+            self.nbytes = nbytes
+            self.is_write = is_write
+            self.submit_time = submit_time
+            self.start_time = start_time
+            self.duration = duration
+            self.merged = merged
+            self.merged_from = merged_from
+            return self
+        return cls(device_name, addr, nbytes, is_write, submit_time,
+                   start_time, duration, merged, merged_from)
+
+    def recycle(self) -> None:
+        """Return this completion to the slab.
+
+        Only for owners certain no other reference survives — the
+        blocking submit-and-drain wrappers.
+        """
+        pool = Completion._pool
+        if len(pool) < Completion._POOL_CAP:
+            self.merged_from = ()  # don't pin provenance tuples
+            pool.append(self)
+
+    def replace(self, **changes) -> "Completion":
+        """A fresh (slab-drawn) copy with ``changes`` applied — the
+        ``dataclasses.replace`` equivalent for this slotted class."""
+        fields = {
+            "device_name": self.device_name, "addr": self.addr,
+            "nbytes": self.nbytes, "is_write": self.is_write,
+            "submit_time": self.submit_time, "start_time": self.start_time,
+            "duration": self.duration, "merged": self.merged,
+            "merged_from": self.merged_from,
+        }
+        fields.update(changes)
+        return Completion.new(**fields)
 
     @property
     def finish_time(self) -> float:
@@ -101,6 +163,25 @@ class Completion:
     def queue_wait(self) -> float:
         """Seconds the request waited behind earlier requests."""
         return self.start_time - self.submit_time
+
+    def _key(self) -> tuple:
+        return (self.device_name, self.addr, self.nbytes, self.is_write,
+                self.submit_time, self.start_time, self.duration,
+                self.merged, self.merged_from)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Completion):
+            return self._key() == other._key()
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "write" if self.is_write else "read"
+        return (f"<Completion {self.device_name!r} {kind} addr={self.addr} "
+                f"nbytes={self.nbytes} t=[{self.submit_time:.6f}, "
+                f"{self.finish_time:.6f}]>")
 
 
 class Device(ABC):
@@ -200,9 +281,10 @@ class Device(ABC):
         if self.observer is not None:
             self.observer.on_device_access(self, addr, nbytes, duration,
                                            is_write=is_write)
-        return Completion(device_name=self.name, addr=addr, nbytes=nbytes,
-                          is_write=is_write, submit_time=submit_time,
-                          start_time=start, duration=duration)
+        return Completion.new(device_name=self.name, addr=addr,
+                              nbytes=nbytes, is_write=is_write,
+                              submit_time=submit_time, start_time=start,
+                              duration=duration)
 
     def _components(self, **parts: float) -> None:
         """Record the component breakdown of the access being computed.
@@ -299,15 +381,18 @@ class Device(ABC):
         if self.observer is not None:
             self.observer.on_device_access(self, spans[0][0], payload,
                                            duration, is_write=is_write)
-        return Completion(device_name=self.name, addr=spans[0][0],
-                          nbytes=payload, is_write=is_write,
-                          submit_time=submit_time, start_time=start,
-                          duration=duration)
+        return Completion.new(device_name=self.name, addr=spans[0][0],
+                              nbytes=payload, is_write=is_write,
+                              submit_time=submit_time, start_time=start,
+                              duration=duration)
 
     def read_spans(self, spans) -> float:
         """Blocking multi-span read: duration of one merged request (the
         never-queueing regime, like :meth:`read`)."""
-        return self.submit_spans(spans, is_write=False).duration
+        completion = self.submit_spans(spans, is_write=False)
+        duration = completion.duration
+        completion.recycle()
+        return duration
 
     def read(self, addr: int, nbytes: int) -> float:
         """Time in seconds to read ``nbytes`` starting at ``addr``.
@@ -317,11 +402,17 @@ class Device(ABC):
         the returned duration is bit-identical to the pre-event-engine
         blocking model.
         """
-        return self.submit(addr, nbytes, is_write=False).duration
+        completion = self.submit(addr, nbytes, is_write=False)
+        duration = completion.duration
+        completion.recycle()
+        return duration
 
     def write(self, addr: int, nbytes: int) -> float:
         """Time in seconds to write ``nbytes`` starting at ``addr``."""
-        return self.submit(addr, nbytes, is_write=True).duration
+        completion = self.submit(addr, nbytes, is_write=True)
+        duration = completion.duration
+        completion.recycle()
+        return duration
 
     def queue_delay(self, now: float) -> float:
         """Seconds a request submitted at ``now`` would wait before

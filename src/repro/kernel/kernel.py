@@ -113,7 +113,9 @@ class Kernel:
                  readahead_min_pages: int = 4,
                  readahead_max_pages: int = 16,
                  writeback_threshold_pages: int = 256,
-                 io_scheduler: str = "clook") -> None:
+                 io_scheduler: str = "clook",
+                 residency: str = "runs",
+                 event_loop: str = "bucket") -> None:
         if noise < 0:
             raise InvalidArgumentError(f"noise must be >= 0: {noise}")
         if readahead_min_pages < 1:
@@ -121,7 +123,11 @@ class Kernel:
                 f"readahead_min_pages must be >= 1: {readahead_min_pages}")
         self.clock = VirtualClock()
         self.memory = memory or MemoryDevice()
-        self.page_cache = PageCache(cache_pages, policy)
+        self.page_cache = PageCache(cache_pages, policy,
+                                    residency=residency)
+        #: which event-loop implementation attach_engine builds
+        #: ("bucket" calendar queue, or the reference "heap")
+        self.event_loop_kind = event_loop
         self.sleds_table = SledTable()
         self.counters = KernelCounters()
         self.rng = rng or RngStreams()
@@ -474,47 +480,56 @@ class Kernel:
                   use_readahead: bool = True) -> None:
         from repro.obs.lifecycle import component_delta, snapshot_components
 
+        # hot loop: hoist every per-iteration attribute load — at millions
+        # of faults per run these lookups dominate the instrumented profile
         inode = of.inode
+        inode_id = inode.id
+        fs = of.fs
         cache = self.page_cache
+        counters = self.counters
+        clock = self.clock
+        telemetry = self.telemetry
+        tracer = self.tracer
+        prefetcher = self.prefetcher
+        readahead = of.readahead
         npages = inode.npages
+        category = fs.device.time_category
         for page in page_span(offset, length):
-            window = of.readahead.advise(page) if use_readahead else 1
-            key = (inode.id, page)
+            window = readahead.advise(page) if use_readahead else 1
+            key = (inode_id, page)
             if cache.access(key):
-                self.counters.cache_hits += 1
-                if self.prefetcher is not None:
-                    self.prefetcher.note_access(key)
-                if self.telemetry is not None:
-                    self.telemetry.on_hit(inode.id, page)
+                counters.cache_hits += 1
+                if prefetcher is not None:
+                    prefetcher.note_access(key)
+                if telemetry is not None:
+                    telemetry.on_hit(inode_id, page)
                 continue
-            self.counters.cache_misses += 1
-            self.counters.hard_faults += 1
+            counters.cache_misses += 1
+            counters.hard_faults += 1
             cluster = 1
             limit = min(window, npages - page)
             while (cluster < limit
-                   and not cache.peek((inode.id, page + cluster))):
+                   and not cache.peek((inode_id, page + cluster))):
                 cluster += 1
-            if self.telemetry is not None:
-                before = snapshot_components(of.fs)
-            seconds = self._noisy(of.fs.read_pages(inode, page, cluster))
-            self.clock.advance(seconds, of.fs.device.time_category)
-            self.counters.pages_read += cluster
-            self.counters.readahead_pages += cluster - 1
-            if self.tracer is not None:
-                self.tracer.emit(self.clock.now, "fault",
-                                 of.fs.device.time_category, seconds,
-                                 page=page, cluster=cluster,
-                                 inode=inode.id)
-            if self.telemetry is not None:
-                self.telemetry.on_fault(
-                    of.fs.device, inode.id, page, cluster, seconds,
-                    now=self.clock.now, window=window, fs=of.fs,
+            if telemetry is not None:
+                before = snapshot_components(fs)
+            seconds = self._noisy(fs.read_pages(inode, page, cluster))
+            clock.advance(seconds, category)
+            counters.pages_read += cluster
+            counters.readahead_pages += cluster - 1
+            if tracer is not None:
+                tracer.emit(clock.now, "fault", category, seconds,
+                            page=page, cluster=cluster, inode=inode_id)
+            if telemetry is not None:
+                telemetry.on_fault(
+                    fs.device, inode_id, page, cluster, seconds,
+                    now=clock.now, window=window, fs=fs,
                     components=component_delta(before))
             for extra in range(page, page + cluster):
-                if cache.insert((inode.id, extra)) is not None:
-                    self.counters.evictions += 1
-                if self.telemetry is not None and extra != page:
-                    self.telemetry.on_readahead_insert((inode.id, extra))
+                if cache.insert((inode_id, extra)) is not None:
+                    counters.evictions += 1
+                if telemetry is not None and extra != page:
+                    telemetry.on_readahead_insert((inode_id, extra))
 
     # -- the event-driven read path ------------------------------------
 
@@ -584,45 +599,49 @@ class Kernel:
                                            use_readahead)
             return
         inode = of.inode
+        inode_id = inode.id
+        fs = of.fs
         cache = self.page_cache
+        counters = self.counters
+        readahead = of.readahead
         npages = inode.npages
         for page in page_span(offset, length):
-            window = of.readahead.advise(page) if use_readahead else 1
-            key = (inode.id, page)
+            window = readahead.advise(page) if use_readahead else 1
+            key = (inode_id, page)
             if cache.access(key):
-                self.counters.cache_hits += 1
+                counters.cache_hits += 1
                 if self.prefetcher is not None:
                     self.prefetcher.note_access(key)
                 if self.telemetry is not None:
-                    self.telemetry.on_hit(inode.id, page)
+                    self.telemetry.on_hit(inode_id, page)
                 continue
-            self.counters.cache_misses += 1
-            self.counters.hard_faults += 1
+            counters.cache_misses += 1
+            counters.hard_faults += 1
             cluster = 1
             limit = min(window, npages - page)
             while (cluster < limit
-                   and not cache.peek((inode.id, page + cluster))):
+                   and not cache.peek((inode_id, page + cluster))):
                 cluster += 1
-            future = engine.submit_cluster(of.fs, inode, page, cluster)
+            future = engine.submit_cluster(fs, inode, page, cluster)
             completion = yield future
             seconds = completion.duration
-            self.counters.pages_read += cluster
-            self.counters.readahead_pages += cluster - 1
+            counters.pages_read += cluster
+            counters.readahead_pages += cluster - 1
             if self.tracer is not None:
                 self.tracer.emit(self.clock.now, "fault",
-                                 of.fs.device.time_category, seconds,
+                                 fs.device.time_category, seconds,
                                  page=page, cluster=cluster,
-                                 inode=inode.id)
+                                 inode=inode_id)
             if self.telemetry is not None:
                 self.telemetry.on_fault(
-                    of.fs.device, inode.id, page, cluster, seconds,
-                    now=self.clock.now, window=window, fs=of.fs,
+                    fs.device, inode_id, page, cluster, seconds,
+                    now=self.clock.now, window=window, fs=fs,
                     completion=completion)
             for extra in range(page, page + cluster):
-                if cache.insert((inode.id, extra)) is not None:
-                    self.counters.evictions += 1
+                if cache.insert((inode_id, extra)) is not None:
+                    counters.evictions += 1
                 if self.telemetry is not None and extra != page:
-                    self.telemetry.on_readahead_insert((inode.id, extra))
+                    self.telemetry.on_readahead_insert((inode_id, extra))
 
     def _fault_in_runs(self, of: OpenFile, offset: int, length: int,
                        use_readahead: bool = True):
@@ -642,54 +661,58 @@ class Kernel:
         """
         engine = self.engine
         inode = of.inode
+        inode_id = inode.id
+        fs = of.fs
         cache = self.page_cache
+        counters = self.counters
+        readahead = of.readahead
         npages = inode.npages
         runs: list[tuple[int, int, int]] = []  # (page, cluster, window)
         covered_until = -1  # end of the last planned run, exclusive
         for page in page_span(offset, length):
-            window = of.readahead.advise(page) if use_readahead else 1
-            key = (inode.id, page)
+            window = readahead.advise(page) if use_readahead else 1
+            key = (inode_id, page)
             if page < covered_until or cache.access(key):
-                self.counters.cache_hits += 1
+                counters.cache_hits += 1
                 if page >= covered_until and self.prefetcher is not None:
                     self.prefetcher.note_access(key)
                 if self.telemetry is not None:
-                    self.telemetry.on_hit(inode.id, page)
+                    self.telemetry.on_hit(inode_id, page)
                 continue
-            self.counters.cache_misses += 1
-            self.counters.hard_faults += 1
+            counters.cache_misses += 1
+            counters.hard_faults += 1
             cluster = 1
             limit = min(window, npages - page)
             while (cluster < limit
-                   and not cache.peek((inode.id, page + cluster))):
+                   and not cache.peek((inode_id, page + cluster))):
                 cluster += 1
             runs.append((page, cluster, window))
             covered_until = page + cluster
         if not runs:
             return
-        futures = [engine.submit_cluster(of.fs, inode, page, cluster)
+        futures = [engine.submit_cluster(fs, inode, page, cluster)
                    for page, cluster, _ in runs]
         yield futures
         for (page, cluster, window), future in zip(runs, futures):
             completion = future.value
             seconds = completion.duration
-            self.counters.pages_read += cluster
-            self.counters.readahead_pages += cluster - 1
+            counters.pages_read += cluster
+            counters.readahead_pages += cluster - 1
             if self.tracer is not None:
                 self.tracer.emit(self.clock.now, "fault",
-                                 of.fs.device.time_category, seconds,
+                                 fs.device.time_category, seconds,
                                  page=page, cluster=cluster,
-                                 inode=inode.id)
+                                 inode=inode_id)
             if self.telemetry is not None:
                 self.telemetry.on_fault(
-                    of.fs.device, inode.id, page, cluster, seconds,
-                    now=self.clock.now, window=window, fs=of.fs,
+                    fs.device, inode_id, page, cluster, seconds,
+                    now=self.clock.now, window=window, fs=fs,
                     completion=completion)
             for extra in range(page, page + cluster):
-                if cache.insert((inode.id, extra)) is not None:
-                    self.counters.evictions += 1
+                if cache.insert((inode_id, extra)) is not None:
+                    counters.evictions += 1
                 if self.telemetry is not None and extra != page:
-                    self.telemetry.on_readahead_insert((inode.id, extra))
+                    self.telemetry.on_readahead_insert((inode_id, extra))
 
     def mmap(self, fd: int) -> "MappedRegion":
         """Map an open file; reads through the mapping skip the

@@ -43,6 +43,31 @@ from repro.sim.units import GB, MB, MSEC, NSEC
 FULL_SCALE_CACHE_PAGES = (42 * MB) // (4 * 1024)
 
 
+@dataclass(frozen=True)
+class MachineConfig:
+    """Core implementation knobs — semantics-preserving backends only.
+
+    Every combination produces bit-identical virtual-time results
+    (property-tested in ``tests/test_core_fastpath_identity.py``); the
+    knobs trade host speed and memory, nothing observable inside the
+    simulation.
+
+    * ``residency`` — the page cache's per-inode index:
+      ``"runs"`` (sorted interval runs, the default), ``"bitmap"``
+      (numpy boolean arrays, fastest for dense random churn), or
+      ``"sets"`` (the pre-PR-7 per-page sets, kept as the reference).
+    * ``event_loop`` — ``"bucket"`` (calendar queue, the default) or
+      ``"heap"`` (the pre-PR-7 binary heap reference).
+    """
+
+    residency: str = "runs"
+    event_loop: str = "bucket"
+
+
+#: the default knobs (interval runs + calendar queue)
+DEFAULT_CONFIG = MachineConfig()
+
+
 @dataclass
 class Machine:
     """A kernel plus its mounted filesystems."""
@@ -76,14 +101,18 @@ class Machine:
                        seed: int = 20000101, noise: float = 0.0,
                        policy: str = "lru",
                        readahead_min_pages: int = 4,
-                       readahead_max_pages: int = 16) -> "Machine":
+                       readahead_max_pages: int = 16,
+                       config: MachineConfig | None = None) -> "Machine":
         """The paper's Unix-utility testbed (Table 2)."""
+        config = config or DEFAULT_CONFIG
         rng = RngStreams(seed)
         memory = MemoryDevice(latency=175 * NSEC, bandwidth=48 * MB)
         kernel = Kernel(cache_pages=cache_pages, policy=policy,
                         memory=memory, rng=rng, noise=noise,
                         readahead_min_pages=readahead_min_pages,
-                        readahead_max_pages=readahead_max_pages)
+                        readahead_max_pages=readahead_max_pages,
+                        residency=config.residency,
+                        event_loop=config.event_loop)
         machine = cls(kernel=kernel)
         root = Ext2Like(
             DiskDevice(name="root-disk", capacity=2 * GB,
@@ -106,14 +135,18 @@ class Machine:
                  seed: int = 20000102, noise: float = 0.0,
                  policy: str = "lru",
                  readahead_min_pages: int = 4,
-                 readahead_max_pages: int = 16) -> "Machine":
+                 readahead_max_pages: int = 16,
+                 config: MachineConfig | None = None) -> "Machine":
         """The paper's LHEASOFT testbed (Table 3)."""
+        config = config or DEFAULT_CONFIG
         rng = RngStreams(seed)
         memory = MemoryDevice(latency=210 * NSEC, bandwidth=87 * MB)
         kernel = Kernel(cache_pages=cache_pages, policy=policy,
                         memory=memory, rng=rng, noise=noise,
                         readahead_min_pages=readahead_min_pages,
-                        readahead_max_pages=readahead_max_pages)
+                        readahead_max_pages=readahead_max_pages,
+                        residency=config.residency,
+                        event_loop=config.event_loop)
         machine = cls(kernel=kernel)
         disk = DiskDevice(
             name="lhea-disk",
@@ -135,14 +168,18 @@ class Machine:
             seed: int = 20000103, noise: float = 0.0,
             policy: str = "lru",
             readahead_min_pages: int = 4,
-            readahead_max_pages: int = 16) -> "Machine":
+            readahead_max_pages: int = 16,
+            config: MachineConfig | None = None) -> "Machine":
         """An HSM machine: tape library + disk staging cache + local disk."""
+        config = config or DEFAULT_CONFIG
         rng = RngStreams(seed)
         memory = MemoryDevice(latency=175 * NSEC, bandwidth=48 * MB)
         kernel = Kernel(cache_pages=cache_pages, policy=policy,
                         memory=memory, rng=rng, noise=noise,
                         readahead_min_pages=readahead_min_pages,
-                        readahead_max_pages=readahead_max_pages)
+                        readahead_max_pages=readahead_max_pages,
+                        residency=config.residency,
+                        event_loop=config.event_loop)
         machine = cls(kernel=kernel)
         root = Ext2Like(
             DiskDevice(name="root-disk", capacity=2 * GB,

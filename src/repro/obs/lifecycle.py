@@ -122,7 +122,7 @@ def _close(parts: dict[str, float], queue_wait: float,
 # the record
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LifecycleRecord:
     """One traced I/O request, from submission to completion.
 
@@ -136,6 +136,12 @@ class LifecycleRecord:
     it).  For a block-layer-coalesced request, the record covers the
     *union* page run and ``merged_from`` lists the ``(inode, page,
     cluster)`` of every member request that was folded into it.
+
+    Slotted, and slab-reused by :class:`LifecycleTracker` once its
+    bounded deque starts evicting: a record that ages out of the window
+    is renewed in place for the incoming request instead of allocating a
+    fresh 16-field object per fault.  Holding references to records past
+    the tracker's capacity window was never part of the contract.
     """
 
     id: int
@@ -257,16 +263,38 @@ class LifecycleTracker:
         queue_wait = start_time - submit_time
         latency = finish_time - submit_time
         closed = _close(_normalize(components, kind), queue_wait, latency)
-        rec = LifecycleRecord(
-            id=self._next_id, kind=kind, task=task, fs=fs,
-            device_class=device_class, inode=inode, page=page,
-            cluster=cluster, nbytes=nbytes, submit_time=submit_time,
-            start_time=start_time, finish_time=finish_time,
-            components=closed, predicted_latency=predicted_latency,
-            predicted_queue=predicted_queue, merged_from=merged_from)
-        self._next_id += 1
+        rec = None
         if len(self.records) == self.records.maxlen:
             self.dropped += 1
+            # slab reuse: the evicted record leaves the contract window,
+            # so renew its shell in place for the incoming request
+            rec = self.records.popleft()
+            renew = object.__setattr__
+            renew(rec, "id", self._next_id)
+            renew(rec, "kind", kind)
+            renew(rec, "task", task)
+            renew(rec, "fs", fs)
+            renew(rec, "device_class", device_class)
+            renew(rec, "inode", inode)
+            renew(rec, "page", page)
+            renew(rec, "cluster", cluster)
+            renew(rec, "nbytes", nbytes)
+            renew(rec, "submit_time", submit_time)
+            renew(rec, "start_time", start_time)
+            renew(rec, "finish_time", finish_time)
+            renew(rec, "components", closed)
+            renew(rec, "predicted_latency", predicted_latency)
+            renew(rec, "predicted_queue", predicted_queue)
+            renew(rec, "merged_from", merged_from)
+        else:
+            rec = LifecycleRecord(
+                id=self._next_id, kind=kind, task=task, fs=fs,
+                device_class=device_class, inode=inode, page=page,
+                cluster=cluster, nbytes=nbytes, submit_time=submit_time,
+                start_time=start_time, finish_time=finish_time,
+                components=closed, predicted_latency=predicted_latency,
+                predicted_queue=predicted_queue, merged_from=merged_from)
+        self._next_id += 1
         self.records.append(rec)
         if self._records_total is not None:
             cls = device_class

@@ -35,6 +35,7 @@ SITES = {
     "event_loop.dispatch": "EventLoop.step: pop + fire one event",
     "kernel.sled_build": "Kernel ioctl FSLEDS_GET: build_sled_vector",
     "cache.residency": "PageCache.insert: residency update + eviction",
+    "cache.resident_runs": "PageCache.resident_runs: interval-run query",
     "block.merge_flush": "PlugQueue.flush: coalesce + dispatch",
 }
 

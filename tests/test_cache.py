@@ -272,7 +272,9 @@ class TestResidencyIndex:
             rebuilt = {}
             for key in cache._resident:
                 rebuilt.setdefault(key[0], set()).add(key[1])
-            assert rebuilt == cache._by_inode
+            indexed = {inode_id: set(cache._index.pages(inode_id))
+                       for inode_id in cache._index.inodes()}
+            assert rebuilt == indexed
 
 
 class TestPinnedEvictionRefresh:

@@ -1,0 +1,136 @@
+"""Property tests: the three residency backends are interchangeable.
+
+``RunResidency`` (interval runs), ``BitmapResidency`` (numpy), and
+``SetResidency`` (the pre-PR-7 reference) must answer every query
+identically under any legal update sequence — that is what lets
+:class:`~repro.machine.MachineConfig` swap them without perturbing a
+single virtual-time result.  A pure-python model (dict of sets) provides
+the ground truth; a second test drives whole :class:`PageCache`
+instances, one per backend, through an identical churn script and
+demands identical observable state (residency, runs, counts, bitmaps,
+generations, eviction stats).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache.page_cache import PageCache
+from repro.cache.residency import RESIDENCY_KINDS, make_residency
+
+SEEDS = range(6)
+OPS = 600
+INODES = (1, 2, 7)
+MAX_PAGE = 96
+
+
+def _check_against_model(backends, model):
+    """Every backend answers every query exactly like the model."""
+    npages_probes = (0, 1, MAX_PAGE // 3, MAX_PAGE, MAX_PAGE + 10)
+    for index in backends:
+        assert set(index.inodes()) == {i for i, pages in model.items()
+                                       if pages}
+        for inode_id in INODES:
+            pages = model.get(inode_id, set())
+            assert index.pages(inode_id) == frozenset(pages)
+            for npages in npages_probes:
+                clipped = sorted(p for p in pages if p < npages)
+                runs: list[tuple[int, int]] = []
+                for page in clipped:
+                    if runs and runs[-1][1] == page:
+                        runs[-1] = (runs[-1][0], page + 1)
+                    else:
+                        runs.append((page, page + 1))
+                assert index.runs(inode_id, npages) == runs
+                assert index.count(inode_id, npages) == len(clipped)
+                assert index.bitmap(inode_id, npages) == [
+                    p in pages for p in range(npages)]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_backends_match_model(seed):
+    assert set(RESIDENCY_KINDS) == {"runs", "bitmap", "sets"}
+    rng = random.Random(seed)
+    backends = [make_residency(kind) for kind in RESIDENCY_KINDS]
+    model: dict[int, set[int]] = {}
+
+    for op in range(OPS):
+        roll = rng.random()
+        inode_id = rng.choice(INODES)
+        pages = model.setdefault(inode_id, set())
+        if roll < 0.55:
+            # sequential bias: extend the trailing run half the time
+            page = (max(pages) + 1 if pages and rng.random() < 0.5
+                    else rng.randrange(MAX_PAGE))
+            if page not in pages and page < MAX_PAGE:
+                pages.add(page)
+                for index in backends:
+                    index.add(inode_id, page)
+        elif roll < 0.85:
+            if pages:
+                page = rng.choice(sorted(pages))
+                pages.discard(page)
+                for index in backends:
+                    index.discard(inode_id, page)
+        elif roll < 0.95:
+            expected = sorted(pages)
+            pages.clear()
+            for index in backends:
+                assert list(index.pop_inode(inode_id)) == expected
+        else:
+            model = {}
+            for index in backends:
+                index.clear()
+        if op % 40 == 0:
+            _check_against_model(backends, model)
+
+    _check_against_model(backends, model)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_page_caches_agree_across_backends(seed):
+    """Whole caches on different backends stay observably identical."""
+    rng = random.Random(seed)
+    caches = [PageCache(48, policy="lru", residency=kind)
+              for kind in RESIDENCY_KINDS]
+
+    for _ in range(OPS):
+        roll = rng.random()
+        inode_id = rng.choice(INODES)
+        page = rng.randrange(MAX_PAGE)
+        key = (inode_id, page)
+        if roll < 0.55:
+            results = {cache.insert(key) if key not in cache
+                       else cache.access(key) for cache in caches}
+            assert len(results) == 1  # same hit/miss/evictee everywhere
+        elif roll < 0.70:
+            assert len({cache.access(key) for cache in caches}) == 1
+        elif roll < 0.80:
+            assert len({cache.invalidate(key) for cache in caches}) == 1
+        elif roll < 0.90:
+            assert len({cache.invalidate_inode(inode_id)
+                        for cache in caches}) == 1
+        elif roll < 0.95:
+            assert len({cache.pin(key) for cache in caches}) == 1
+        else:
+            assert len({cache.unpin(key) for cache in caches}) == 1
+
+    reference = caches[0]
+    for cache in caches[1:]:
+        assert len(cache) == len(reference)
+        assert cache.stats.hits == reference.stats.hits
+        assert cache.stats.misses == reference.stats.misses
+        assert cache.stats.evictions == reference.stats.evictions
+        for inode_id in INODES:
+            assert (cache.resident_set(inode_id)
+                    == reference.resident_set(inode_id))
+            assert (cache.resident_runs(inode_id, MAX_PAGE)
+                    == reference.resident_runs(inode_id, MAX_PAGE))
+            assert (cache.resident_pages(inode_id, MAX_PAGE)
+                    == reference.resident_pages(inode_id, MAX_PAGE))
+            assert (cache.resident_count(inode_id, MAX_PAGE)
+                    == reference.resident_count(inode_id, MAX_PAGE))
+            assert (cache.generation(inode_id)
+                    == reference.generation(inode_id))

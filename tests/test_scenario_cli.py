@@ -235,3 +235,12 @@ class TestCli:
         sites = {row["site"] for row in dump["sites"]}
         assert {"event_loop.dispatch", "kernel.sled_build"} <= sites
         assert all(row["calls"] > 0 for row in dump["sites"])
+
+    def test_profile_budget_gate(self, capsys):
+        # any real run clears 1 fault/s; nothing clears 1e12
+        assert main(["profile", "--budget", "1"]) == 0
+        assert "PASS" in capsys.readouterr().out
+        assert main(["profile", "--budget", "1e12"]) == 1
+        assert "FAIL" in capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            main(["profile", "--budget", "0"])
