@@ -17,6 +17,7 @@ Examples::
     sleds-run trace /mnt/ext2/demo/big.txt -o t.json  # Chrome trace JSON
     sleds-run report --json report.json   # lifecycle + critical path
     sleds-run slo --json slo.json         # per-class latency objectives
+    sleds-run slo --tenants 3 --by-tenant # per-tenant compliance rollup
     sleds-run profile --json prof.json    # wall-clock hot-path profile
     sleds-run --scenario my_setup.json wc /mnt/nfs/pub/dataset.txt
 """
@@ -144,6 +145,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_slo.add_argument("--interval", type=float, default=0.005,
                        help="time-series sampling cadence in virtual "
                             "seconds (default 5 ms)")
+    p_slo.add_argument("--tenants", type=int, default=0, metavar="N",
+                       help="assign readers round-robin to N tenants "
+                            "(0 = untenanted; implies --by-tenant)")
+    p_slo.add_argument("--by-tenant", action="store_true",
+                       dest="by_tenant",
+                       help="roll compliance / burn rate up per tenant "
+                            "as well as per device class")
     p_slo.add_argument("--json", default=None, metavar="FILE",
                        dest="json_out",
                        help="also write the SLO report as JSON")
@@ -224,10 +232,16 @@ def _prefetch_sleds(kernel, paths: list[str]) -> None:
         kernel.close(fd)
 
 
-def _run_readers(kernel, paths: list[str], prefix: str = "reader"):
-    """Run one concurrent reader per path; returns (tasks, stats)."""
+def _run_readers(kernel, paths: list[str], prefix: str = "reader",
+                 tenants: int = 0):
+    """Run one concurrent reader per path; returns (tasks, stats).
+
+    ``tenants`` > 0 assigns readers round-robin to that many tenants
+    (``tenant0`` .. ``tenantN-1``), so faults carry tenant attribution.
+    """
     from repro.sim.tasks import EventScheduler, Task, reader_task_async
-    tasks = [Task(f"{prefix}{i}", reader_task_async(kernel, path))
+    tasks = [Task(f"{prefix}{i}", reader_task_async(kernel, path),
+                  tenant=f"tenant{i % tenants}" if tenants else None)
              for i, path in enumerate(paths)]
     return tasks, EventScheduler(kernel, tasks).run()
 
@@ -409,18 +423,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "slo":
         from repro.obs import SloTracker, Telemetry
         paths = args.paths or list(DEMO_READ_MIX)
+        if args.tenants < 0:
+            raise SystemExit(f"--tenants must be >= 0: {args.tenants}")
+        by_tenant = args.by_tenant or args.tenants > 0
         objectives = _parse_objectives(args.objective)
         telemetry = Telemetry()
         kernel.attach_telemetry(telemetry)
         series = telemetry.enable_timeseries(interval=args.interval)
         slo = SloTracker.for_classes(
             objectives, compliance_target=args.compliance,
-            window=args.window, registry=telemetry.registry
+            window=args.window, registry=telemetry.registry,
+            track_tenants=by_tenant
         ).attach(telemetry)
         kernel.attach_engine()
         _prefetch_sleds(kernel, paths)
         start = kernel.clock.now
-        tasks, stats = _run_readers(kernel, paths)
+        tasks, stats = _run_readers(kernel, paths, tenants=args.tenants)
         end = kernel.clock.now
         series.sample(end)  # final state always lands on the series
         kernel.detach_engine()
@@ -432,6 +450,9 @@ def main(argv: list[str] | None = None) -> int:
               f"{sum(s.hard_faults for s in stats.values())} fault(s)")
         print()
         print(slo.render())
+        if by_tenant:
+            print()
+            print(slo.render_tenants())
         print(f"\ntime series: {len(series)} sample(s) across "
               f"{len(series.family_names_sampled())} metric families "
               f"(cadence {args.interval} virtual s)")
@@ -440,6 +461,7 @@ def main(argv: list[str] | None = None) -> int:
                 "paths": paths,
                 "makespan_s": end - start,
                 "objectives": objectives,
+                "tenants": args.tenants,
                 "compliance_target": args.compliance,
                 "window": args.window,
                 "slo": slo.to_dict(),

@@ -114,6 +114,9 @@ class FaultRun:
     future: IoFuture
     submit_time: float
     seq: int
+    #: owning tenant; merge groups never span tenants, so one tenant's
+    #: QoS class can't smuggle bytes through another's merged request
+    tenant: str | None = None
 
     @property
     def end_page(self) -> int:
@@ -166,6 +169,9 @@ class PlugQueue:
         self.merged_bytes = 0
         self.flushes = 0
         self.plug_wait_total = 0.0
+        #: per-tenant intake accounting (requests / bytes through the plug)
+        self.tenant_requests: dict[str, int] = {}
+        self.tenant_bytes: dict[str, int] = {}
         #: optional hooks: on_merge(members, nbytes), on_plug(wait, batch)
         self.on_merge = None
         self.on_plug = None
@@ -177,15 +183,21 @@ class PlugQueue:
 
     # -- intake ----------------------------------------------------------
 
-    def submit(self, fs, inode, page: int, cluster: int) -> IoFuture:
+    def submit(self, fs, inode, page: int, cluster: int,
+               tenant: str | None = None) -> IoFuture:
         """Hold one fault cluster; returns the future its task blocks on."""
         now = self.loop.clock.now
         future = IoFuture(f"plug:{fs.name}:{inode.id}:{page}+{cluster}")
         run = FaultRun(fs=fs, inode=inode, page=page, cluster=cluster,
                        addr=inode.extent_map.addr_of(page),
                        nbytes=cluster * PAGE_SIZE, future=future,
-                       submit_time=now, seq=self._seq)
+                       submit_time=now, seq=self._seq, tenant=tenant)
         self._seq += 1
+        if tenant is not None:
+            self.tenant_requests[tenant] = (
+                self.tenant_requests.get(tenant, 0) + 1)
+            self.tenant_bytes[tenant] = (
+                self.tenant_bytes.get(tenant, 0) + run.nbytes)
         self._plugged.append(run)
         self._plugged_bytes += run.nbytes
         # plug churn invalidates queue-aware SLED estimates, same as
@@ -247,18 +259,19 @@ class PlugQueue:
     def _coalesce(self, batch: list[FaultRun]) -> list[list[FaultRun]]:
         """Partition a flushed batch into merge groups.
 
-        Grouping is per inode (merging across files would interleave
-        unrelated extents); inodes are visited in first-appearance order
-        and runs page-sorted with the submission sequence as tie-break,
-        so the grouping is a pure function of the batch — deterministic
-        across runs.
+        Grouping is per (inode, tenant) — merging across files would
+        interleave unrelated extents, and merging across tenants would
+        let one QoS class ride (and bill) another's request; keys are
+        visited in first-appearance order and runs page-sorted with the
+        submission sequence as tie-break, so the grouping is a pure
+        function of the batch — deterministic across runs.
         """
         if not self.config.merge or self.policy.max_bytes <= 0:
             return [[run] for run in batch]
-        by_inode: dict[int, list[FaultRun]] = {}
-        order: list[int] = []
+        by_inode: dict[tuple, list[FaultRun]] = {}
+        order: list[tuple] = []
         for run in batch:
-            key = run.inode.id
+            key = (run.inode.id, run.tenant)
             if key not in by_inode:
                 by_inode[key] = []
                 order.append(key)
@@ -294,7 +307,7 @@ class PlugQueue:
                 run.addr, run.nbytes, is_write=False, service=service,
                 label=(f"fault:{run.fs.name}:{run.inode.id}:"
                        f"{run.page}+{run.cluster}"),
-                submit_time=run.submit_time)
+                submit_time=run.submit_time, tenant=run.tenant)
             inner.add_done_callback(
                 lambda f, r=run: self._settle_single(f, r))
             return
@@ -319,7 +332,7 @@ class PlugQueue:
             service=service,
             label=(f"merged:{fs.name}:{inode.id}:"
                    f"{union_start}+{union_pages}x{len(group)}"),
-            submit_time=primary.submit_time)
+            submit_time=primary.submit_time, tenant=primary.tenant)
         merged_from = tuple((run.inode.id, run.page, run.cluster)
                             for run in sorted(group, key=lambda r: r.seq))
         inner.add_done_callback(

@@ -15,6 +15,9 @@ resulting address sequence).
 * :class:`SstfScheduler` — greedy shortest-seek-first from the head.
 * :class:`ClookScheduler` — circular LOOK: ascending addresses starting
   at the head position, wrapping once (Linux-style elevator behaviour).
+* :class:`FairScheduler` — CFQ-style per-tenant service budgets (deficit
+  round robin by bytes) layered over any position policy, so one
+  streaming tenant cannot starve everyone else's queue.
 """
 
 from __future__ import annotations
@@ -33,6 +36,8 @@ class IoRequest:
     nbytes: int
     is_write: bool = False
     tag: object = None  # opaque caller context (inode, page range, ...)
+    #: owning tenant for QoS accounting; None = untenanted (the default)
+    tenant: str | None = None
 
     def __post_init__(self) -> None:
         if self.addr < 0 or self.nbytes <= 0:
@@ -55,6 +60,16 @@ class IoScheduler(ABC):
     """
 
     name = "abstract"
+    #: True when each DeviceQueue needs its own instance (stateful
+    #: schedulers); stateless position policies are safely shared
+    per_device = False
+    #: True when the scheduler differentiates by request tenant — the
+    #: kernel folds the current tenant into SLED stamps only then
+    tenant_aware = False
+
+    def clone(self) -> IoScheduler:
+        """A per-device instance; stateless schedulers return self."""
+        return self
 
     @abstractmethod
     def order(self, requests: list[IoRequest],
@@ -142,17 +157,133 @@ class ClookScheduler(IoScheduler):
         return best
 
 
+#: tenant key used internally for untenanted requests in the DRR ring
+_NO_TENANT = ""
+
+
+class FairScheduler(IoScheduler):
+    """Budget-based fair queueing across tenants (deficit round robin).
+
+    Tenants take turns in first-arrival order; each visit to a tenant
+    grants it ``quantum_bytes`` of service credit, and the tenant's
+    position-best request (chosen by the ``inner`` elevator — clook by
+    default) is served while its accumulated deficit covers the request
+    size.  Large recalls therefore cost their owner several turns instead
+    of monopolising the device: the max/min per-tenant service share over
+    any backlogged interval is bounded, CFQ-style.
+
+    The scheduler is *stateful* (deficits, round-robin cursor), so each
+    :class:`DeviceQueue` clones its own instance (``per_device``).  When
+    every pending request is untenanted — or a single tenant has the
+    device to itself — selection delegates straight to the inner policy,
+    which makes the untenanted fast path bit-identical to running the
+    inner elevator alone.
+    """
+
+    name = "fair"
+    per_device = True
+    tenant_aware = True
+
+    def __init__(self, inner: str | IoScheduler = "clook",
+                 quantum_bytes: int = 256 * 1024) -> None:
+        if quantum_bytes <= 0:
+            raise InvalidArgumentError(
+                f"quantum_bytes must be positive: {quantum_bytes}")
+        self.inner = (make_scheduler(inner) if isinstance(inner, str)
+                      else inner)
+        if self.inner.per_device:  # pragma: no cover - defensive
+            raise InvalidArgumentError(
+                f"inner policy {self.inner.name!r} is stateful; "
+                "layer fair over a position policy (fcfs/sstf/clook)")
+        self.quantum_bytes = quantum_bytes
+        self._deficits: dict[str, float] = {}
+        self._ring: list[str] = []
+        self._cursor = 0
+        #: cumulative bytes served per tenant (observability / tests)
+        self.served_bytes: dict[str, int] = {}
+
+    def clone(self) -> FairScheduler:
+        return FairScheduler(inner=self.inner,
+                             quantum_bytes=self.quantum_bytes)
+
+    @staticmethod
+    def _tenant_key(request: IoRequest) -> str:
+        return request.tenant if request.tenant is not None else _NO_TENANT
+
+    def order(self, requests: list[IoRequest],
+              head_pos: int) -> list[IoRequest]:
+        # simulate a full drain on a fresh clone so analysis-order calls
+        # never disturb the live deficits
+        sim = self.clone()
+        pending = list(requests)
+        out: list[IoRequest] = []
+        pos = head_pos
+        while pending:
+            request = sim.take_next(pending, pos)
+            out.append(request)
+            pos = request.end
+        return out
+
+    def take_next(self, pending: list[IoRequest],
+                  head_pos: int) -> IoRequest:
+        tenants = {self._tenant_key(r) for r in pending}
+        if len(tenants) == 1:
+            # untenanted or single-tenant: pure position policy; drop any
+            # stale DRR state so the next contended period starts fresh
+            if self._ring:
+                self._ring.clear()
+                self._deficits.clear()
+                self._cursor = 0
+            request = self.inner.take_next(pending, head_pos)
+            key = self._tenant_key(request)
+            if key != _NO_TENANT:
+                self.served_bytes[key] = (
+                    self.served_bytes.get(key, 0) + request.nbytes)
+            return request
+        for request in pending:  # ring membership in first-arrival order
+            key = self._tenant_key(request)
+            if key not in self._deficits:
+                self._deficits[key] = 0.0
+                self._ring.append(key)
+        while True:
+            if self._cursor >= len(self._ring):
+                self._cursor = 0
+            tenant = self._ring[self._cursor]
+            mine = [r for r in pending if self._tenant_key(r) == tenant]
+            if not mine:
+                # drained tenant: leave the ring, deficit resets (DRR)
+                self._ring.pop(self._cursor)
+                del self._deficits[tenant]
+                continue
+            candidate = self.inner.take_next(mine, head_pos)
+            if self._deficits[tenant] >= candidate.nbytes:
+                self._deficits[tenant] -= candidate.nbytes
+                pending.remove(candidate)
+                if tenant != _NO_TENANT:
+                    self.served_bytes[tenant] = (
+                        self.served_bytes.get(tenant, 0) + candidate.nbytes)
+                return candidate
+            self._deficits[tenant] += self.quantum_bytes
+            self._cursor += 1
+
+
 SCHEDULERS = {
     "fcfs": FcfsScheduler,
     "sstf": SstfScheduler,
     "clook": ClookScheduler,
+    "fair": FairScheduler,
 }
 
 
 def make_scheduler(name: str) -> IoScheduler:
-    """Build a scheduler by name (``fcfs``, ``sstf``, ``clook``)."""
+    """Build a scheduler by name (``fcfs``, ``sstf``, ``clook``,
+    ``fair``, or ``fair:<inner>`` to pick the fair elevator's position
+    policy, e.g. ``fair:sstf``)."""
+    lowered = name.lower()
+    if lowered.startswith("fair:"):
+        return FairScheduler(inner=lowered.partition(":")[2])
     try:
-        factory = SCHEDULERS[name.lower()]
+        factory = SCHEDULERS[lowered]
     except KeyError:
         raise InvalidArgumentError(
             f"unknown I/O scheduler {name!r}; "
@@ -210,7 +341,9 @@ class DeviceQueue:
     def __init__(self, device, loop, scheduler: IoScheduler) -> None:
         self.device = device
         self.loop = loop
-        self.scheduler = scheduler
+        # stateful schedulers (the fair elevator) get one instance per
+        # device so deficits never leak across devices
+        self.scheduler = scheduler.clone() if scheduler.per_device else scheduler
         self._pending: list[IoRequest] = []
         self._entries: dict[object, tuple] = {}
         self._seq = 0
@@ -234,14 +367,16 @@ class DeviceQueue:
 
     def submit(self, addr: int, nbytes: int, is_write: bool,
                service=None, label: str = "",
-               submit_time: float | None = None):
+               submit_time: float | None = None,
+               tenant: str | None = None):
         """Enqueue one request; returns an IoFuture resolving to its
         :class:`~repro.devices.base.Completion`.
 
         ``submit_time`` backdates the request's arrival (default: now) —
         the plug/merge stage passes the original arrival time of a held
         request so the time spent plugged shows up as queue wait, keeping
-        the lifecycle latency identity exact.
+        the lifecycle latency identity exact.  ``tenant`` attributes the
+        request to a QoS class for tenant-aware schedulers.
         """
         from repro.sim.events import IoFuture
 
@@ -252,7 +387,7 @@ class DeviceQueue:
         tag = self._seq
         self._seq += 1
         request = IoRequest(addr=addr, nbytes=nbytes, is_write=is_write,
-                            tag=tag)
+                            tag=tag, tenant=tenant)
         self._entries[tag] = (future, submit_time, service)
         self._pending.append(request)
         self.congestion_epoch += 1
@@ -283,14 +418,30 @@ class DeviceQueue:
         future.resolve(None)
         return True
 
-    def estimated_delay(self, now: float) -> float:
+    def estimated_delay(self, now: float, tenant: str | None = None) -> float:
         """Seconds a request arriving now would wait before service:
         the in-flight remainder plus a nominal-spec estimate of every
-        queued request — the queue-aware term SLEDs fold into latency."""
+        queued request — the queue-aware term SLEDs fold into latency.
+
+        Under a tenant-aware scheduler a tenant's request does *not* wait
+        behind other tenants' whole backlogs — only behind its own queue
+        plus roughly one service quantum per competing tenant — so the
+        per-class prediction reflects the fair elevator's isolation.
+        """
         delay = max(0.0, self._inflight_finish - now) if self._busy else 0.0
         spec = self.device.spec
+        if tenant is None or not self.scheduler.tenant_aware:
+            for request in self._pending:
+                delay += spec.latency + request.nbytes / spec.bandwidth
+            return delay
+        quantum = getattr(self.scheduler, "quantum_bytes", 256 * 1024)
+        others: set[str | None] = set()
         for request in self._pending:
-            delay += spec.latency + request.nbytes / spec.bandwidth
+            if request.tenant == tenant:
+                delay += spec.latency + request.nbytes / spec.bandwidth
+            else:
+                others.add(request.tenant)
+        delay += len(others) * (spec.latency + quantum / spec.bandwidth)
         return delay
 
     def _dispatch(self) -> None:

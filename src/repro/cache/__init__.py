@@ -1,6 +1,6 @@
 """Buffer-cache substrate: page cache, replacement policies, readahead."""
 
-from repro.cache.page_cache import CacheStats, PageCache
+from repro.cache.page_cache import CacheStats, PageCache, TenantMemoryLimit
 from repro.cache.policies import (
     ClockPolicy,
     LruPolicy,
@@ -19,6 +19,7 @@ from repro.cache.residency import (
 __all__ = [
     "PageCache",
     "CacheStats",
+    "TenantMemoryLimit",
     "RunResidency",
     "BitmapResidency",
     "SetResidency",

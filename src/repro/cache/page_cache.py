@@ -27,16 +27,76 @@ O(pages) or O(cache-size); the generation is the cache half of the stamp
 that lets the kernel serve repeated ``FSLEDS_GET`` requests without
 re-walking the file (see :mod:`repro.core.builder` and
 ``docs/performance.md``).
+
+Multi-tenancy
+-------------
+
+The cache scales out along two orthogonal axes (both default-off, and a
+1-shard no-limit cache executes the exact seed operation sequence):
+
+* **Sharding** (``shards=N``): keys hash (by inode id) onto N independent
+  shards, each with its own replacement-policy instance and capacity
+  share.  Residency, pinning, the per-inode index, and generations stay
+  global — SLED builds and invalidation are shard-oblivious — but victim
+  selection and capacity pressure are per shard, so thousands of
+  concurrent tasks do not serialise recency updates through one policy
+  structure.  A global *eviction balancer* periodically reassigns
+  capacity toward hot shards (proportional to recent insertions, with a
+  floor so cold shards never starve).
+
+* **Tenant working-set limits** (``tenant_limits={tenant: TenantMemoryLimit}``):
+  cgroup-style isolation.  Above ``soft_pages`` a tenant becomes the
+  preferred reclaim victim (its oldest page goes before the shard
+  policy's choice); at ``hard_pages`` an insert by that tenant evicts the
+  tenant's own oldest page first, so one streaming tenant can never push
+  another tenant's working set out of memory.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cache.policies import PageKey, ReplacementPolicy, make_policy
 from repro.cache.residency import make_residency
 
 _EMPTY_PAGES: frozenset[int] = frozenset()
+
+
+@dataclass(frozen=True)
+class TenantMemoryLimit:
+    """cgroup-style working-set bounds for one tenant.
+
+    ``soft_pages`` — reclaim pressure: above this many resident pages the
+    tenant's oldest page is the preferred eviction victim.  ``hard_pages``
+    — cap: an insert by a tenant at its cap evicts the tenant's own
+    oldest page first.  Either may be ``None`` (unbounded on that axis).
+    """
+
+    soft_pages: int | None = None
+    hard_pages: int | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("soft_pages", "hard_pages"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive: {value}")
+        if (self.soft_pages is not None and self.hard_pages is not None
+                and self.soft_pages > self.hard_pages):
+            raise ValueError(
+                f"soft_pages {self.soft_pages} exceeds hard_pages "
+                f"{self.hard_pages}")
+
+
+class _Shard:
+    """One cache shard: a policy instance plus its capacity share."""
+
+    __slots__ = ("policy", "capacity", "count", "recent_insertions")
+
+    def __init__(self, policy: ReplacementPolicy, capacity: int) -> None:
+        self.policy = policy
+        self.capacity = capacity
+        self.count = 0
+        self.recent_insertions = 0
 
 
 @dataclass
@@ -50,6 +110,14 @@ class CacheStats:
     invalidations: int = 0
     #: evictions that had to sacrifice a pinned page (pin pressure)
     forced_pinned_evictions: int = 0
+    #: evictions chosen by soft-limit reclaim pressure (over-soft tenant)
+    tenant_soft_evictions: int = 0
+    #: evictions forced by a tenant hitting its hard cap (self-eviction)
+    tenant_hard_evictions: int = 0
+    #: capacity rebalances performed by the eviction balancer
+    rebalances: int = 0
+    #: evictions by owning tenant (untenanted pages are not counted)
+    tenant_evictions: dict = field(default_factory=dict)
 
     def reset(self) -> None:
         self.hits = 0
@@ -58,6 +126,10 @@ class CacheStats:
         self.evictions = 0
         self.invalidations = 0
         self.forced_pinned_evictions = 0
+        self.tenant_soft_evictions = 0
+        self.tenant_hard_evictions = 0
+        self.rebalances = 0
+        self.tenant_evictions = {}
 
     @property
     def accesses(self) -> int:
@@ -74,16 +146,38 @@ class PageCache:
     def __init__(self, capacity_pages: int,
                  policy: str | ReplacementPolicy = "lru",
                  max_pinned_fraction: float = 0.9,
-                 residency: str = "runs") -> None:
+                 residency: str = "runs",
+                 shards: int = 1,
+                 tenant_limits: dict[str, TenantMemoryLimit] | None = None,
+                 rebalance_every: int = 1024) -> None:
         if capacity_pages <= 0:
             raise ValueError(f"cache capacity must be positive: {capacity_pages}")
         if not 0.0 <= max_pinned_fraction <= 1.0:
             raise ValueError(
                 f"max_pinned_fraction must be in [0, 1]: {max_pinned_fraction}")
+        if shards <= 0:
+            raise ValueError(f"shards must be positive: {shards}")
+        if shards > capacity_pages:
+            raise ValueError(
+                f"shards {shards} exceeds capacity {capacity_pages}")
+        if shards > 1 and not isinstance(policy, str):
+            raise ValueError(
+                "a sharded cache needs a policy *name* (one instance per "
+                "shard); got a policy object")
+        if rebalance_every <= 0:
+            raise ValueError(
+                f"rebalance_every must be positive: {rebalance_every}")
         self.capacity_pages = capacity_pages
-        self.policy = (make_policy(policy) if isinstance(policy, str)
-                       else policy)
         self.max_pinned_fraction = max_pinned_fraction
+        self.rebalance_every = rebalance_every
+        base, extra = divmod(capacity_pages, shards)
+        self._shards: list[_Shard] = [
+            _Shard(make_policy(policy) if isinstance(policy, str) else policy,
+                   base + (1 if i < extra else 0))
+            for i in range(shards)
+        ]
+        self._nshards = shards
+        self._inserts_since_rebalance = 0
         self._resident: set[PageKey] = set()
         self._pinned: set[PageKey] = set()
         #: per-inode residency index backend (runs | bitmap | sets)
@@ -91,6 +185,15 @@ class PageCache:
         #: per-inode residency generation; entries survive full eviction so
         #: a generation never moves backwards for a given inode id
         self._generations: dict[int, int] = {}
+        #: tenant bookkeeping, populated lazily — untenanted workloads
+        #: never touch these (the seed fast path stays allocation-free)
+        self._tenant_limits: dict[str, TenantMemoryLimit] = (
+            dict(tenant_limits) if tenant_limits else {})
+        self._page_tenant: dict[PageKey, str] = {}
+        self._tenant_pages: dict[str, dict[PageKey, None]] = {}
+        #: owner of the page most recently evicted (None if untenanted);
+        #: the kernel reads this to attribute evictions per tenant
+        self.last_evicted_owner: str | None = None
         self.stats = CacheStats()
         #: optional telemetry observer (see repro.obs.telemetry) receiving
         #: on_cache_access / on_cache_insert / on_cache_evict /
@@ -101,9 +204,21 @@ class PageCache:
         self.profiler = None
 
     @property
+    def policy(self) -> ReplacementPolicy:
+        """Shard 0's replacement policy — *the* policy at 1 shard."""
+        return self._shards[0].policy
+
+    @property
+    def nshards(self) -> int:
+        return self._nshards
+
+    @property
     def residency_kind(self) -> str:
         """Which residency index backend this cache runs on."""
         return self._index.kind
+
+    def _shard_of(self, key: PageKey) -> _Shard:
+        return self._shards[key[0] % self._nshards]
 
     # -- queries ------------------------------------------------------------
 
@@ -155,6 +270,32 @@ class PageCache:
         O(runs) on the run backend (O(1) when the whole index fits)."""
         return self._index.count(inode_id, npages)
 
+    def tenant_resident_count(self, tenant: str) -> int:
+        """How many resident pages the tenant currently owns."""
+        pages = self._tenant_pages.get(tenant)
+        return len(pages) if pages is not None else 0
+
+    def tenant_report(self) -> dict[str, dict[str, int | None]]:
+        """Per-tenant residency vs configured limits, for observability."""
+        tenants = set(self._tenant_pages) | set(self._tenant_limits)
+        out: dict[str, dict[str, int | None]] = {}
+        for tenant in sorted(tenants):
+            limit = self._tenant_limits.get(tenant)
+            out[tenant] = {
+                "resident_pages": self.tenant_resident_count(tenant),
+                "soft_pages": limit.soft_pages if limit else None,
+                "hard_pages": limit.hard_pages if limit else None,
+                "evictions": self.stats.tenant_evictions.get(tenant, 0),
+            }
+        return out
+
+    def shard_report(self) -> list[dict[str, int]]:
+        """Per-shard occupancy and capacity, for observability."""
+        return [{"capacity_pages": shard.capacity,
+                 "resident_pages": shard.count,
+                 "recent_insertions": shard.recent_insertions}
+                for shard in self._shards]
+
     # -- index maintenance -----------------------------------------------
 
     def _index_add(self, key: PageKey) -> None:
@@ -167,6 +308,36 @@ class PageCache:
         self._index.discard(inode_id, page)
         self._generations[inode_id] = self._generations.get(inode_id, 0) + 1
 
+    # -- tenant bookkeeping ----------------------------------------------
+
+    def _tenant_track(self, key: PageKey, tenant: str) -> None:
+        self._page_tenant[key] = tenant
+        pages = self._tenant_pages.get(tenant)
+        if pages is None:
+            pages = self._tenant_pages[tenant] = {}
+        pages[key] = None
+
+    def _tenant_forget(self, key: PageKey) -> str | None:
+        """Drop tenant bookkeeping for an evicted/invalidated key."""
+        if not self._page_tenant:
+            return None
+        tenant = self._page_tenant.pop(key, None)
+        if tenant is not None:
+            pages = self._tenant_pages.get(tenant)
+            if pages is not None:
+                pages.pop(key, None)
+                if not pages:
+                    del self._tenant_pages[tenant]
+        return tenant
+
+    def _note_eviction_owner(self, key: PageKey) -> None:
+        owner = self._tenant_forget(key)
+        self.last_evicted_owner = owner
+        if owner is not None:
+            stats = self.stats
+            stats.tenant_evictions[owner] = (
+                stats.tenant_evictions.get(owner, 0) + 1)
+
     # -- the read/write path --------------------------------------------------
 
     def access(self, key: PageKey) -> bool:
@@ -176,7 +347,7 @@ class PageCache:
         completes, via :meth:`insert`.
         """
         if key in self._resident:
-            self.policy.on_hit(key)
+            self._shard_of(key).policy.on_hit(key)
             self.stats.hits += 1
             if self.observer is not None:
                 self.observer.on_cache_access(key, hit=True)
@@ -186,7 +357,7 @@ class PageCache:
             self.observer.on_cache_access(key, hit=False)
         return False
 
-    def insert(self, key: PageKey) -> PageKey | None:
+    def insert(self, key: PageKey, tenant: str | None = None) -> PageKey | None:
         """Make ``key`` resident; returns the evicted key, if any.
 
         Inserting an already-resident key just refreshes its recency.
@@ -194,49 +365,161 @@ class PageCache:
         fresh lease in the policy); only when *every* resident page is
         pinned does the cache sacrifice one, counting it in
         ``stats.forced_pinned_evictions``.
+
+        ``tenant`` attributes the page to a tenant for working-set
+        accounting and limits; ``None`` (the default) takes the exact seed
+        path with no tenant bookkeeping.
         """
         profiler = self.profiler
         t0 = profiler.begin() if profiler is not None else 0.0
+        shard = self._shard_of(key)
         if key in self._resident:
-            self.policy.on_hit(key)
+            shard.policy.on_hit(key)
             if profiler is not None:
                 profiler.add("cache.residency", t0)
             return None
         evicted: PageKey | None = None
-        if len(self._resident) >= self.capacity_pages:
-            evicted = self._evict_one()
+        if tenant is not None:
+            self._enforce_hard_cap(tenant)
+        if shard.count >= shard.capacity:
+            evicted = self._evict_one(shard)
         self._resident.add(key)
         self._index_add(key)
-        self.policy.on_insert(key)
+        shard.policy.on_insert(key)
+        shard.count += 1
         self.stats.insertions += 1
+        if tenant is not None:
+            self._tenant_track(key, tenant)
         if self.observer is not None:
             self.observer.on_cache_insert(key)
+        if self._nshards > 1:
+            shard.recent_insertions += 1
+            self._inserts_since_rebalance += 1
+            if self._inserts_since_rebalance >= self.rebalance_every:
+                self._rebalance()
         if profiler is not None:
             profiler.add("cache.residency", t0)
         return evicted
 
-    def _evict_one(self) -> PageKey:
-        for _ in range(len(self._resident)):
-            victim = self.policy.choose_victim()
+    def _evict_one(self, shard: _Shard) -> PageKey:
+        if self._tenant_limits:
+            victim = self._soft_victim(shard)
+            if victim is not None:
+                self._resident.discard(victim)
+                self._index_discard(victim)
+                self._note_eviction_owner(victim)
+                shard.policy.on_remove(victim)
+                shard.count -= 1
+                self.stats.evictions += 1
+                self.stats.tenant_soft_evictions += 1
+                if self.observer is not None:
+                    self.observer.on_cache_evict(victim, forced=False)
+                return victim
+        for _ in range(shard.count):
+            victim = shard.policy.choose_victim()
             if victim not in self._pinned:
                 self._resident.discard(victim)
                 self._index_discard(victim)
+                if self._page_tenant:
+                    self._note_eviction_owner(victim)
+                else:
+                    self.last_evicted_owner = None
+                shard.count -= 1
                 self.stats.evictions += 1
                 if self.observer is not None:
                     self.observer.on_cache_evict(victim, forced=False)
                 return victim
             # pinned: give it a fresh lease and keep looking
-            self.policy.on_refresh(victim)
+            shard.policy.on_refresh(victim)
         # every resident page is pinned: forced eviction, oldest pinned
-        victim = self.policy.choose_victim()
+        victim = shard.policy.choose_victim()
         self._pinned.discard(victim)
         self._resident.discard(victim)
         self._index_discard(victim)
+        if self._page_tenant:
+            self._note_eviction_owner(victim)
+        else:
+            self.last_evicted_owner = None
+        shard.count -= 1
         self.stats.evictions += 1
         self.stats.forced_pinned_evictions += 1
         if self.observer is not None:
             self.observer.on_cache_evict(victim, forced=True)
         return victim
+
+    def _soft_victim(self, shard: _Shard) -> PageKey | None:
+        """The oldest unpinned page (in this shard) of a tenant over its
+        soft limit — the cgroup-style preferred reclaim victim."""
+        for tenant, limit in self._tenant_limits.items():
+            if limit.soft_pages is None:
+                continue
+            pages = self._tenant_pages.get(tenant)
+            if pages is None or len(pages) <= limit.soft_pages:
+                continue
+            for key in pages:
+                if key not in self._pinned and self._shard_of(key) is shard:
+                    return key
+        return None
+
+    def _enforce_hard_cap(self, tenant: str) -> None:
+        """Evict the tenant's own oldest unpinned pages while it sits at
+        or above its hard cap, so the upcoming insert is self-funded."""
+        limit = self._tenant_limits.get(tenant)
+        if limit is None or limit.hard_pages is None:
+            return
+        pages = self._tenant_pages.get(tenant)
+        while pages and len(pages) >= limit.hard_pages:
+            victim = next(
+                (key for key in pages if key not in self._pinned), None)
+            if victim is None:  # every page pinned: cap cannot be enforced
+                return
+            shard = self._shard_of(victim)
+            self._resident.discard(victim)
+            self._index_discard(victim)
+            self._note_eviction_owner(victim)
+            shard.policy.on_remove(victim)
+            shard.count -= 1
+            self.stats.evictions += 1
+            self.stats.tenant_hard_evictions += 1
+            if self.observer is not None:
+                self.observer.on_cache_evict(victim, forced=False)
+            pages = self._tenant_pages.get(tenant)
+
+    # -- the eviction balancer -------------------------------------------
+
+    def _rebalance(self) -> None:
+        """Reassign shard capacities toward recently-hot shards.
+
+        Each shard keeps a floor (a quarter of its even share) so cold
+        shards never starve; the remainder is split proportionally to the
+        insertions observed since the last rebalance, largest remainders
+        rounding up so the shares sum exactly to ``capacity_pages``.
+        Shards that shrank below their occupancy evict down immediately.
+        """
+        self._inserts_since_rebalance = 0
+        shards = self._shards
+        floor = max(1, self.capacity_pages // (self._nshards * 4))
+        spare = self.capacity_pages - floor * self._nshards
+        weights = [shard.recent_insertions for shard in shards]
+        total = sum(weights)
+        if total == 0:
+            weights = [1] * self._nshards
+            total = self._nshards
+        exact = [spare * w / total for w in weights]
+        grants = [int(x) for x in exact]
+        remainder = spare - sum(grants)
+        for i in sorted(range(self._nshards),
+                        key=lambda i: (grants[i] - exact[i], i)):
+            if remainder <= 0:
+                break
+            grants[i] += 1
+            remainder -= 1
+        for shard, grant in zip(shards, grants):
+            shard.capacity = floor + grant
+            shard.recent_insertions = 0
+            while shard.count > shard.capacity:
+                self._evict_one(shard)
+        self.stats.rebalances += 1
 
     # -- pinning (the paper's §3.4 lock/reservation mechanism) -------------
 
@@ -275,10 +558,14 @@ class PageCache:
         """Drop one page; returns True if it was resident."""
         if key not in self._resident:
             return False
+        shard = self._shard_of(key)
         self._resident.discard(key)
         self._index_discard(key)
         self._pinned.discard(key)
-        self.policy.on_remove(key)
+        if self._page_tenant:
+            self._tenant_forget(key)
+        shard.policy.on_remove(key)
+        shard.count -= 1
         self.stats.invalidations += 1
         if self.observer is not None:
             self.observer.on_cache_remove(key)
@@ -293,12 +580,16 @@ class PageCache:
         resident.
         """
         count = 0
+        shard = self._shards[inode_id % self._nshards]
         for page in self._index.pop_inode(inode_id):
             count += 1
             key = (inode_id, page)
             self._resident.discard(key)
             self._pinned.discard(key)
-            self.policy.on_remove(key)
+            if self._page_tenant:
+                self._tenant_forget(key)
+            shard.policy.on_remove(key)
+            shard.count -= 1
             if self.observer is not None:
                 self.observer.on_cache_remove(key)
         self._generations[inode_id] = self._generations.get(inode_id, 0) + 1
@@ -309,11 +600,15 @@ class PageCache:
         """Drop everything (e.g. to simulate a cold boot); returns count."""
         count = len(self._resident)
         for key in list(self._resident):
-            self.policy.on_remove(key)
+            self._shard_of(key).policy.on_remove(key)
             if self.observer is not None:
                 self.observer.on_cache_remove(key)
         self._resident.clear()
         self._pinned.clear()
+        self._page_tenant.clear()
+        self._tenant_pages.clear()
+        for shard in self._shards:
+            shard.count = 0
         for inode_id in list(self._index.inodes()):
             self._generations[inode_id] = self._generations.get(inode_id, 0) + 1
         self._index.clear()

@@ -113,9 +113,11 @@ class Kernel:
                  readahead_min_pages: int = 4,
                  readahead_max_pages: int = 16,
                  writeback_threshold_pages: int = 256,
-                 io_scheduler: str = "clook",
+                 io_scheduler="clook",
                  residency: str = "runs",
-                 event_loop: str = "bucket") -> None:
+                 event_loop: str = "bucket",
+                 cache_shards: int = 1,
+                 tenant_limits=None) -> None:
         if noise < 0:
             raise InvalidArgumentError(f"noise must be >= 0: {noise}")
         if readahead_min_pages < 1:
@@ -124,7 +126,9 @@ class Kernel:
         self.clock = VirtualClock()
         self.memory = memory or MemoryDevice()
         self.page_cache = PageCache(cache_pages, policy,
-                                    residency=residency)
+                                    residency=residency,
+                                    shards=cache_shards,
+                                    tenant_limits=tenant_limits)
         #: which event-loop implementation attach_engine builds
         #: ("bucket" calendar queue, or the reference "heap")
         self.event_loop_kind = event_loop
@@ -136,8 +140,10 @@ class Kernel:
         self.readahead_min_pages = readahead_min_pages
         self.readahead_max_pages = readahead_max_pages
         self.writeback_threshold_pages = writeback_threshold_pages
-        from repro.block.scheduler import make_scheduler
-        self.io_scheduler = make_scheduler(io_scheduler)
+        from repro.block.scheduler import IoScheduler, make_scheduler
+        self.io_scheduler = (io_scheduler
+                             if isinstance(io_scheduler, IoScheduler)
+                             else make_scheduler(io_scheduler))
         self._mounts: list[tuple[tuple[str, ...], FileSystem]] = []
         self._fds: dict[int, OpenFile] = {}
         self._next_fd = 3
@@ -162,6 +168,12 @@ class Kernel:
         #: (repro.sim.tasks sets it around each slice).  Observability
         #: attribution only; never consulted by the timing model.
         self.current_task = None
+        #: tenant of the task currently executing (set alongside
+        #: current_task).  Drives per-tenant accounting, cache ownership,
+        #: and QoS classes; None (untenanted) leaves every tenant path
+        #: dormant and the timing model only sees it through explicitly
+        #: tenant-aware schedulers.
+        self.current_tenant = None
         #: optional SLED-driven prefetcher (see repro.sim.prefetch);
         #: None = off.  When set, cache hits notify it so it can count
         #: speculative fetches that actually got used.
@@ -494,11 +506,14 @@ class Kernel:
         readahead = of.readahead
         npages = inode.npages
         category = fs.device.time_category
+        tenant = self.current_tenant
         for page in page_span(offset, length):
             window = readahead.advise(page) if use_readahead else 1
             key = (inode_id, page)
             if cache.access(key):
                 counters.cache_hits += 1
+                if tenant is not None:
+                    counters.note_tenant_hit(tenant)
                 if prefetcher is not None:
                     prefetcher.note_access(key)
                 if telemetry is not None:
@@ -506,6 +521,8 @@ class Kernel:
                 continue
             counters.cache_misses += 1
             counters.hard_faults += 1
+            if tenant is not None:
+                counters.note_tenant_miss(tenant)
             cluster = 1
             limit = min(window, npages - page)
             while (cluster < limit
@@ -526,8 +543,11 @@ class Kernel:
                     now=clock.now, window=window, fs=fs,
                     components=component_delta(before))
             for extra in range(page, page + cluster):
-                if cache.insert((inode_id, extra)) is not None:
+                if cache.insert((inode_id, extra), tenant) is not None:
                     counters.evictions += 1
+                    if tenant is not None:
+                        counters.note_tenant_eviction(
+                            cache.last_evicted_owner)
                 if telemetry is not None and extra != page:
                     telemetry.on_readahead_insert((inode_id, extra))
 
@@ -605,11 +625,14 @@ class Kernel:
         counters = self.counters
         readahead = of.readahead
         npages = inode.npages
+        tenant = self.current_tenant
         for page in page_span(offset, length):
             window = readahead.advise(page) if use_readahead else 1
             key = (inode_id, page)
             if cache.access(key):
                 counters.cache_hits += 1
+                if tenant is not None:
+                    counters.note_tenant_hit(tenant)
                 if self.prefetcher is not None:
                     self.prefetcher.note_access(key)
                 if self.telemetry is not None:
@@ -617,12 +640,15 @@ class Kernel:
                 continue
             counters.cache_misses += 1
             counters.hard_faults += 1
+            if tenant is not None:
+                counters.note_tenant_miss(tenant)
             cluster = 1
             limit = min(window, npages - page)
             while (cluster < limit
                    and not cache.peek((inode_id, page + cluster))):
                 cluster += 1
-            future = engine.submit_cluster(fs, inode, page, cluster)
+            future = engine.submit_cluster(fs, inode, page, cluster,
+                                           tenant=tenant)
             completion = yield future
             seconds = completion.duration
             counters.pages_read += cluster
@@ -638,8 +664,11 @@ class Kernel:
                     now=self.clock.now, window=window, fs=fs,
                     completion=completion)
             for extra in range(page, page + cluster):
-                if cache.insert((inode_id, extra)) is not None:
+                if cache.insert((inode_id, extra), tenant) is not None:
                     counters.evictions += 1
+                    if tenant is not None:
+                        counters.note_tenant_eviction(
+                            cache.last_evicted_owner)
                 if self.telemetry is not None and extra != page:
                     self.telemetry.on_readahead_insert((inode_id, extra))
 
@@ -667,6 +696,7 @@ class Kernel:
         counters = self.counters
         readahead = of.readahead
         npages = inode.npages
+        tenant = self.current_tenant
         runs: list[tuple[int, int, int]] = []  # (page, cluster, window)
         covered_until = -1  # end of the last planned run, exclusive
         for page in page_span(offset, length):
@@ -674,6 +704,8 @@ class Kernel:
             key = (inode_id, page)
             if page < covered_until or cache.access(key):
                 counters.cache_hits += 1
+                if tenant is not None:
+                    counters.note_tenant_hit(tenant)
                 if page >= covered_until and self.prefetcher is not None:
                     self.prefetcher.note_access(key)
                 if self.telemetry is not None:
@@ -681,6 +713,8 @@ class Kernel:
                 continue
             counters.cache_misses += 1
             counters.hard_faults += 1
+            if tenant is not None:
+                counters.note_tenant_miss(tenant)
             cluster = 1
             limit = min(window, npages - page)
             while (cluster < limit
@@ -690,7 +724,8 @@ class Kernel:
             covered_until = page + cluster
         if not runs:
             return
-        futures = [engine.submit_cluster(fs, inode, page, cluster)
+        futures = [engine.submit_cluster(fs, inode, page, cluster,
+                                         tenant=tenant)
                    for page, cluster, _ in runs]
         yield futures
         for (page, cluster, window), future in zip(runs, futures):
@@ -709,8 +744,11 @@ class Kernel:
                     now=self.clock.now, window=window, fs=fs,
                     completion=completion)
             for extra in range(page, page + cluster):
-                if cache.insert((inode_id, extra)) is not None:
+                if cache.insert((inode_id, extra), tenant) is not None:
                     counters.evictions += 1
+                    if tenant is not None:
+                        counters.note_tenant_eviction(
+                            cache.last_evicted_owner)
                 if self.telemetry is not None and extra != page:
                     self.telemetry.on_readahead_insert((inode_id, extra))
 
@@ -758,7 +796,8 @@ class Kernel:
         self._charge_memory(len(data))
         dirty = self._dirty.setdefault(inode.id, (of.fs, inode, set()))[2]
         for page in page_span(of.pos, len(data)):
-            if self.page_cache.insert((inode.id, page)) is not None:
+            if self.page_cache.insert((inode.id, page),
+                                      self.current_tenant) is not None:
                 self.counters.evictions += 1
             dirty.add(page)
         self.counters.bytes_written += len(data)
@@ -795,7 +834,8 @@ class Kernel:
         self._charge_memory(len(data))
         dirty = self._dirty.setdefault(inode.id, (of.fs, inode, set()))[2]
         for page in page_span(offset, len(data)):
-            if self.page_cache.insert((inode.id, page)) is not None:
+            if self.page_cache.insert((inode.id, page),
+                                      self.current_tenant) is not None:
                 self.counters.evictions += 1
             dirty.add(page)
         self.counters.bytes_written += len(data)
@@ -999,7 +1039,8 @@ class Kernel:
                     vector = cached[1]
                 else:
                     queue_delays = (
-                        self.engine.queue_delays(of.fs, self.clock.now)
+                        self.engine.queue_delays(of.fs, self.clock.now,
+                                                 self.current_tenant)
                         if self.engine is not None else None)
                     profiler = self.profiler
                     if profiler is not None:
@@ -1019,7 +1060,7 @@ class Kernel:
                         # epochs; recompute the delays for attribution
                         # only (no clock, no RNG)
                         queue_delays = self.engine.queue_delays(
-                            of.fs, self.clock.now)
+                            of.fs, self.clock.now, self.current_tenant)
                     tele.on_sleds(inode_id, vector, fs=of.fs,
                                   inode=of.inode, queue_delays=queue_delays)
                 return vector
@@ -1042,7 +1083,13 @@ class Kernel:
                 self.sleds_table.version)
         if self.engine is None:
             return base
-        return base + (self.engine.congestion_stamp(of.fs),)
+        stamp = base + (self.engine.congestion_stamp(of.fs),)
+        if self.engine.scheduler.tenant_aware:
+            # tenant-aware elevators give different tenants different
+            # queue-delay estimates for the same congestion state — a
+            # cached vector is only valid for the tenant that built it
+            stamp += (self.current_tenant,)
+        return stamp
 
     def sleds_stamp(self, fd: int):
         """Current SLED-vector stamp for an open file — a vDSO-style read.

@@ -36,15 +36,50 @@ class KernelCounters:
     sleds_cache_hits: int = 0
     #: library-level refetches skipped because the kernel stamp was unchanged
     sleds_refetch_skips: int = 0
+    #: per-tenant cache accounting; empty until a tenanted task runs.
+    #: tenant_evictions is keyed by the *owner* of the evicted page.
+    tenant_cache_hits: dict = field(default_factory=dict)
+    tenant_cache_misses: dict = field(default_factory=dict)
+    tenant_evictions: dict = field(default_factory=dict)
+
+    #: dict-valued fields, copied/diffed per key (everything else is int)
+    _DICT_FIELDS = ("tenant_cache_hits", "tenant_cache_misses",
+                    "tenant_evictions")
+
+    def note_tenant_hit(self, tenant: str) -> None:
+        self.tenant_cache_hits[tenant] = (
+            self.tenant_cache_hits.get(tenant, 0) + 1)
+
+    def note_tenant_miss(self, tenant: str) -> None:
+        self.tenant_cache_misses[tenant] = (
+            self.tenant_cache_misses.get(tenant, 0) + 1)
+
+    def note_tenant_eviction(self, owner: str | None) -> None:
+        """Attribute one eviction to the evicted page's owner (no-op for
+        untenanted victims)."""
+        if owner is not None:
+            self.tenant_evictions[owner] = (
+                self.tenant_evictions.get(owner, 0) + 1)
 
     def copy(self) -> "KernelCounters":
-        return KernelCounters(**vars(self))
+        values = vars(self).copy()
+        for name in self._DICT_FIELDS:
+            values[name] = dict(values[name])
+        return KernelCounters(**values)
 
     def delta(self, earlier: "KernelCounters") -> "KernelCounters":
-        return KernelCounters(**{
-            name: getattr(self, name) - getattr(earlier, name)
-            for name in vars(self)
-        })
+        values = {}
+        for name, value in vars(self).items():
+            before = getattr(earlier, name)
+            if name in self._DICT_FIELDS:
+                values[name] = {
+                    tenant: count - before.get(tenant, 0)
+                    for tenant, count in value.items()
+                    if count - before.get(tenant, 0)
+                }
+            else:
+                values[name] = value - before
+        return KernelCounters(**values)
 
 
 @dataclass

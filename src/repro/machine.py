@@ -45,12 +45,12 @@ FULL_SCALE_CACHE_PAGES = (42 * MB) // (4 * 1024)
 
 @dataclass(frozen=True)
 class MachineConfig:
-    """Core implementation knobs — semantics-preserving backends only.
+    """Core implementation + multi-tenant knobs.
 
-    Every combination produces bit-identical virtual-time results
-    (property-tested in ``tests/test_core_fastpath_identity.py``); the
-    knobs trade host speed and memory, nothing observable inside the
-    simulation.
+    The first group is semantics-preserving backends: every combination
+    produces bit-identical virtual-time results (property-tested in
+    ``tests/test_core_fastpath_identity.py``); the knobs trade host
+    speed and memory, nothing observable inside the simulation.
 
     * ``residency`` — the page cache's per-inode index:
       ``"runs"`` (sorted interval runs, the default), ``"bitmap"``
@@ -58,10 +58,26 @@ class MachineConfig:
       ``"sets"`` (the pre-PR-7 per-page sets, kept as the reference).
     * ``event_loop`` — ``"bucket"`` (calendar queue, the default) or
       ``"heap"`` (the pre-PR-7 binary heap reference).
+
+    The second group configures the multi-tenant kernel.  At the
+    defaults (one shard, no limits, fair elevator off) the machine is
+    bit-identical to the single-tenant seed — property-tested in
+    ``tests/test_multitenant_identity.py``:
+
+    * ``shards`` — page-cache shard count (1 = the unsharded seed
+      structure);
+    * ``tenant_limits`` — ``{tenant: TenantMemoryLimit}`` soft/hard
+      working-set caps (None = unlimited);
+    * ``fair_elevator`` — replace the default C-LOOK elevator with the
+      budget-based fair scheduler (``"fair"``: per-tenant DRR byte
+      budgets over a C-LOOK position policy).
     """
 
     residency: str = "runs"
     event_loop: str = "bucket"
+    shards: int = 1
+    tenant_limits: dict | None = None
+    fair_elevator: bool = False
 
 
 #: the default knobs (interval runs + calendar queue)
@@ -112,7 +128,11 @@ class Machine:
                         readahead_min_pages=readahead_min_pages,
                         readahead_max_pages=readahead_max_pages,
                         residency=config.residency,
-                        event_loop=config.event_loop)
+                        event_loop=config.event_loop,
+                        io_scheduler="fair" if config.fair_elevator
+                        else "clook",
+                        cache_shards=config.shards,
+                        tenant_limits=config.tenant_limits)
         machine = cls(kernel=kernel)
         root = Ext2Like(
             DiskDevice(name="root-disk", capacity=2 * GB,
@@ -146,7 +166,11 @@ class Machine:
                         readahead_min_pages=readahead_min_pages,
                         readahead_max_pages=readahead_max_pages,
                         residency=config.residency,
-                        event_loop=config.event_loop)
+                        event_loop=config.event_loop,
+                        io_scheduler="fair" if config.fair_elevator
+                        else "clook",
+                        cache_shards=config.shards,
+                        tenant_limits=config.tenant_limits)
         machine = cls(kernel=kernel)
         disk = DiskDevice(
             name="lhea-disk",
@@ -179,7 +203,11 @@ class Machine:
                         readahead_min_pages=readahead_min_pages,
                         readahead_max_pages=readahead_max_pages,
                         residency=config.residency,
-                        event_loop=config.event_loop)
+                        event_loop=config.event_loop,
+                        io_scheduler="fair" if config.fair_elevator
+                        else "clook",
+                        cache_shards=config.shards,
+                        tenant_limits=config.tenant_limits)
         machine = cls(kernel=kernel)
         root = Ext2Like(
             DiskDevice(name="root-disk", capacity=2 * GB,

@@ -160,6 +160,9 @@ class LifecycleRecord:
     predicted_latency: float | None = None
     predicted_queue: float | None = None
     merged_from: tuple[tuple[int, int, int], ...] = ()
+    #: owning tenant of the task that issued the request (None when the
+    #: issuing task carries no tenant — the single-tenant default)
+    tenant: str | None = None
 
     @property
     def queue_wait(self) -> float:
@@ -187,6 +190,7 @@ class LifecycleRecord:
     def to_dict(self) -> dict:
         return {
             "id": self.id, "kind": self.kind, "task": self.task,
+            "tenant": self.tenant,
             "fs": self.fs, "device_class": self.device_class,
             "inode": self.inode, "page": self.page,
             "cluster": self.cluster, "nbytes": self.nbytes,
@@ -259,7 +263,8 @@ class LifecycleTracker:
                finish_time: float, components: dict[str, float],
                predicted_latency: float | None = None,
                predicted_queue: float | None = None,
-               merged_from: tuple = ()) -> LifecycleRecord:
+               merged_from: tuple = (),
+               tenant: str | None = None) -> LifecycleRecord:
         queue_wait = start_time - submit_time
         latency = finish_time - submit_time
         closed = _close(_normalize(components, kind), queue_wait, latency)
@@ -286,6 +291,7 @@ class LifecycleTracker:
             renew(rec, "predicted_latency", predicted_latency)
             renew(rec, "predicted_queue", predicted_queue)
             renew(rec, "merged_from", merged_from)
+            renew(rec, "tenant", tenant)
         else:
             rec = LifecycleRecord(
                 id=self._next_id, kind=kind, task=task, fs=fs,
@@ -293,7 +299,8 @@ class LifecycleTracker:
                 cluster=cluster, nbytes=nbytes, submit_time=submit_time,
                 start_time=start_time, finish_time=finish_time,
                 components=closed, predicted_latency=predicted_latency,
-                predicted_queue=predicted_queue, merged_from=merged_from)
+                predicted_queue=predicted_queue, merged_from=merged_from,
+                tenant=tenant)
         self._next_id += 1
         self.records.append(rec)
         if self._records_total is not None:

@@ -57,9 +57,10 @@ class SloTarget:
     """One latency objective.
 
     ``cls`` is a device class (``"disk"``, ``"nfs"``, ...) or ``"*"``;
-    ``tenant`` is None (class-wide), an exact task name, or a
-    ``prefix*`` glob over task names — the forward-compatible hook for
-    per-tenant/task-group SLOs on the multi-tenant roadmap item.
+    ``tenant`` is None (class-wide), an exact name, or a ``prefix*``
+    glob.  A record carrying a real tenant label (its issuing task was
+    tenanted) matches on that label; untenanted records fall back to
+    the task name, preserving the pre-multi-tenant task-glob behaviour.
     ``compliance_target`` is the fraction of requests that must meet
     ``latency_objective``; its complement is the error budget.
     """
@@ -85,10 +86,11 @@ class SloTarget:
             return False
         if self.tenant is None:
             return True
-        task = record.task or ""
+        subject = record.tenant if record.tenant is not None \
+            else (record.task or "")
         if self.tenant.endswith("*"):
-            return task.startswith(self.tenant[:-1])
-        return task == self.tenant
+            return subject.startswith(self.tenant[:-1])
+        return subject == self.tenant
 
     @property
     def error_budget(self) -> float:
@@ -176,6 +178,86 @@ class _TargetState:
         }
 
 
+class _TenantState:
+    """Accumulated grading for one tenant, rolled up across every target
+    that graded its records.
+
+    A record counts as violated when it missed *any* matched target;
+    the burn rate divides the windowed violation rate by the strictest
+    (smallest) error budget among the targets that graded this tenant,
+    so a burn above 1.0 means at least one objective is overspending.
+    """
+
+    __slots__ = ("tenant", "window", "violations_window", "total",
+                 "violations", "latency_sum", "worst", "min_budget")
+
+    def __init__(self, tenant: str, window: int) -> None:
+        self.tenant = tenant
+        self.window: deque[tuple[float, bool]] = deque(maxlen=window)
+        self.violations_window = 0
+        self.total = 0
+        self.violations = 0
+        self.latency_sum = 0.0
+        self.worst = 0.0
+        self.min_budget = 1.0
+
+    def observe(self, latency: float, violated: bool,
+                budget: float) -> None:
+        if (len(self.window) == self.window.maxlen
+                and self.window[0][1]):
+            self.violations_window -= 1
+        self.window.append((latency, violated))
+        if violated:
+            self.violations_window += 1
+            self.violations += 1
+        self.total += 1
+        self.latency_sum += latency
+        if latency > self.worst:
+            self.worst = latency
+        if budget < self.min_budget:
+            self.min_budget = budget
+
+    @property
+    def compliance(self) -> float:
+        if self.total == 0:
+            return 1.0
+        return 1.0 - self.violations / self.total
+
+    @property
+    def window_compliance(self) -> float:
+        if not self.window:
+            return 1.0
+        return 1.0 - self.violations_window / len(self.window)
+
+    @property
+    def burn_rate(self) -> float:
+        if not self.window:
+            return 0.0
+        rate = self.violations_window / len(self.window)
+        return rate / self.min_budget
+
+    def quantile(self, q: float) -> float:
+        return window_quantile([lat for lat, _ in self.window], q)
+
+    def to_dict(self) -> dict:
+        return {
+            "tenant": self.tenant,
+            "requests": self.total,
+            "violations": self.violations,
+            "compliance": self.compliance,
+            "window_requests": len(self.window),
+            "window_violations": self.violations_window,
+            "window_compliance": self.window_compliance,
+            "burn_rate": self.burn_rate,
+            "min_error_budget": self.min_budget,
+            "p50_s": self.quantile(0.50),
+            "p99_s": self.quantile(0.99),
+            "mean_latency_s": (self.latency_sum / self.total
+                               if self.total else 0.0),
+            "worst_latency_s": self.worst,
+        }
+
+
 class SloTracker:
     """Grades lifecycle records against declared SLO targets.
 
@@ -189,7 +271,8 @@ class SloTracker:
     """
 
     def __init__(self, targets: list[SloTarget] | tuple[SloTarget, ...],
-                 window: int = 512, registry=None) -> None:
+                 window: int = 512, registry=None,
+                 track_tenants: bool = False) -> None:
         if not targets:
             raise ValueError("need at least one SLO target")
         names = [t.name for t in targets]
@@ -200,8 +283,14 @@ class SloTracker:
         self.states = {t.name: _TargetState(t, window)
                        for t in targets}
         self.unmatched = 0
+        self.track_tenants = track_tenants
+        self._window = window
+        #: tenant -> _TenantState rollup (populated only when
+        #: ``track_tenants`` and tenanted records flow)
+        self._tenants: dict[str, _TenantState] = {}
         self._telemetry = None
         self._graded = self._violated = self._burn = None
+        self._tenant_graded = self._tenant_violated = None
         if registry is not None:
             self._graded = registry.counter(
                 "slo_requests_total", "Requests graded per SLO target",
@@ -215,17 +304,27 @@ class SloTracker:
                 "Windowed error-budget burn rate per SLO target "
                 "(1.0 = spending the budget exactly at the allowed rate)",
                 labels=("slo",))
+            self._tenant_graded = registry.counter(
+                "slo_tenant_requests_total",
+                "Requests graded per tenant (any target)",
+                labels=("tenant",))
+            self._tenant_violated = registry.counter(
+                "slo_tenant_violations_total",
+                "Requests per tenant that missed at least one matched "
+                "SLO latency objective", labels=("tenant",))
 
     @classmethod
     def for_classes(cls, objectives: dict[str, float],
                     compliance_target: float = 0.99,
-                    window: int = 512, registry=None) -> "SloTracker":
+                    window: int = 512, registry=None,
+                    track_tenants: bool = False) -> "SloTracker":
         """Convenience: one per-class target per ``{cls: objective}``."""
         targets = [SloTarget(name=f"{c}-latency", cls=c,
                              latency_objective=objective,
                              compliance_target=compliance_target)
                    for c, objective in sorted(objectives.items())]
-        return cls(targets, window=window, registry=registry)
+        return cls(targets, window=window, registry=registry,
+                   track_tenants=track_tenants)
 
     # -- lifecycle-stream subscription ------------------------------------
 
@@ -251,11 +350,17 @@ class SloTracker:
     def observe(self, record: LifecycleRecord) -> None:
         latency = record.latency
         matched = False
+        violated_any = False
+        min_budget = 1.0
         for state in self.states.values():
             if not state.target.matches(record):
                 continue
             matched = True
             violated = state.observe(latency)
+            violated_any = violated_any or violated
+            budget = state.target.error_budget
+            if budget < min_budget:
+                min_budget = budget
             name = state.target.name
             if self._graded is not None:
                 self._graded.labels(slo=name).inc()
@@ -264,12 +369,43 @@ class SloTracker:
                 self._burn.labels(slo=name).set(state.burn_rate)
         if not matched:
             self.unmatched += 1
+        elif self.track_tenants and record.tenant is not None:
+            tenant = record.tenant
+            state = self._tenants.get(tenant)
+            if state is None:
+                state = self._tenants[tenant] = _TenantState(
+                    tenant, self._window)
+            state.observe(latency, violated_any, min_budget)
+            if self._tenant_graded is not None:
+                self._tenant_graded.labels(tenant=tenant).inc()
+                if violated_any:
+                    self._tenant_violated.labels(tenant=tenant).inc()
 
     # -- reporting ---------------------------------------------------------
 
     def report_rows(self) -> list[dict]:
         return [self.states[name].to_dict()
                 for name in sorted(self.states)]
+
+    def tenant_rows(self) -> list[dict]:
+        """Per-tenant rollup rows (empty unless ``track_tenants``)."""
+        return [self._tenants[tenant].to_dict()
+                for tenant in sorted(self._tenants)]
+
+    def render_tenants(self) -> str:
+        lines = ["Per-tenant SLO rollup (rolling window):"]
+        rows = self.tenant_rows()
+        if not rows:
+            lines.append("  (no tenanted requests were graded)")
+        for row in rows:
+            lines.append(
+                f"  {row['tenant']:>16}: "
+                f"n={row['requests']:<6d} "
+                f"p50={human_time(row['p50_s']):>9} "
+                f"p99={human_time(row['p99_s']):>9} "
+                f"compliance={row['compliance']:7.2%} "
+                f"burn={row['burn_rate']:5.2f}x")
+        return "\n".join(lines)
 
     def render(self) -> str:
         lines = ["SLO compliance (rolling window):"]
@@ -296,7 +432,10 @@ class SloTracker:
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "targets": self.report_rows(),
             "unmatched": self.unmatched,
         }
+        if self.track_tenants:
+            out["tenants"] = self.tenant_rows()
+        return out

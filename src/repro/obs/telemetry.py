@@ -158,6 +158,10 @@ class Telemetry:
         self.kernel_counter = r.gauge(
             "kernel_counter", "Cumulative kernel counters",
             labels=("name",))
+        self.kernel_counter_tenant = r.gauge(
+            "kernel_counter_tenant",
+            "Cumulative per-tenant kernel counters",
+            labels=("name", "tenant"))
 
     # ------------------------------------------------------------------
     # attachment
@@ -299,7 +303,8 @@ class Telemetry:
                 components=components,
                 predicted_latency=predicted_latency,
                 predicted_queue=predicted_queue,
-                merged_from=merged_from)
+                merged_from=merged_from,
+                tenant=getattr(self._kernel, "current_tenant", None))
         if rec is not None:
             # carry the closed breakdown + provenance into the trace so
             # chrome://tracing shows where this request's latency went
@@ -328,7 +333,8 @@ class Telemetry:
             submit_time=completion.submit_time,
             start_time=completion.start_time,
             finish_time=completion.finish_time,
-            components=components)
+            components=components,
+            tenant=getattr(self._kernel, "current_tenant", None))
 
     def on_hit(self, inode_id: int, page: int) -> None:
         """A read found its page resident; settle any SLED prediction."""
@@ -388,11 +394,14 @@ class Telemetry:
         self.prefetch_cancelled.inc()
 
     def on_prefetch_complete(self, fs, inode_id: int, page: int,
-                             cluster: int, completion) -> None:
+                             cluster: int, completion,
+                             tenant: str | None = None) -> None:
         """A speculative read finished; record its lifecycle.  Same
         merged-member protocol as :meth:`on_fault`: a secondary member of
         a coalesced request records nothing, a primary records the union
-        with provenance."""
+        with provenance.  ``tenant`` is the plan-time owner — completion
+        callbacks run outside any task, so the kernel's current tenant
+        is gone by the time this fires."""
         self._tick(completion.finish_time)
         merged_from = ()
         if completion.merged:
@@ -412,7 +421,8 @@ class Telemetry:
             submit_time=completion.submit_time,
             start_time=completion.start_time,
             finish_time=completion.finish_time,
-            components=components, merged_from=merged_from)
+            components=components, merged_from=merged_from,
+            tenant=tenant)
 
     def on_sleds(self, inode_id: int, vector, fs=None, inode=None,
                  queue_delays=None) -> None:
@@ -507,6 +517,13 @@ class Telemetry:
         self.virtual_time.labels(category="total").set(kernel.clock.now)
         self.cache_resident.set(len(kernel.page_cache))
         for name, value in sorted(vars(kernel.counters).items()):
+            if isinstance(value, dict):
+                # per-tenant dict counters export as their own labeled
+                # family; a flat gauge can't hold a dict
+                for tenant in sorted(value):
+                    self.kernel_counter_tenant.labels(
+                        name=name, tenant=tenant).set(value[tenant])
+                continue
             self.kernel_counter.labels(name=name).set(value)
         for device in self._observed_devices:
             self.device_busy.labels(device=device.name).set(

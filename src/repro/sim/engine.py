@@ -135,19 +135,29 @@ class IoEngine:
         """Every plug created so far (reporting / tests)."""
         return list(self._plugs.values())
 
-    def submit_cluster(self, fs, inode, page: int, cluster: int) -> IoFuture:
+    _CURRENT_TENANT = object()  # sentinel: "whoever is faulting now"
+
+    def submit_cluster(self, fs, inode, page: int, cluster: int,
+                       tenant=_CURRENT_TENANT) -> IoFuture:
         """Enqueue one fault cluster, serviced through ``fs.read_pages``
         at dispatch time (noise applied as the synchronous path would).
 
         With an active block config, the cluster goes through the
-        device's merge/plug stage instead of straight to the elevator."""
+        device's merge/plug stage instead of straight to the elevator.
+        ``tenant`` defaults to the kernel's current tenant; callers that
+        submit on another task's behalf (the prefetcher, whose pump runs
+        in completion callbacks) pass the owning tenant explicitly."""
+        if tenant is IoEngine._CURRENT_TENANT:
+            tenant = getattr(self.kernel, "current_tenant", None)
         if self.block_active:
-            return self.plug_for(fs.device).submit(fs, inode, page, cluster)
+            return self.plug_for(fs.device).submit(fs, inode, page, cluster,
+                                                   tenant=tenant)
         addr = inode.extent_map.addr_of(page)
         service = self._fault_service(fs, inode, page, cluster, False)
         return self.queue_for(fs.device).submit(
             addr, cluster * PAGE_SIZE, is_write=False, service=service,
-            label=f"fault:{fs.name}:{inode.id}:{page}+{cluster}")
+            label=f"fault:{fs.name}:{inode.id}:{page}+{cluster}",
+            tenant=tenant)
 
     def _fault_service(self, fs, inode, page: int, cluster: int,
                        merged: bool):
@@ -172,12 +182,14 @@ class IoEngine:
 
     # -- queue-aware SLED inputs ----------------------------------------
 
-    def queue_delays(self, fs, now: float) -> dict[str, float]:
+    def queue_delays(self, fs, now: float,
+                     tenant: str | None = None) -> dict[str, float]:
         """Per-device-key extra latency from queue state right now —
-        the term ``FSLEDS_GET`` adds to non-resident SLED latencies."""
+        the term ``FSLEDS_GET`` adds to non-resident SLED latencies.
+        ``tenant`` scopes the estimate under tenant-aware schedulers."""
         delays: dict[str, float] = {}
         for key, device in fs.device_table().items():
-            delay = self.queue_for(device).estimated_delay(now)
+            delay = self.queue_for(device).estimated_delay(now, tenant)
             plug = self._plugs.get(id(device))
             if plug is not None:
                 delay += plug.estimated_delay()

@@ -54,21 +54,27 @@ class Prefetcher:
         self.engine = engine
         self.max_inflight_bytes = max_inflight_bytes
         self.max_run_pages = max_run_pages
-        #: future -> (fs, inode, page, cluster) for submitted speculation
+        #: future -> (fs, inode, page, cluster, tenant) for submitted
+        #: speculation; the tenant is captured at *plan* time (the pump
+        #: runs in completion callbacks, outside any task)
         self._inflight: dict = {}
         self._inflight_bytes = 0
         self._inflight_pages: set = set()
         #: planned-but-not-submitted runs, drained under the in-flight cap
         self._plan: deque = deque()
         self._planned_pages: set = set()
-        #: pages fetched speculatively and not yet read by anyone
-        self._prefetched: set = set()
+        #: page key -> owning tenant for pages fetched speculatively and
+        #: not yet read by anyone
+        self._prefetched: dict = {}
         self._cancelling = False
         self.issued_pages = 0
         self.used_pages = 0
         self.completed_requests = 0
         self.cancelled_requests = 0
         self.failed_requests = 0
+        #: per-tenant speculation accounting (empty for untenanted runs)
+        self.tenant_issued_pages: dict = {}
+        self.tenant_used_pages: dict = {}
 
     # -- lifecycle -------------------------------------------------------
 
@@ -94,8 +100,11 @@ class Prefetcher:
     def note_access(self, key) -> None:
         """A cache hit landed on ``key``; count it if we prefetched it."""
         if key in self._prefetched:
-            self._prefetched.discard(key)
+            tenant = self._prefetched.pop(key)
             self.used_pages += 1
+            if tenant is not None:
+                self.tenant_used_pages[tenant] = (
+                    self.tenant_used_pages.get(tenant, 0) + 1)
             telemetry = self.kernel.telemetry
             if telemetry is not None:
                 telemetry.on_prefetch_used()
@@ -142,11 +151,16 @@ class Prefetcher:
             return 0
         cache = self.kernel.page_cache
         npages = inode.npages
+        # capture the owner now: planning runs inside the requesting
+        # task, the pump that submits may run in a completion callback
+        # where current_tenant is None — charging the speculation there
+        # would leak it across tenants
+        tenant = getattr(self.kernel, "current_tenant", None)
         run_start, run_len = None, 0
         planned_pages = 0
 
         def flush_run(start: int, count: int) -> None:
-            self._plan.append((fs, inode, start, count))
+            self._plan.append((fs, inode, start, count, tenant))
             for p in range(start, start + count):
                 self._planned_pages.add((inode.id, p))
 
@@ -182,17 +196,21 @@ class Prefetcher:
             return
         cache = self.kernel.page_cache
         while self._plan and self._inflight_bytes < self.max_inflight_bytes:
-            fs, inode, page, cluster = self._plan.popleft()
+            fs, inode, page, cluster, tenant = self._plan.popleft()
             keys = [(inode.id, p) for p in range(page, page + cluster)]
             for key in keys:
                 self._planned_pages.discard(key)
             if all(cache.peek(key) for key in keys):
                 continue  # a demand fault beat us to the whole run
-            future = self.engine.submit_cluster(fs, inode, page, cluster)
-            self._inflight[future] = (fs, inode, page, cluster)
+            future = self.engine.submit_cluster(fs, inode, page, cluster,
+                                                tenant=tenant)
+            self._inflight[future] = (fs, inode, page, cluster, tenant)
             self._inflight_bytes += cluster * PAGE_SIZE
             self._inflight_pages.update(keys)
             self.issued_pages += cluster
+            if tenant is not None:
+                self.tenant_issued_pages[tenant] = (
+                    self.tenant_issued_pages.get(tenant, 0) + cluster)
             telemetry = self.kernel.telemetry
             if telemetry is not None:
                 telemetry.on_prefetch_issued(cluster)
@@ -202,7 +220,7 @@ class Prefetcher:
         entry = self._inflight.pop(future, None)
         if entry is None:
             return
-        fs, inode, page, cluster = entry
+        fs, inode, page, cluster, tenant = entry
         self._inflight_bytes -= cluster * PAGE_SIZE
         keys = [(inode.id, p) for p in range(page, page + cluster)]
         for key in keys:
@@ -223,12 +241,14 @@ class Prefetcher:
             cache = kernel.page_cache
             for key in keys:
                 if not cache.peek(key):
-                    if cache.insert(key) is not None:
+                    if cache.insert(key, tenant) is not None:
                         kernel.counters.evictions += 1
-                    self._prefetched.add(key)
+                        kernel.counters.note_tenant_eviction(
+                            cache.last_evicted_owner)
+                    self._prefetched[key] = tenant
             if telemetry is not None:
                 telemetry.on_prefetch_complete(fs, inode.id, page, cluster,
-                                               completion)
+                                               completion, tenant=tenant)
         self._check_pressure()
         self._pump()
 
@@ -247,7 +267,7 @@ class Prefetcher:
             for future in reversed(list(self._inflight)):
                 if free >= inflight_pages:
                     break
-                fs, _, _, cluster = self._inflight[future]
+                fs, _, _, cluster, _ = self._inflight[future]
                 if self.engine.cancel_request(fs.device, future):
                     # resolution with None re-enters _on_done, which
                     # pops the entry and counts the cancellation

@@ -62,15 +62,24 @@ class TaskStats:
     wait_time: float = 0.0  # time spent blocked on I/O completions
     io_waits: int = 0  # completions this task blocked on
     result: object = None
+    tenant: str | None = None  # owning tenant (QoS / accounting identity)
 
 
 class Task:
-    """One cooperative task: a generator plus its accounting."""
+    """One cooperative task: a generator plus its accounting.
 
-    def __init__(self, name: str, step_gen: Step) -> None:
+    ``tenant`` names the QoS/accounting identity the task runs under;
+    while the task executes, the kernel's ``current_tenant`` is set so
+    faults, cache insertions, and block requests are attributed to it.
+    Untenanted tasks (the default) leave every tenant path dormant.
+    """
+
+    def __init__(self, name: str, step_gen: Step,
+                 tenant: str | None = None) -> None:
         self.name = name
         self._gen = step_gen
-        self.stats = TaskStats()
+        self.tenant = tenant
+        self.stats = TaskStats(tenant=tenant)
         self.done = False
 
     def step(self, kernel) -> bool:
@@ -100,7 +109,9 @@ class Task:
         # attribution for observability (lifecycle records name the task
         # whose slice issued each request); never read by the time model
         previous_task = getattr(kernel, "current_task", None)
+        previous_tenant = getattr(kernel, "current_tenant", None)
         kernel.current_task = self.name
+        kernel.current_tenant = self.tenant
         try:
             if exception is not None:
                 yielded = self._gen.throw(exception)
@@ -112,6 +123,7 @@ class Task:
             yielded = _DONE
         finally:
             kernel.current_task = previous_task
+            kernel.current_tenant = previous_tenant
             self.stats.steps += 1
             self.stats.virtual_time += kernel.clock.now - clock_before
             self.stats.hard_faults += (kernel.counters.hard_faults

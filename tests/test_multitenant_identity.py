@@ -1,0 +1,159 @@
+"""Property test: the multi-tenant kernel at its defaults IS the seed.
+
+The multi-tenant refactor (sharded page cache, per-tenant working-set
+limits, the fair elevator, tenant threading through tasks / faults /
+telemetry) must not move a single virtual-time result when its features
+are off.  Four configurations run the same workload as
+``test_core_fastpath_identity.py`` — concurrent striding readers with
+merge + plug, SLED vectors requested mid-stream, then a synchronous
+warm re-read — and must fingerprint bit-identically to the baseline:
+
+* the baseline itself (one shard, no limits, C-LOOK, untenanted tasks);
+* the fair elevator enabled but every task untenanted — the DRR layer
+  must delegate straight to its inner C-LOOK;
+* per-tenant memory limits configured but no task carrying a tenant —
+  the limits must never fire;
+* every task assigned the *same* tenant under the default scheduler —
+  tenancy labels alone must be timing-free (same-tenant requests still
+  merge);
+* tasks assigned *distinct* tenants with the block front off — with no
+  merge stage in play, per-tenant attribution must be timing-free too.
+
+(Distinct tenants under an active merge stage are deliberately NOT
+identical: the block layer refuses to coalesce requests across tenants
+so one tenant's bytes are never billed to another — that behaviour is
+asserted in ``test_tenant_accounting.py``.)
+
+The fingerprint covers the clock, its per-category charges, the fault
+counters, and every per-task stat, across all four filesystem
+personalities (ext2, cdrom, nfs, hsm).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.block.merge import BlockConfig
+from repro.cache import TenantMemoryLimit
+from repro.machine import Machine, MachineConfig
+from repro.sim.tasks import EventScheduler, Task
+from repro.sim.units import PAGE_SIZE
+
+PROFILES = ("ext2", "cdrom", "nfs", "hsm")
+
+BASELINE = MachineConfig()
+
+#: (config, tenancy-mode) variants that must all match the merge-on
+#: baseline; tenancy mode None = untenanted, "shared" = every task
+#: under one tenant
+MERGE_VARIANTS = (
+    (MachineConfig(fair_elevator=True), None),
+    (MachineConfig(tenant_limits={
+        "t0": TenantMemoryLimit(soft_pages=64, hard_pages=128),
+        "t1": TenantMemoryLimit(soft_pages=64, hard_pages=128),
+    }), None),
+    (MachineConfig(), "shared"),
+)
+
+MERGE_ALL = BlockConfig(merge=True, plug=True)
+
+
+def _tenant_of(mode, i):
+    if mode is None:
+        return None
+    return "t0" if mode == "shared" else f"t{i}"
+
+
+def _setup(profile: str, seed: int, pages: int, config: MachineConfig):
+    if profile == "hsm":
+        machine = Machine.hsm(cache_pages=256, stage_pages=512,
+                              seed=9000 + seed, config=config)
+        machine.boot()
+        machine.hsmfs.create_tape_file("f", pages * PAGE_SIZE, "VOL000")
+        return machine, "/mnt/hsm/f"
+    machine = Machine.unix_utilities(cache_pages=256, seed=9000 + seed,
+                                     config=config)
+    machine.boot()
+    fs = {"ext2": machine.ext2, "cdrom": machine.cdrom,
+          "nfs": machine.nfs}[profile]
+    fs.create_text_file("f", pages * PAGE_SIZE, seed=seed)
+    return machine, f"/mnt/{profile}/f"
+
+
+def _striding_readers(kernel, path, pages, mode, readers=2,
+                      chunk_pages=2):
+    nchunks = max(1, pages // chunk_pages)
+
+    def reader(start):
+        fd = kernel.open(path)
+        for chunk in range(start, nchunks, readers):
+            kernel.get_sleds(fd)
+            yield from kernel.pread_async(
+                fd, chunk * chunk_pages * PAGE_SIZE, chunk_pages * PAGE_SIZE)
+        kernel.close(fd)
+
+    return [Task(f"r{i}", reader(i), tenant=_tenant_of(mode, i))
+            for i in range(readers)]
+
+
+def _fingerprint(machine, stats):
+    kernel = machine.kernel
+    counters = kernel.counters
+    return (
+        kernel.clock.now,
+        tuple(sorted(kernel.clock.categories().items())),
+        counters.hard_faults, counters.pages_read, counters.cache_hits,
+        counters.readahead_pages, counters.evictions,
+        tuple(sorted(
+            (name, s.virtual_time, s.wait_time, s.hard_faults, s.io_waits,
+             s.finished_at)
+            for name, s in stats.items())),
+    )
+
+
+def _run(profile: str, seed: int, pages: int, config: MachineConfig,
+         mode, block=MERGE_ALL):
+    machine, path = _setup(profile, seed, pages, config)
+    kernel = machine.kernel
+    engine = kernel.attach_engine(block=block)
+    tasks = _striding_readers(kernel, path, pages, mode)
+    stats = EventScheduler(kernel, tasks, engine=engine).run()
+    fd = kernel.open(path)
+    kernel.pread(fd, 0, pages * PAGE_SIZE)
+    vector = kernel.get_sleds(fd)
+    kernel.close(fd)
+    return _fingerprint(machine, stats), tuple(
+        (sled.offset, sled.length, sled.latency, sled.bandwidth)
+        for sled in vector)
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(0, 50), pages=st.integers(2, 40))
+def test_multitenant_defaults_are_bit_identical_to_seed(seed, pages):
+    for profile in PROFILES:
+        reference = _run(profile, seed, pages, BASELINE, None)
+        for config, mode in MERGE_VARIANTS:
+            candidate = _run(profile, seed, pages, config, mode)
+            assert candidate == reference, (
+                f"{profile}: {config} (tenancy={mode}) diverged "
+                f"from the single-tenant baseline")
+        # distinct tenants with no block front: attribution alone must
+        # not move the clock either
+        plain_ref = _run(profile, seed, pages, BASELINE, None, block=None)
+        plain_multi = _run(profile, seed, pages, MachineConfig(),
+                           "distinct", block=None)
+        assert plain_multi == plain_ref, (
+            f"{profile}: distinct tenants (no block front) diverged "
+            f"from the single-tenant baseline")
+
+
+def test_fair_elevator_with_tenants_still_terminates_and_serves_all():
+    """The non-identity corner: fair elevator + distinct tenants must
+    still run to completion and read every byte (timing may differ)."""
+    machine, path = _setup("ext2", 7, 24,
+                           MachineConfig(fair_elevator=True))
+    kernel = machine.kernel
+    engine = kernel.attach_engine(block=MERGE_ALL)
+    tasks = _striding_readers(kernel, path, 24, "distinct")
+    stats = EventScheduler(kernel, tasks, engine=engine).run()
+    assert all(s.finished_at is not None for s in stats.values())
+    assert kernel.counters.pages_read >= 24
