@@ -19,6 +19,8 @@ Examples::
     sleds-run slo --json slo.json         # per-class latency objectives
     sleds-run slo --tenants 3 --by-tenant # per-tenant compliance rollup
     sleds-run profile --json prof.json    # wall-clock hot-path profile
+    sleds-run explain --top 5             # slowest requests, blame attached
+    sleds-run explain --tenants 3 --by-tenant --json forensics.json
     sleds-run --scenario my_setup.json wc /mnt/nfs/pub/dataset.txt
 """
 
@@ -177,6 +179,34 @@ def build_parser() -> argparse.ArgumentParser:
                              "second; exit non-zero when the measured "
                              "throughput falls below it (the "
                              "docs/performance.md core-throughput gate)")
+
+    p_explain = sub.add_parser(
+        "explain", help="latency forensics over concurrent readers: "
+                        "top-K slowest requests with waterfall + blame "
+                        "attribution, the cross-tenant interference "
+                        "matrix, folded stacks for flamegraphs")
+    p_explain.add_argument("paths", nargs="*",
+                           help="files to read concurrently (default: "
+                                "the demo three-reader mix)")
+    p_explain.add_argument("--top", type=int, default=5,
+                           help="waterfall the K slowest requests "
+                                "(default 5)")
+    p_explain.add_argument("--tenants", type=int, default=0, metavar="N",
+                           help="assign readers round-robin to N tenants "
+                                "(0 = untenanted; implies --by-tenant)")
+    p_explain.add_argument("--by-tenant", action="store_true",
+                           dest="by_tenant",
+                           help="print the per-device interference "
+                                "matrix and per-tenant queue-delay "
+                                "totals")
+    p_explain.add_argument("--json", default=None, metavar="FILE",
+                           dest="json_out",
+                           help="write the full forensic report "
+                                "(waterfalls, blame vectors, matrix, "
+                                "exemplars) as JSON")
+    p_explain.add_argument("--folded-out", default=None, metavar="FILE",
+                           help="write blame folded stacks "
+                                "(flamegraph.pl input) to FILE")
 
     p_trace = sub.add_parser(
         "trace", help="run an app under span tracing and export "
@@ -524,6 +554,77 @@ def main(argv: list[str] | None = None) -> int:
                   f"(budget {args.budget:,.0f}): {verdict}")
             if faults_per_s < args.budget:
                 return 1
+        return 0
+
+    if args.command == "explain":
+        import math
+
+        from repro.block.merge import BlockConfig
+        from repro.obs import LatencyForensics, SloTracker, Telemetry
+        if args.top < 1:
+            raise SystemExit(f"--top must be >= 1: {args.top}")
+        if args.tenants < 0:
+            raise SystemExit(f"--tenants must be >= 0: {args.tenants}")
+        by_tenant = args.by_tenant or args.tenants > 0
+        paths = args.paths or list(DEMO_READ_MIX)
+        telemetry = Telemetry()
+        kernel.attach_telemetry(telemetry)
+        slo = SloTracker.for_classes(
+            DEFAULT_SLO_OBJECTIVES, registry=telemetry.registry,
+            track_tenants=by_tenant).attach(telemetry)
+        # merge+plug on so plug-hold blame has something to attribute
+        engine = kernel.attach_engine(
+            block=BlockConfig(merge=True, plug=True))
+        forensics = LatencyForensics(kernel, engine,
+                                     top_k=max(32, args.top))
+        forensics.attach(telemetry, slo=slo)
+        _prefetch_sleds(kernel, paths)
+        start = kernel.clock.now
+        tasks, stats = _run_readers(kernel, paths, tenants=args.tenants)
+        end = kernel.clock.now
+        report = forensics.analyze(top=args.top)
+        folded_cp = forensics.critical_path_folded(start, end)
+        kernel.detach_engine()
+        kernel.detach_telemetry()
+        slo.detach()
+        forensics.detach()
+
+        print(f"{len(paths)} concurrent reader(s), makespan "
+              f"{human_time(end - start)}, "
+              f"{report.analyzed} traced request(s), "
+              f"{forensics.reservoir.violations} SLO violation(s)")
+        print()
+        print(report.render())
+        if by_tenant:
+            rows = report.matrix.row_totals()
+            pools = slo.tenant_queue_waits()
+            print()
+            print("per-tenant queue delay (matrix row vs SLO pool):")
+            for victim in sorted(rows):
+                pool = pools.get(victim, math.nan)
+                print(f"  {victim:>12}: attributed "
+                      f"{human_time(rows[victim]):>10}   SLO pool "
+                      f"{'-' if victim == '-' else human_time(pool):>10}")
+        if args.json_out:
+            payload = {
+                "paths": paths,
+                "makespan_s": end - start,
+                "tenants": args.tenants,
+                "forensics": report.to_dict(),
+                "slo_tenant_queue_waits": slo.tenant_queue_waits(),
+            }
+            with open(args.json_out, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"\nwrote forensic report JSON to {args.json_out}")
+        if args.folded_out:
+            with open(args.folded_out, "w") as handle:
+                for line in report.folded:
+                    handle.write(line + "\n")
+                for line in folded_cp:
+                    handle.write(line + "\n")
+            print(f"wrote {len(report.folded) + len(folded_cp)} folded "
+                  f"stack(s) to {args.folded_out}")
         return 0
 
     if args.command == "trace":

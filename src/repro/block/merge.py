@@ -30,6 +30,7 @@ appears as queue wait and the lifecycle identity
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.sim.events import IoFuture
@@ -117,10 +118,47 @@ class FaultRun:
     #: owning tenant; merge groups never span tenants, so one tenant's
     #: QoS class can't smuggle bytes through another's merged request
     tenant: str | None = None
+    #: True for prefetcher-issued runs — the dispatch history records
+    #: them as ``prefetch`` so blame can name speculative interference
+    speculative: bool = False
 
     @property
     def end_page(self) -> int:
         return self.page + self.cluster
+
+
+@dataclass(frozen=True, slots=True)
+class HoldRecord:
+    """Hold-time provenance for one request that passed through a plug.
+
+    Recorded when the plug releases the request to the elevator:
+    ``unplug_time - submit_time`` is the plug/merge-induced hold, the
+    slice of the request's queue wait during which it had not even
+    reached the device queue.  For a coalesced group one record covers
+    the union request (``page``/``cluster`` are the union run,
+    ``submit_time`` the primary member's arrival, ``members`` the group
+    size); the forensic blame engine keys on
+    ``(fs, inode, page, cluster, submit_time)`` to match the lifecycle
+    record the union produced.
+    """
+
+    fs: str
+    inode: int
+    page: int
+    cluster: int
+    tenant: str | None
+    submit_time: float
+    unplug_time: float
+    members: int
+
+    @property
+    def key(self) -> tuple:
+        return (self.fs, self.inode, self.page, self.cluster,
+                self.submit_time)
+
+    @property
+    def held(self) -> float:
+        return self.unplug_time - self.submit_time
 
 
 def plain_read_path(fs) -> bool:
@@ -169,6 +207,8 @@ class PlugQueue:
         self.merged_bytes = 0
         self.flushes = 0
         self.plug_wait_total = 0.0
+        #: bounded ring of HoldRecords (hold-time provenance for blame)
+        self._holds: deque[HoldRecord] = deque(maxlen=4096)
         #: per-tenant intake accounting (requests / bytes through the plug)
         self.tenant_requests: dict[str, int] = {}
         self.tenant_bytes: dict[str, int] = {}
@@ -184,14 +224,16 @@ class PlugQueue:
     # -- intake ----------------------------------------------------------
 
     def submit(self, fs, inode, page: int, cluster: int,
-               tenant: str | None = None) -> IoFuture:
+               tenant: str | None = None,
+               speculative: bool = False) -> IoFuture:
         """Hold one fault cluster; returns the future its task blocks on."""
         now = self.loop.clock.now
         future = IoFuture(f"plug:{fs.name}:{inode.id}:{page}+{cluster}")
         run = FaultRun(fs=fs, inode=inode, page=page, cluster=cluster,
                        addr=inode.extent_map.addr_of(page),
                        nbytes=cluster * PAGE_SIZE, future=future,
-                       submit_time=now, seq=self._seq, tenant=tenant)
+                       submit_time=now, seq=self._seq, tenant=tenant,
+                       speculative=speculative)
         self._seq += 1
         if tenant is not None:
             self.tenant_requests[tenant] = (
@@ -298,16 +340,32 @@ class PlugQueue:
             groups.append(group)
         return groups
 
+    def recent_dispatched_holds(self) -> tuple[HoldRecord, ...]:
+        """Hold-time provenance of requests already released to the
+        elevator, oldest first (bounded)."""
+        return tuple(self._holds)
+
+    def _record_hold(self, fs, inode, page: int, cluster: int,
+                     tenant: str | None, submit_time: float,
+                     members: int) -> None:
+        self._holds.append(HoldRecord(
+            fs=fs.name, inode=inode.id, page=page, cluster=cluster,
+            tenant=tenant, submit_time=submit_time,
+            unplug_time=self.loop.clock.now, members=members))
+
     def _dispatch_group(self, group: list[FaultRun]) -> None:
         if len(group) == 1:
             run = group[0]
             service = self._service_factory(run.fs, run.inode, run.page,
                                             run.cluster, False)
+            self._record_hold(run.fs, run.inode, run.page, run.cluster,
+                              run.tenant, run.submit_time, 1)
             inner = self.queue.submit(
                 run.addr, run.nbytes, is_write=False, service=service,
                 label=(f"fault:{run.fs.name}:{run.inode.id}:"
                        f"{run.page}+{run.cluster}"),
-                submit_time=run.submit_time, tenant=run.tenant)
+                submit_time=run.submit_time, tenant=run.tenant,
+                kind="prefetch" if run.speculative else "fault")
             inner.add_done_callback(
                 lambda f, r=run: self._settle_single(f, r))
             return
@@ -327,12 +385,15 @@ class PlugQueue:
         self.merged_bytes += nbytes
         if self.on_merge is not None:
             self.on_merge(len(group), nbytes)
+        self._record_hold(fs, inode, union_start, union_pages,
+                          primary.tenant, primary.submit_time, len(group))
         inner = self.queue.submit(
             inode.extent_map.addr_of(union_start), nbytes, is_write=False,
             service=service,
             label=(f"merged:{fs.name}:{inode.id}:"
                    f"{union_start}+{union_pages}x{len(group)}"),
-            submit_time=primary.submit_time, tenant=primary.tenant)
+            submit_time=primary.submit_time, tenant=primary.tenant,
+            kind="prefetch" if primary.speculative else "fault")
         merged_from = tuple((run.inode.id, run.page, run.cluster)
                             for run in sorted(group, key=lambda r: r.seq))
         inner.add_done_callback(

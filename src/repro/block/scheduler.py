@@ -23,9 +23,44 @@ resulting address sequence).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import deque
 from dataclasses import dataclass
 
 from repro.sim.errors import InvalidArgumentError
+
+
+@dataclass(frozen=True, slots=True)
+class DispatchRecord:
+    """One entry of a device queue's bounded dispatch history.
+
+    The forensic substrate (:mod:`repro.obs.forensics`) reconstructs a
+    request's queue-wait window from these: who occupied the device
+    between another request's submission and its service start, and for
+    how long.  ``rid`` is the queue-local submission sequence number;
+    ``kind`` is the request's provenance (``fault`` / ``prefetch`` /
+    ``writeback`` / ``io``); ``start``/``finish`` bound the service
+    interval in virtual seconds.  Entries are appended at dispatch time,
+    so cancelled requests never appear and a coalesced group appears
+    once (the union request, under the primary member's kind/tenant).
+    """
+
+    rid: int
+    kind: str
+    label: str
+    tenant: str | None
+    is_write: bool
+    nbytes: int
+    submit_time: float
+    start: float
+    finish: float
+
+    def to_dict(self) -> dict:
+        return {
+            "rid": self.rid, "kind": self.kind, "label": self.label,
+            "tenant": self.tenant, "is_write": self.is_write,
+            "nbytes": self.nbytes, "submit_time": self.submit_time,
+            "start": self.start, "finish": self.finish,
+        }
 
 
 @dataclass(frozen=True)
@@ -336,9 +371,16 @@ class DeviceQueue:
     ``congestion_epoch`` increments on every arrival and completion; the
     kernel folds it into the SLED cache stamp so queue churn invalidates
     queue-aware delivery estimates.
+
+    ``history`` bounds the dispatch-history ring: every dispatched
+    request leaves a :class:`DispatchRecord` (who held the device, when,
+    for whom) that :meth:`recent_dispatches` exposes to the forensic
+    blame engine.  Pure bookkeeping — appending never touches the clock
+    or RNG, so runs stay bit-identical whether anyone reads it or not.
     """
 
-    def __init__(self, device, loop, scheduler: IoScheduler) -> None:
+    def __init__(self, device, loop, scheduler: IoScheduler,
+                 history: int = 4096) -> None:
         self.device = device
         self.loop = loop
         # stateful schedulers (the fair elevator) get one instance per
@@ -354,6 +396,10 @@ class DeviceQueue:
         self.depth_high_water = 0
         self.total_queue_wait = 0.0
         self.dispatched = 0
+        #: bounded ring of DispatchRecords, oldest evicted first
+        self._history: deque[DispatchRecord] = deque(maxlen=max(0, history))
+        #: dispatch-history entries evicted by the ring bound
+        self.history_dropped = 0
         #: optional hooks: on_queued(depth), on_dispatched(wait, depth),
         #: on_completed(depth)
         self.on_queued = None
@@ -368,7 +414,7 @@ class DeviceQueue:
     def submit(self, addr: int, nbytes: int, is_write: bool,
                service=None, label: str = "",
                submit_time: float | None = None,
-               tenant: str | None = None):
+               tenant: str | None = None, kind: str = "io"):
         """Enqueue one request; returns an IoFuture resolving to its
         :class:`~repro.devices.base.Completion`.
 
@@ -376,7 +422,9 @@ class DeviceQueue:
         the plug/merge stage passes the original arrival time of a held
         request so the time spent plugged shows up as queue wait, keeping
         the lifecycle latency identity exact.  ``tenant`` attributes the
-        request to a QoS class for tenant-aware schedulers.
+        request to a QoS class for tenant-aware schedulers.  ``kind``
+        names the request's provenance in the dispatch history (``fault``
+        / ``prefetch`` / ``writeback``; default ``io`` for raw submits).
         """
         from repro.sim.events import IoFuture
 
@@ -388,7 +436,7 @@ class DeviceQueue:
         self._seq += 1
         request = IoRequest(addr=addr, nbytes=nbytes, is_write=is_write,
                             tag=tag, tenant=tenant)
-        self._entries[tag] = (future, submit_time, service)
+        self._entries[tag] = (future, submit_time, service, kind, label)
         self._pending.append(request)
         self.congestion_epoch += 1
         self.depth_high_water = max(self.depth_high_water, self.depth)
@@ -444,12 +492,19 @@ class DeviceQueue:
         delay += len(others) * (spec.latency + quantum / spec.bandwidth)
         return delay
 
+    def recent_dispatches(self) -> tuple[DispatchRecord, ...]:
+        """The bounded dispatch history, oldest first.  Cancelled
+        requests never dispatched, so they are absent; a merged group
+        appears as its one union request."""
+        return tuple(self._history)
+
     def _dispatch(self) -> None:
         from repro.devices.base import Completion
 
         request = self.scheduler.take_next(
             self._pending, self.device.head_position())
-        future, submit_time, service = self._entries.pop(request.tag)
+        future, submit_time, service, kind, label = \
+            self._entries.pop(request.tag)
         now = self.loop.clock.now
         wait = now - submit_time
         self.total_queue_wait += wait
@@ -481,6 +536,14 @@ class DeviceQueue:
         self._busy = True
         self._inflight_finish = completion.finish_time
         self.dispatched += 1
+        if self._history.maxlen:
+            if len(self._history) == self._history.maxlen:
+                self.history_dropped += 1
+            self._history.append(DispatchRecord(
+                rid=request.tag, kind=kind, label=label,
+                tenant=request.tenant, is_write=request.is_write,
+                nbytes=request.nbytes, submit_time=submit_time,
+                start=now, finish=completion.finish_time))
         if self.on_dispatched is not None:
             self.on_dispatched(wait, self.depth)
         self.loop.at(completion.finish_time,

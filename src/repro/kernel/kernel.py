@@ -971,7 +971,8 @@ class Kernel:
                         fs, ("writeback", inode.id, request.addr),
                         lambda r=request, device=fs.device:
                         device.write(r.addr, r.nbytes)),
-                    label=f"writeback:{fs.name}:{inode.id}"))
+                    label=f"writeback:{fs.name}:{inode.id}",
+                    kind="writeback"))
         else:
             # HSM-style write paths mutate staging state: one atomic thunk
             # per dirty run through the filesystem's own write_pages.
@@ -984,7 +985,8 @@ class Kernel:
                         fs, ("writeback", inode.id, addr),
                         lambda inode=inode, start=start, run=run:
                         fs.write_pages(inode, start, run)),
-                    label=f"writeback:{fs.name}:{inode.id}:{start}+{run}"))
+                    label=f"writeback:{fs.name}:{inode.id}:{start}+{run}",
+                    kind="writeback"))
                 total_pages += run
         if not futures:
             return

@@ -15,6 +15,9 @@ Three pillars, one facade:
   virtual-time cadence, with OpenMetrics/JSON export;
 * :mod:`repro.obs.slo` — per-request-class (and per-tenant) latency
   objectives: rolling p50/p99, compliance, error-budget burn rate;
+* :mod:`repro.obs.forensics` — latency forensics: exemplar capture,
+  exactly-closed blame attribution over the block layer's dispatch
+  provenance, the cross-tenant interference matrix, folded-stack export;
 * :mod:`repro.obs.profile` — wall-clock profiling of the simulator's hot
   paths (event dispatch, SLED builds, cache residency, block merge);
 * :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade that attaches
@@ -26,6 +29,15 @@ it is attached or not.
 """
 
 from repro.obs.accuracy import AccuracyReport, ClassAccuracy, SledAccuracyTracker
+from repro.obs.forensics import (
+    BlameEngine,
+    ExemplarReservoir,
+    ForensicsReport,
+    InterferenceMatrix,
+    LatencyForensics,
+    folded_blame,
+    folded_critical_path,
+)
 from repro.obs.lifecycle import (
     CriticalPathReport,
     LifecycleRecord,
@@ -47,12 +59,17 @@ from repro.obs.timeseries import TimeSeriesRecorder
 
 __all__ = [
     "AccuracyReport",
+    "BlameEngine",
     "ClassAccuracy",
     "Counter",
     "CriticalPathReport",
+    "ExemplarReservoir",
+    "ForensicsReport",
     "Gauge",
     "Histogram",
     "HotPathProfiler",
+    "InterferenceMatrix",
+    "LatencyForensics",
     "LifecycleRecord",
     "LifecycleTracker",
     "MetricsRegistry",
@@ -65,5 +82,7 @@ __all__ = [
     "TimeSeriesRecorder",
     "chrome_trace",
     "critical_path",
+    "folded_blame",
+    "folded_critical_path",
     "log_buckets",
 ]

@@ -140,8 +140,12 @@ class LifecycleRecord:
     Slotted, and slab-reused by :class:`LifecycleTracker` once its
     bounded deque starts evicting: a record that ages out of the window
     is renewed in place for the incoming request instead of allocating a
-    fresh 16-field object per fault.  Holding references to records past
-    the tracker's capacity window was never part of the contract.
+    fresh 16-field object per fault.  **Aliasing contract**: a reference
+    held past the tracker's capacity window is therefore not stable — it
+    will silently start describing a different request the moment the
+    deque evicts it.  Any consumer that pins records beyond the current
+    observer callback (exemplar reservoirs, SLO violation captures) must
+    pin :meth:`snapshot`, never the live record.
     """
 
     id: int
@@ -178,6 +182,26 @@ class LifecycleRecord:
     def latency(self) -> float:
         """End-to-end seconds: queue wait + service."""
         return self.finish_time - self.submit_time
+
+    def snapshot(self) -> "LifecycleRecord":
+        """A detached copy that outlives the tracker's slab window.
+
+        The tracker renews evicted records in place (see the class
+        docstring), so a held reference mutates under the holder once
+        the bounded deque wraps.  The snapshot is a fresh record the
+        tracker has never seen — it can never be renewed.  All fields
+        are immutable scalars or tuples, so a shallow field copy is a
+        deep copy.
+        """
+        return LifecycleRecord(
+            id=self.id, kind=self.kind, task=self.task, fs=self.fs,
+            device_class=self.device_class, inode=self.inode,
+            page=self.page, cluster=self.cluster, nbytes=self.nbytes,
+            submit_time=self.submit_time, start_time=self.start_time,
+            finish_time=self.finish_time, components=self.components,
+            predicted_latency=self.predicted_latency,
+            predicted_queue=self.predicted_queue,
+            merged_from=self.merged_from, tenant=self.tenant)
 
     def attribution(self) -> dict[str, float]:
         """The full accounting, queue wait included; its ``fsum`` equals

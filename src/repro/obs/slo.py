@@ -102,7 +102,7 @@ class _TargetState:
     """Accumulated grading for one target."""
 
     __slots__ = ("target", "window", "violations_window", "total",
-                 "violations", "latency_sum", "worst")
+                 "violations", "latency_sum", "queue_wait_sum", "worst")
 
     def __init__(self, target: SloTarget, window: int) -> None:
         self.target = target
@@ -112,9 +112,12 @@ class _TargetState:
         self.total = 0
         self.violations = 0
         self.latency_sum = 0.0
+        #: cumulative queue-wait seconds of graded requests — the pool
+        #: the forensic interference matrix reconciles its rows against
+        self.queue_wait_sum = 0.0
         self.worst = 0.0
 
-    def observe(self, latency: float) -> bool:
+    def observe(self, latency: float, queue_wait: float = 0.0) -> bool:
         violated = latency > self.target.latency_objective
         if (len(self.window) == self.window.maxlen
                 and self.window[0][1]):
@@ -125,6 +128,7 @@ class _TargetState:
             self.violations += 1
         self.total += 1
         self.latency_sum += latency
+        self.queue_wait_sum += queue_wait
         if latency > self.worst:
             self.worst = latency
         return violated
@@ -174,6 +178,7 @@ class _TargetState:
             "p99_s": self.quantile(0.99),
             "mean_latency_s": (self.latency_sum / self.total
                                if self.total else 0.0),
+            "queue_wait_sum_s": self.queue_wait_sum,
             "worst_latency_s": self.worst,
         }
 
@@ -189,7 +194,8 @@ class _TenantState:
     """
 
     __slots__ = ("tenant", "window", "violations_window", "total",
-                 "violations", "latency_sum", "worst", "min_budget")
+                 "violations", "latency_sum", "queue_wait_sum", "worst",
+                 "min_budget")
 
     def __init__(self, tenant: str, window: int) -> None:
         self.tenant = tenant
@@ -198,11 +204,15 @@ class _TenantState:
         self.total = 0
         self.violations = 0
         self.latency_sum = 0.0
+        #: cumulative queue-wait seconds of this tenant's graded
+        #: requests; the interference matrix's per-victim row total
+        #: must reconcile with this pool
+        self.queue_wait_sum = 0.0
         self.worst = 0.0
         self.min_budget = 1.0
 
     def observe(self, latency: float, violated: bool,
-                budget: float) -> None:
+                budget: float, queue_wait: float = 0.0) -> None:
         if (len(self.window) == self.window.maxlen
                 and self.window[0][1]):
             self.violations_window -= 1
@@ -212,6 +222,7 @@ class _TenantState:
             self.violations += 1
         self.total += 1
         self.latency_sum += latency
+        self.queue_wait_sum += queue_wait
         if latency > self.worst:
             self.worst = latency
         if budget < self.min_budget:
@@ -254,6 +265,7 @@ class _TenantState:
             "p99_s": self.quantile(0.99),
             "mean_latency_s": (self.latency_sum / self.total
                                if self.total else 0.0),
+            "queue_wait_sum_s": self.queue_wait_sum,
             "worst_latency_s": self.worst,
         }
 
@@ -283,6 +295,13 @@ class SloTracker:
         self.states = {t.name: _TargetState(t, window)
                        for t in targets}
         self.unmatched = 0
+        #: callables invoked as ``hook(record, violated_target_names)``
+        #: whenever a graded record misses at least one objective; the
+        #: forensic exemplar reservoir subscribes here to pin violation
+        #: exemplars.  Hooks are observational — they must not touch the
+        #: clock or RNG, and must :meth:`~repro.obs.lifecycle.
+        #: LifecycleRecord.snapshot` the record if they keep it.
+        self.on_violation: list = []
         self.track_tenants = track_tenants
         self._window = window
         #: tenant -> _TenantState rollup (populated only when
@@ -349,19 +368,21 @@ class SloTracker:
 
     def observe(self, record: LifecycleRecord) -> None:
         latency = record.latency
+        queue_wait = record.queue_wait
         matched = False
-        violated_any = False
+        violated_names: list[str] = []
         min_budget = 1.0
         for state in self.states.values():
             if not state.target.matches(record):
                 continue
             matched = True
-            violated = state.observe(latency)
-            violated_any = violated_any or violated
+            violated = state.observe(latency, queue_wait)
             budget = state.target.error_budget
             if budget < min_budget:
                 min_budget = budget
             name = state.target.name
+            if violated:
+                violated_names.append(name)
             if self._graded is not None:
                 self._graded.labels(slo=name).inc()
                 if violated:
@@ -375,11 +396,15 @@ class SloTracker:
             if state is None:
                 state = self._tenants[tenant] = _TenantState(
                     tenant, self._window)
-            state.observe(latency, violated_any, min_budget)
+            state.observe(latency, bool(violated_names), min_budget,
+                          queue_wait)
             if self._tenant_graded is not None:
                 self._tenant_graded.labels(tenant=tenant).inc()
-                if violated_any:
+                if violated_names:
                     self._tenant_violated.labels(tenant=tenant).inc()
+        if violated_names:
+            for hook in self.on_violation:
+                hook(record, violated_names)
 
     # -- reporting ---------------------------------------------------------
 
@@ -391,6 +416,13 @@ class SloTracker:
         """Per-tenant rollup rows (empty unless ``track_tenants``)."""
         return [self._tenants[tenant].to_dict()
                 for tenant in sorted(self._tenants)]
+
+    def tenant_queue_waits(self) -> dict[str, float]:
+        """Cumulative queue-wait seconds per tenant across graded
+        requests — the reconciliation anchor for the forensic
+        interference matrix's per-victim row totals."""
+        return {tenant: state.queue_wait_sum
+                for tenant, state in sorted(self._tenants.items())}
 
     def render_tenants(self) -> str:
         lines = ["Per-tenant SLO rollup (rolling window):"]

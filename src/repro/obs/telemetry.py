@@ -210,15 +210,22 @@ class Telemetry:
 
     def enable_timeseries(self, interval: float = 0.005,
                           capacity: int = 4096,
-                          families: tuple[str, ...] | None = None):
+                          families: tuple[str, ...] | None = None,
+                          sample_buckets: bool = False,
+                          exemplars=None):
         """Start sampling the registry every ``interval`` virtual seconds
-        (see :mod:`repro.obs.timeseries`); returns the recorder."""
+        (see :mod:`repro.obs.timeseries`); returns the recorder.
+        ``sample_buckets`` adds per-histogram bucket rows so the
+        OpenMetrics export emits real histogram families; ``exemplars``
+        (an :class:`~repro.obs.forensics.ExemplarReservoir`) annotates
+        those bucket lines with captured exemplars."""
         from repro.obs.timeseries import TimeSeriesRecorder
         if self.timeseries is not None:
             raise ValueError("a time-series recorder is already enabled")
         self.timeseries = TimeSeriesRecorder(
             self.registry, interval=interval, capacity=capacity,
-            families=families, snapshot_hook=self.snapshot)
+            families=families, snapshot_hook=self.snapshot,
+            sample_buckets=sample_buckets, exemplars=exemplars)
         return self.timeseries
 
     def disable_timeseries(self) -> None:

@@ -49,11 +49,32 @@ def series_key(family_name: str, labels: dict[str, str]) -> str:
     return f"{family_name}{{{inner}}}"
 
 
-def _sample_child(child) -> float | dict:
+def _sample_child(child, sample_buckets: bool = False) -> float | dict:
     if isinstance(child, Histogram):
-        return {"count": child.count, "sum": child.sum,
-                "p50": child.quantile(0.50), "p99": child.quantile(0.99)}
+        out = {"count": child.count, "sum": child.sum,
+               "p50": child.quantile(0.50), "p99": child.quantile(0.99)}
+        if sample_buckets:
+            cum = 0
+            buckets = []
+            for bound, n in zip(child.bounds, child.counts):
+                cum += n
+                buckets.append((_fmt(bound), cum))
+            buckets.append(("+Inf", cum + child.counts[-1]))
+            out["buckets"] = tuple(buckets)
+        return out
     return child.value
+
+
+def _parse_labels(labels: str) -> dict[str, str]:
+    """Invert :func:`series_key`'s label serialization (values are
+    device/class/tenant identifiers — never quoted or escaped)."""
+    if not labels:
+        return {}
+    out = {}
+    for part in labels.strip("{}").split(","):
+        name, _, value = part.partition("=")
+        out[name] = value.strip('"')
+    return out
 
 
 class TimeSeriesRecorder:
@@ -71,7 +92,8 @@ class TimeSeriesRecorder:
     def __init__(self, registry: MetricsRegistry, interval: float = 0.005,
                  capacity: int = 4096,
                  families: tuple[str, ...] | None = None,
-                 snapshot_hook=None) -> None:
+                 snapshot_hook=None, sample_buckets: bool = False,
+                 exemplars=None) -> None:
         if interval <= 0.0:
             raise ValueError(f"interval must be positive: {interval}")
         if capacity <= 0:
@@ -81,6 +103,21 @@ class TimeSeriesRecorder:
         self.capacity = capacity
         self.families = tuple(families) if families is not None else None
         self.snapshot_hook = snapshot_hook
+        #: opt-in: sample cumulative bucket counts per histogram so the
+        #: OpenMetrics export can emit real ``_bucket{le=...}`` series
+        #: (and exemplar annotations); off by default — bucket rows are
+        #: ~35x wider than the quantile summary
+        self.sample_buckets = sample_buckets
+        #: an :class:`~repro.obs.forensics.ExemplarReservoir` (anything
+        #: with ``bucket_exemplar(cls, le)``); when set and buckets are
+        #: sampled, histogram bucket lines carry OpenMetrics exemplars
+        self.exemplars = exemplars
+        #: histogram families whose buckets observe full request latency
+        #: — the only ones the reservoir's exemplars are valid for (a
+        #: per-component bucket would get an exemplar whose value lies
+        #: outside the bucket, which the OpenMetrics spec forbids)
+        self.exemplar_families: tuple[str, ...] = (
+            "lifecycle_request_seconds",)
         #: rows of (virtual time, {series key: sampled value})
         self.samples: deque[tuple[float, dict]] = deque(maxlen=capacity)
         self.dropped = 0
@@ -113,7 +150,8 @@ class TimeSeriesRecorder:
         row: dict[str, float | dict] = {}
         for family in self._selected_families():
             for labels, child in family.children():
-                row[series_key(family.name, labels)] = _sample_child(child)
+                row[series_key(family.name, labels)] = _sample_child(
+                    child, self.sample_buckets)
         if len(self.samples) == self.capacity:
             self.dropped += 1
         self.samples.append((now, row))
@@ -165,41 +203,88 @@ class TimeSeriesRecorder:
 
     # -- OpenMetrics export ----------------------------------------------
 
+    def _bucket_exemplar_suffix(self, name: str, cls: str | None,
+                                le: str) -> str:
+        """The `` # {labelset} value ts`` exemplar annotation for one
+        histogram bucket line, or empty.  Exemplars are only legal on
+        bucket (and counter) samples per the OpenMetrics spec — gauge
+        and summary lines never get one — and only request-latency
+        families get them here (see :attr:`exemplar_families`)."""
+        if (self.exemplars is None or cls is None
+                or name not in self.exemplar_families):
+            return ""
+        rec = self.exemplars.bucket_exemplar(cls, float(le))
+        if rec is None:
+            return ""
+        return (f' # {{trace_id="{rec.id}"}} {_fmt(rec.latency)} '
+                f"{_fmt(rec.finish_time)}")
+
     def render_openmetrics(self) -> str:
         """OpenMetrics text: one timestamped line per series per sample.
 
-        Histogram samples flatten into ``_count``/``_sum``/``_p50``/
-        ``_p99`` gauges so the series stay scalar.  Timestamps are the
-        virtual-second sample times.
+        By default histogram samples flatten into ``_count``/``_sum``/
+        ``_p50``/``_p99`` gauges so the series stay scalar.  With
+        ``sample_buckets`` the histogram families render as real
+        OpenMetrics histograms — cumulative ``_bucket{le=...}`` lines
+        (carrying exemplar annotations when an exemplar reservoir is
+        attached) plus ``_count``/``_sum`` — and only the quantile
+        summaries stay flattened gauges.  Families are contiguous and
+        sorted by name; a single ``# EOF`` terminates the exposition.
+        Timestamps are the virtual-second sample times.
         """
         ns = self.registry.namespace
         prefix = f"{ns}_" if ns else ""
         per_series: dict[str, list[str]] = {}
         kinds: dict[str, str] = {}
+        histogram_families: set[str] = set()
         for t, row in self.samples:
             ts = _fmt(t)
             for key, value in row.items():
                 name, _, labels = key.partition("{")
                 labels = "{" + labels if labels else ""
                 if isinstance(value, dict):
-                    for suffix, v in value.items():
+                    buckets = value.get("buckets")
+                    if buckets is not None:
+                        histogram_families.add(name)
+                        kinds[name] = "histogram"
+                        fam = per_series.setdefault(name, [])
+                        cls = _parse_labels(labels).get("cls")
+                        inner = labels[1:-1] if labels else ""
+                        for le, cum in buckets:
+                            with_le = ("{" + (inner + "," if inner else "")
+                                       + f'le="{le}"' + "}")
+                            fam.append(
+                                f"{prefix}{name}_bucket{with_le} {cum} "
+                                f"{ts}"
+                                + self._bucket_exemplar_suffix(
+                                    name, cls, le))
+                        fam.append(f"{prefix}{name}_count{labels} "
+                                   f"{_fmt(value['count'])} {ts}")
+                        fam.append(f"{prefix}{name}_sum{labels} "
+                                   f"{_fmt(value['sum'])} {ts}")
+                        suffixes = ("p50", "p99")
+                    else:
+                        suffixes = tuple(value)
+                    for suffix in suffixes:
                         flat = f"{name}_{suffix}"
                         kinds.setdefault(flat, "gauge")
                         per_series.setdefault(flat, []).append(
-                            f"{prefix}{flat}{labels} {_fmt(v)} {ts}")
+                            f"{prefix}{flat}{labels} "
+                            f"{_fmt(value[suffix])} {ts}")
                 else:
                     kinds.setdefault(name, "unknown")
                     per_series.setdefault(name, []).append(
                         f"{prefix}{name}{labels} {_fmt(value)} {ts}")
         # resolve scalar kinds from the live registry where possible
         for family in self.registry.families():
-            if family.name in kinds:
+            if family.name in kinds and family.name not in \
+                    histogram_families:
                 kinds[family.name] = family.kind
         lines: list[str] = []
         for name in sorted(per_series):
             kind = kinds.get(name, "gauge")
-            if kind == "histogram":  # flattened above; defensive only
-                kind = "gauge"
+            if kind == "histogram" and name not in histogram_families:
+                kind = "gauge"  # flattened above; defensive only
             lines.append(f"# TYPE {prefix}{name} {kind}")
             lines.extend(per_series[name])
         lines.append("# EOF")

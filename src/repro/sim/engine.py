@@ -138,7 +138,8 @@ class IoEngine:
     _CURRENT_TENANT = object()  # sentinel: "whoever is faulting now"
 
     def submit_cluster(self, fs, inode, page: int, cluster: int,
-                       tenant=_CURRENT_TENANT) -> IoFuture:
+                       tenant=_CURRENT_TENANT,
+                       speculative: bool = False) -> IoFuture:
         """Enqueue one fault cluster, serviced through ``fs.read_pages``
         at dispatch time (noise applied as the synchronous path would).
 
@@ -146,18 +147,21 @@ class IoEngine:
         device's merge/plug stage instead of straight to the elevator.
         ``tenant`` defaults to the kernel's current tenant; callers that
         submit on another task's behalf (the prefetcher, whose pump runs
-        in completion callbacks) pass the owning tenant explicitly."""
+        in completion callbacks) pass the owning tenant explicitly.
+        ``speculative`` marks prefetcher-issued clusters in the dispatch
+        history so blame attribution can name prefetch interference."""
         if tenant is IoEngine._CURRENT_TENANT:
             tenant = getattr(self.kernel, "current_tenant", None)
         if self.block_active:
             return self.plug_for(fs.device).submit(fs, inode, page, cluster,
-                                                   tenant=tenant)
+                                                   tenant=tenant,
+                                                   speculative=speculative)
         addr = inode.extent_map.addr_of(page)
         service = self._fault_service(fs, inode, page, cluster, False)
         return self.queue_for(fs.device).submit(
             addr, cluster * PAGE_SIZE, is_write=False, service=service,
             label=f"fault:{fs.name}:{inode.id}:{page}+{cluster}",
-            tenant=tenant)
+            tenant=tenant, kind="prefetch" if speculative else "fault")
 
     def _fault_service(self, fs, inode, page: int, cluster: int,
                        merged: bool):
@@ -203,6 +207,26 @@ class IoEngine:
         so any queue-state change invalidates cached vectors."""
         return tuple(self.queue_for(device).congestion_epoch
                      for _, device in sorted(fs.device_table().items()))
+
+    # -- forensic provenance ---------------------------------------------
+
+    def dispatch_histories(self) -> dict[str, tuple]:
+        """Per device name: the bounded dispatch-history ring (see
+        :meth:`~repro.block.scheduler.DeviceQueue.recent_dispatches`) —
+        the raw material the blame engine reconstructs queue-wait
+        occupancy from."""
+        return {queue.device.name: queue.recent_dispatches()
+                for queue in self._queues.values()}
+
+    def hold_histories(self) -> dict[tuple, object]:
+        """Plug hold-time provenance across every plug stage, keyed by
+        ``(fs, inode, page, cluster, submit_time)`` — the identity of
+        the lifecycle record the released request produced."""
+        holds: dict[tuple, object] = {}
+        for plug in self._plugs.values():
+            for hold in plug.recent_dispatched_holds():
+                holds[hold.key] = hold
+        return holds
 
     # -- observability ---------------------------------------------------
 

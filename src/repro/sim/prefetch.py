@@ -203,7 +203,8 @@ class Prefetcher:
             if all(cache.peek(key) for key in keys):
                 continue  # a demand fault beat us to the whole run
             future = self.engine.submit_cluster(fs, inode, page, cluster,
-                                                tenant=tenant)
+                                                tenant=tenant,
+                                                speculative=True)
             self._inflight[future] = (fs, inode, page, cluster, tenant)
             self._inflight_bytes += cluster * PAGE_SIZE
             self._inflight_pages.update(keys)

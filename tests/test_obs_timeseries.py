@@ -154,6 +154,111 @@ class TestOpenMetrics:
         assert "repro_lat_seconds_sum 0.05 1" in text
 
 
+class TestOpenMetricsConformance:
+    """Spec-hygiene: real histogram bucket series when opted in,
+    exemplars only where the spec allows them, families contiguous and
+    sorted, exactly one terminating ``# EOF``."""
+
+    def _request_registry(self):
+        reg = MetricsRegistry(namespace="repro")
+        reg.histogram("lifecycle_request_seconds", "Latency",
+                      labels=("cls",), buckets=(0.01, 0.1, 1.0))
+        reg.histogram("lifecycle_component_seconds", "Component",
+                      labels=("cls", "component"),
+                      buckets=(0.01, 0.1, 1.0))
+        return reg
+
+    def _reservoir(self):
+        from repro.obs.forensics import ExemplarReservoir
+        from repro.obs.lifecycle import LifecycleRecord
+        from repro.sim.units import PAGE_SIZE
+        reservoir = ExemplarReservoir(buckets=(0.01, 0.1, 1.0))
+        reservoir.observe(LifecycleRecord(
+            id=42, kind="fault", task="t", fs="ext2",
+            device_class="disk", inode=1, page=0, cluster=1,
+            nbytes=PAGE_SIZE, submit_time=10.0, start_time=10.01,
+            finish_time=10.05, components=(("transfer", 0.04),)))
+        return reservoir
+
+    def test_sampled_buckets_render_as_real_histograms(self):
+        reg = self._request_registry()
+        hist = reg.get("lifecycle_request_seconds").labels(cls="disk")
+        hist.observe(0.05)
+        hist.observe(0.5)
+        ts = TimeSeriesRecorder(reg, sample_buckets=True)
+        ts.sample(1.0)
+        text = ts.render_openmetrics()
+        assert "# TYPE repro_lifecycle_request_seconds histogram" in text
+        assert ('repro_lifecycle_request_seconds_bucket'
+                '{cls="disk",le="0.01"} 0 1') in text
+        assert ('repro_lifecycle_request_seconds_bucket'
+                '{cls="disk",le="0.1"} 1 1') in text
+        assert ('repro_lifecycle_request_seconds_bucket'
+                '{cls="disk",le="+Inf"} 2 1') in text
+        assert "repro_lifecycle_request_seconds_count" in text
+        assert "repro_lifecycle_request_seconds_sum" in text
+        # quantile summaries stay flattened gauges
+        assert "# TYPE repro_lifecycle_request_seconds_p50 gauge" in text
+
+    def test_exemplars_only_on_request_bucket_lines(self):
+        reg = self._request_registry()
+        reg.get("lifecycle_request_seconds").labels(
+            cls="disk").observe(0.05)
+        reg.get("lifecycle_component_seconds").labels(
+            cls="disk", component="transfer").observe(0.04)
+        ts = TimeSeriesRecorder(reg, sample_buckets=True,
+                                exemplars=self._reservoir())
+        ts.sample(1.0)
+        for line in ts.render_openmetrics().splitlines():
+            if " # {" not in line:
+                continue
+            # exemplars are legal on bucket samples only, and only the
+            # request-latency family carries them (a component bucket
+            # would get an out-of-range exemplar value)
+            assert line.startswith(
+                "repro_lifecycle_request_seconds_bucket{"), line
+            assert '# {trace_id="42"} 0.05' in line
+            assert line.endswith(" 10.05")
+        assert sum(" # {" in line
+                   for line in ts.render_openmetrics().splitlines()) > 0
+
+    def test_no_exemplars_without_reservoir(self):
+        reg = self._request_registry()
+        reg.get("lifecycle_request_seconds").labels(
+            cls="disk").observe(0.05)
+        ts = TimeSeriesRecorder(reg, sample_buckets=True)
+        ts.sample(1.0)
+        assert " # {" not in ts.render_openmetrics()
+
+    def test_families_contiguous_sorted_single_eof(self):
+        reg = _registry()
+        reg.get("reads_total").labels(device="disk").inc(2)
+        reg.get("depth").set(7)
+        reg.get("lat_seconds").observe(0.05)
+        ts = TimeSeriesRecorder(reg, sample_buckets=True,
+                                exemplars=self._reservoir())
+        ts.sample(0.25)
+        ts.sample(0.5)
+        lines = ts.render_openmetrics().splitlines()
+        assert lines[-1] == "# EOF"
+        assert sum(line == "# EOF" for line in lines) == 1
+        families = []
+        current = None
+        for line in lines[:-1]:
+            if line.startswith("# TYPE "):
+                current = line.split()[2]
+                families.append(current)
+            else:
+                assert current is not None
+                name = line.split("{", 1)[0].split(" ", 1)[0]
+                # every sample line belongs to the family most recently
+                # declared — i.e. families are contiguous blocks
+                assert name == current or name.startswith(current + "_"), \
+                    f"{name} interleaved into family {current}"
+        assert families == sorted(families)
+        assert len(families) == len(set(families))
+
+
 class TestTelemetryIntegration:
     def test_enable_and_sample_on_real_run(self):
         machine = Machine.unix_utilities(cache_pages=256, seed=123)

@@ -1,9 +1,10 @@
 """Property test: the new observability layers are strictly zero-cost.
 
-A run with the time-series recorder, the SLO tracker, and the hot-path
-profiler all attached must be bit-identical — virtual clock, fault
-counters, per-task stats — to the same run with none of them, across
-every filesystem personality.  Telemetry observes; it never advances the
+A run with the time-series recorder (buckets + exemplars), the SLO
+tracker, the hot-path profiler, and the latency-forensics stack all
+attached must be bit-identical — virtual clock, fault counters,
+per-task stats — to the same run with none of them, across every
+filesystem personality.  Telemetry observes; it never advances the
 clock and never draws randomness.
 """
 
@@ -12,7 +13,8 @@ from hypothesis import strategies as st
 
 from repro.block.merge import BlockConfig
 from repro.machine import Machine
-from repro.obs import HotPathProfiler, SloTracker, Telemetry
+from repro.obs import (HotPathProfiler, LatencyForensics, SloTracker,
+                       Telemetry)
 from repro.sim.tasks import EventScheduler, Task
 from repro.sim.units import PAGE_SIZE
 
@@ -70,16 +72,26 @@ def _fingerprint(machine, stats):
 def _run(profile, seed, pages, observed: bool):
     machine, path = _setup(profile, seed, pages)
     kernel = machine.kernel
+    forensics = None
     if observed:
         telemetry = Telemetry()
         telemetry.attach(kernel)
-        telemetry.enable_timeseries(interval=0.001)
-        SloTracker.for_classes(SLO_OBJECTIVES,
-                               registry=telemetry.registry).attach(telemetry)
+        forensics = LatencyForensics(kernel)
+        telemetry.enable_timeseries(interval=0.001, sample_buckets=True,
+                                    exemplars=forensics.reservoir)
+        slo = SloTracker.for_classes(
+            SLO_OBJECTIVES, registry=telemetry.registry,
+            track_tenants=True).attach(telemetry)
+        forensics.attach(telemetry, slo=slo)
         HotPathProfiler().attach(kernel)
     engine = kernel.attach_engine(block=MERGE_ALL)
     tasks = _interleaved_readers(kernel, path, pages)
     stats = EventScheduler(kernel, tasks, engine=engine).run()
+    if observed:
+        # exercise the analysis path too: blame every traced record and
+        # fold the matrix — all post-hoc, none of it may have perturbed
+        # the run (the fingerprint comparison below is the proof)
+        forensics.analyze(top=3)
     return _fingerprint(machine, stats)
 
 
@@ -90,5 +102,5 @@ def test_observability_stack_is_zero_cost(seed, pages):
         bare = _run(profile, seed, pages, observed=False)
         observed = _run(profile, seed, pages, observed=True)
         assert bare == observed, (
-            f"{profile}: attaching timeseries+SLO+profiler changed "
-            f"simulated behaviour")
+            f"{profile}: attaching timeseries+SLO+profiler+forensics "
+            f"changed simulated behaviour")

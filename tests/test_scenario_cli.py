@@ -226,6 +226,52 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["slo", "--objective", "disk"])
 
+    def test_explain_command(self, capsys, tmp_path):
+        import math
+        import re
+        json_path = tmp_path / "forensics.json"
+        folded_path = tmp_path / "stacks.folded"
+        assert main(["explain", "--tenants", "3", "--top", "2",
+                     "--json", str(json_path),
+                     "--folded-out", str(folded_path)]) == 0
+        out = capsys.readouterr().out
+        assert "latency forensics" in out
+        assert "blame:" in out
+        assert "per-tenant queue delay" in out
+        dump = json.loads(json_path.read_text())
+        forensics = dump["forensics"]
+        assert forensics["analyzed"] > 0
+        assert len(forensics["waterfalls"]) == 2
+        for wf in forensics["waterfalls"]:
+            blame = wf["blame"]
+            assert math.fsum(blame.values()) == pytest.approx(
+                wf["record"]["latency"], rel=1e-12, abs=1e-15)
+            assert wf["spans"], "waterfall without spans"
+        # matrix rows reconcile with the SLO tracker's queue pools
+        rows = forensics["interference"]["row_totals"]
+        pools = dump["slo_tenant_queue_waits"]
+        for tenant, pooled in pools.items():
+            assert rows.get(tenant, 0.0) == pytest.approx(
+                pooled, rel=1e-12, abs=1e-15)
+        # folded stacks: `frame(;frame)* <integer ns>` per line
+        lines = folded_path.read_text().splitlines()
+        assert lines
+        pattern = re.compile(r"^\S.*;.+ \d+$")
+        for line in lines:
+            assert pattern.match(line), f"bad folded line: {line!r}"
+        assert any(line.startswith("critical;") for line in lines)
+
+    def test_explain_plain_and_bad_args(self, capsys):
+        assert main(["explain", "/mnt/ext2/demo/small.txt",
+                     "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "traced request(s)" in out
+        assert "per-tenant queue delay" not in out
+        with pytest.raises(SystemExit):
+            main(["explain", "--top", "0"])
+        with pytest.raises(SystemExit):
+            main(["explain", "--tenants", "-1"])
+
     def test_profile_command(self, capsys, tmp_path):
         out_path = tmp_path / "prof.json"
         assert main(["profile", "--json", str(out_path)]) == 0
