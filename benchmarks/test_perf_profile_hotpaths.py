@@ -1,9 +1,19 @@
 """Hot-path profiler coverage benchmark: where does host CPU time go?
 
-One deterministic workload — striding concurrent readers over a cold
-ext2 file with merging + plugging on and SLED vectors requested up
-front — run with the :class:`~repro.obs.profile.HotPathProfiler`
-attached.  The per-site *call counts* and the virtual-time results are
+Three deterministic phases, one profiler, so every declared site in
+:data:`repro.obs.profile.SITES` is exercised:
+
+* **async striding readers** over a cold ext2 file with merging +
+  plugging on and SLED vectors requested up front — the event-loop,
+  SLED-build, residency, and merge/flush sites;
+* **blocking pread sweep** over a second cold file with no telemetry
+  attached — the vectorised fault path (``kernel.fault_batch``) and the
+  whole-run device kernels (``device.batch_math``);
+* **telemetry replay**: the striding readers again, over a third cold
+  file, with telemetry attached — the deferred fan-in flush
+  (``obs.telemetry_flush``).
+
+The per-site *call counts* and the virtual-time results are
 deterministic and participate in the ``sleds-bench check`` gate: a
 change that silently stops exercising a hot path (or doubles the event
 count) trips the baseline comparison.  The wall-second measurements are
@@ -20,6 +30,7 @@ from repro.block.merge import BlockConfig
 from repro.machine import Machine
 from repro.obs import HotPathProfiler
 from repro.obs.profile import SITES
+from repro.obs.telemetry import Telemetry
 from repro.sim.tasks import EventScheduler, Task
 from repro.sim.units import PAGE_SIZE
 
@@ -29,11 +40,11 @@ READERS = 3
 CHUNK_PAGES = 4
 
 
-def _striding_readers(kernel):
+def _striding_readers(kernel, path):
     nchunks = FILE_PAGES // CHUNK_PAGES
 
     def reader(start):
-        fd = kernel.open("/mnt/ext2/bench.dat")
+        fd = kernel.open(path)
         kernel.get_sleds(fd)  # exercise the SLED-build site
         for chunk in range(start, nchunks, READERS):
             yield from kernel.pread_async(
@@ -49,16 +60,32 @@ def test_profile_hotpaths_record():
 
     machine = Machine.unix_utilities(cache_pages=4096, seed=SEED)
     machine.boot()
-    machine.ext2.create_text_file("bench.dat", FILE_PAGES * PAGE_SIZE,
-                                  seed=1)
+    for name in ("bench.dat", "storm.dat", "tele.dat"):
+        machine.ext2.create_text_file(name, FILE_PAGES * PAGE_SIZE, seed=1)
     kernel = machine.kernel
     profiler = HotPathProfiler().attach(kernel)
     engine = kernel.attach_engine(block=BlockConfig(merge=True, plug=True))
 
     start = kernel.clock.now
-    stats = EventScheduler(kernel, _striding_readers(kernel),
-                           engine=engine).run()
+    stats = EventScheduler(
+        kernel, _striding_readers(kernel, "/mnt/ext2/bench.dat"),
+        engine=engine).run()
     makespan = kernel.clock.now - start
+
+    # phase 2: blocking sweep, telemetry-free — the vectorised fault path
+    fd = kernel.open("/mnt/ext2/storm.dat")
+    offset = 0
+    while offset < FILE_PAGES * PAGE_SIZE:
+        kernel.pread(fd, offset, CHUNK_PAGES * PAGE_SIZE)
+        offset += CHUNK_PAGES * PAGE_SIZE
+    kernel.close(fd)
+
+    # phase 3: striding readers with telemetry — the deferred fan-in flush
+    telemetry = Telemetry()
+    telemetry.attach(kernel)
+    EventScheduler(kernel, _striding_readers(kernel, "/mnt/ext2/tele.dat"),
+                   engine=engine).run()
+
     rows = profiler.rows(virtual_seconds=makespan)
 
     # every declared hot path must be exercised by this workload
@@ -69,9 +96,10 @@ def test_profile_hotpaths_record():
     publish_bench("profile_hotpaths", {
         "benchmark": "profile_hotpaths",
         "description": ("hot-path profiler over striding concurrent "
-                        "readers with merge+plug and SLED vectors: "
-                        "deterministic per-site call counts gate; wall "
-                        "seconds recorded but exempt"),
+                        "readers with merge+plug and SLED vectors, a "
+                        "blocking vectorised-fault sweep, and a "
+                        "telemetry replay: deterministic per-site call "
+                        "counts gate; wall seconds recorded but exempt"),
         "file_pages": FILE_PAGES,
         "readers": READERS,
         "chunk_pages": CHUNK_PAGES,

@@ -56,7 +56,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cache.policies import PageKey, ReplacementPolicy, make_policy
+from repro.cache.policies import (LruPolicy, PageKey, ReplacementPolicy,
+                                  make_policy)
 from repro.cache.residency import make_residency
 
 _EMPTY_PAGES: frozenset[int] = frozenset()
@@ -400,6 +401,70 @@ class PageCache:
         if profiler is not None:
             profiler.add("cache.residency", t0)
         return evicted
+
+    def insert_run(self, inode_id: int, start: int, n: int) -> int | None:
+        """Batched :meth:`insert` of the ``n`` pages ``[start, start+n)``
+        of one inode — the kernel's vectorised fault path calls this with
+        a run of pages it has just read, *all guaranteed non-resident*.
+
+        Returns the number of evictions performed, or ``None`` (with no
+        state touched) when the batch is not provably equivalent to ``n``
+        scalar inserts — sharding, tenants, pins, an observer, a
+        non-LRU policy, or a run larger than the shard.  The caller must
+        then fall back to per-page :meth:`insert` calls.
+
+        Equivalence argument: under strict LRU with no pins, scalar
+        interleaving evicts ``max(0, count + n - capacity)`` victims from
+        the *front* of the recency order while appending the new keys at
+        the back; with ``n <= capacity`` every victim predates the batch,
+        so evicting them all first and then appending the run reaches the
+        identical final order, residency, index, and generation values.
+        """
+        if (self._nshards != 1 or self._pinned or self.observer is not None
+                or self._tenant_limits or self._page_tenant):
+            return None
+        shard = self._shards[0]
+        policy = shard.policy
+        if type(policy) is not LruPolicy or n > shard.capacity:
+            return None
+        profiler = self.profiler
+        t0 = profiler.begin() if profiler is not None else 0.0
+        need = shard.count + n - shard.capacity
+        evictions = 0
+        generations = self._generations
+        if need > 0:
+            resident = self._resident
+            index = self._index
+            # group consecutive same-inode victims into index run-discards
+            run_inode = run_start = run_len = None
+            while evictions < need:
+                victim = policy.choose_victim()
+                resident.discard(victim)
+                vin, vpage = victim
+                if run_inode == vin and vpage == run_start + run_len:
+                    run_len += 1
+                else:
+                    if run_inode is not None:
+                        index.discard_run(run_inode, run_start, run_len)
+                        generations[run_inode] = (
+                            generations.get(run_inode, 0) + run_len)
+                    run_inode, run_start, run_len = vin, vpage, 1
+                evictions += 1
+            index.discard_run(run_inode, run_start, run_len)
+            generations[run_inode] = generations.get(run_inode, 0) + run_len
+            self.last_evicted_owner = None
+            shard.count -= need
+            self.stats.evictions += need
+        self._resident.update((inode_id, page)
+                              for page in range(start, start + n))
+        self._index.add_run(inode_id, start, n)
+        generations[inode_id] = generations.get(inode_id, 0) + n
+        policy.on_insert_run(inode_id, start, n)
+        shard.count += n
+        self.stats.insertions += n
+        if profiler is not None:
+            profiler.add("cache.residency", t0)
+        return evictions
 
     def _evict_one(self, shard: _Shard) -> PageKey:
         if self._tenant_limits:

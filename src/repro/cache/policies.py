@@ -95,6 +95,15 @@ class LruPolicy(ReplacementPolicy):
         self._order[key] = None
         self._order.move_to_end(key)
 
+    def on_insert_run(self, inode_id: int, start: int, n: int) -> None:
+        """Append ``(inode_id, start) .. (inode_id, start+n-1)`` in page
+        order — exactly ``n`` :meth:`on_insert` calls for fresh keys.
+        Only the batched cache insert (``PageCache.insert_run``) calls
+        this, and it guarantees the keys are new."""
+        order = self._order
+        for page in range(start, start + n):
+            order[(inode_id, page)] = None
+
     def __len__(self) -> int:
         return len(self._order)
 

@@ -100,6 +100,63 @@ class RunResidency:
         else:
             bounds[i:i] = (page, page + 1)
 
+    def add_run(self, inode_id: int, start: int, n: int) -> None:
+        """Mark the contiguous run ``[start, start+n)`` resident (caller
+        guarantees none of it was).
+
+        Equivalent to ``n`` :meth:`add` calls but a single splice: with no
+        resident page inside the range, the whole run lies in one gap of
+        the boundary list.
+        """
+        end = start + n
+        bounds = self._bounds.get(inode_id)
+        if bounds is None:
+            self._bounds[inode_id] = [start, end]
+            self._counts[inode_id] = n
+            return
+        self._counts[inode_id] += n
+        if bounds[-1] == start:  # extend the trailing run: sequential reads
+            bounds[-1] = end
+            return
+        i = bisect_right(bounds, start)
+        joins_prev = i > 0 and bounds[i - 1] == start
+        joins_next = i < len(bounds) and bounds[i] == end
+        if joins_prev and joins_next:
+            del bounds[i - 1:i + 1]  # bridge the gap between two runs
+        elif joins_prev:
+            bounds[i - 1] = end
+        elif joins_next:
+            bounds[i] = start
+        else:
+            bounds[i:i] = (start, end)
+
+    def discard_run(self, inode_id: int, start: int, n: int) -> None:
+        """Mark the contiguous run ``[start, start+n)`` non-resident
+        (caller guarantees all of it was).
+
+        Equivalent to ``n`` :meth:`discard` calls but a single trim or
+        split: a fully resident contiguous range lies inside one maximal
+        run of the boundary list.
+        """
+        count = self._counts[inode_id] - n
+        if count == 0:
+            del self._bounds[inode_id]
+            del self._counts[inode_id]
+            return
+        bounds = self._bounds[inode_id]
+        self._counts[inode_id] = count
+        end = start + n
+        i = bisect_right(bounds, start)  # odd: start inside run [i-1, i)
+        run_start, run_end = bounds[i - 1], bounds[i]
+        if run_start == start and run_end == end:
+            del bounds[i - 1:i + 1]
+        elif run_start == start:
+            bounds[i - 1] = end
+        elif run_end == end:
+            bounds[i] = start
+        else:  # split the run around the hole
+            bounds[i:i] = (start, end)
+
     def discard(self, inode_id: int, page: int) -> None:
         """Mark ``page`` non-resident (caller guarantees it was)."""
         bounds = self._bounds[inode_id]
@@ -187,6 +244,17 @@ class SetResidency:
     def add(self, inode_id: int, page: int) -> None:
         self._by_inode.setdefault(inode_id, set()).add(page)
 
+    def add_run(self, inode_id: int, start: int, n: int) -> None:
+        self._by_inode.setdefault(inode_id, set()).update(
+            range(start, start + n))
+
+    def discard_run(self, inode_id: int, start: int, n: int) -> None:
+        pages = self._by_inode.get(inode_id)
+        if pages is not None:
+            pages.difference_update(range(start, start + n))
+            if not pages:
+                del self._by_inode[inode_id]
+
     def discard(self, inode_id: int, page: int) -> None:
         pages = self._by_inode.get(inode_id)
         if pages is not None:
@@ -268,6 +336,30 @@ class BitmapResidency:
             arr = self._maps[inode_id] = self._grown(arr, page)
         arr[page] = True
         self._counts[inode_id] += 1
+
+    def add_run(self, inode_id: int, start: int, n: int) -> None:
+        end = start + n
+        arr = self._maps.get(inode_id)
+        if arr is None:
+            arr = self._maps[inode_id] = _np.zeros(
+                max(64, end), dtype=bool)
+            self._counts[inode_id] = 0
+        elif end > arr.size:
+            arr = self._maps[inode_id] = self._grown(arr, end - 1)
+        arr[start:end] = True
+        self._counts[inode_id] += n
+
+    def discard_run(self, inode_id: int, start: int, n: int) -> None:
+        arr = self._maps.get(inode_id)
+        if arr is None:
+            return
+        arr[start:start + n] = False
+        count = self._counts[inode_id] - n
+        if count == 0:
+            del self._maps[inode_id]
+            del self._counts[inode_id]
+        else:
+            self._counts[inode_id] = count
 
     def discard(self, inode_id: int, page: int) -> None:
         arr = self._maps.get(inode_id)

@@ -22,6 +22,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.devices import batch
+
 
 @dataclass(frozen=True)
 class DeviceSpec:
@@ -406,6 +408,100 @@ class Device(ABC):
         duration = completion.duration
         completion.recycle()
         return duration
+
+    def read_run(self, addr: int, npages: int, page_bytes: int):
+        """Batched equivalent of ``npages`` successive blocking reads.
+
+        Bit-identical to the scalar loop::
+
+            [self.read(addr + i * page_bytes, page_bytes)
+             for i in range(npages)]
+
+        but with the per-access arithmetic done in one numpy pass (see
+        :mod:`repro.devices.batch`).  Only the *first* access of the run
+        can be non-sequential (and therefore draw from the rng / move the
+        head); it is served by a real scalar :meth:`read`, after which
+        every following access is a sequential continuation by
+        construction — pure arithmetic handled by the per-device
+        :meth:`_batch_page_math` kernel.
+
+        Returns the per-access durations as a numpy array, or ``None``
+        when the batch path is unavailable (vectorisation disabled, no
+        batch kernel for this device, an observer attached, or failure
+        injection armed) — the caller must then fall back to scalar
+        reads.  ``None`` is returned *before* any state moves, so the
+        fallback always starts from a clean slate.
+        """
+        if npages <= 0 or not batch.enabled() or not self._batch_eligible():
+            return None
+        if (self.observer is not None or self._pending_failures > 0
+                or self._bad_ranges):
+            return None
+        self._check(addr, npages * page_bytes)
+        durations = np.empty(npages)
+        offset = 0
+        if self._batch_needs_scalar_head(addr):
+            durations[0] = self.read(addr, page_bytes)
+            offset = 1
+        count = npages - offset
+        if count:
+            tail, components = self._batch_page_math(
+                addr + offset * page_bytes, count, page_bytes)
+            durations[offset:] = tail
+            self._commit_batch_read(tail, components, count, page_bytes)
+            self._batch_commit_position(addr + npages * page_bytes)
+        return durations
+
+    def _batch_eligible(self) -> bool:
+        """Whether this device has a batch kernel *right now*.
+
+        Checked before any state moves so an ineligible device never
+        sees a half-executed batch.  The base class has no kernel.
+        """
+        return False
+
+    def _batch_needs_scalar_head(self, addr: int) -> bool:
+        """Whether the first access of a run at ``addr`` must go through
+        the scalar path (non-sequential: seeks, rng draws, nested
+        devices).  Positionless devices return False."""
+        return False
+
+    def _batch_page_math(self, addr: int, count: int, page_bytes: int):
+        """Per-access durations and component arrays for ``count``
+        *sequential* page reads starting at ``addr``.
+
+        Pure arithmetic — no state updates, no rng.  Returns
+        ``(durations, components)`` where ``durations`` is a float array
+        of length ``count`` and ``components`` maps component names to
+        per-access value arrays.  Every element must equal what the
+        scalar ``_access_time`` would have produced for the same
+        sequential access, bit for bit.
+        """
+        raise NotImplementedError
+
+    def _batch_commit_position(self, end_addr: int) -> None:
+        """Apply the positional state a run ending at ``end_addr`` leaves
+        behind (head position, sequential cursor).  Positionless devices
+        do nothing."""
+
+    def _commit_batch_read(self, durations, components, count: int,
+                           page_bytes: int) -> None:
+        """Fold a batch's stats into the same running sums the scalar
+        path maintains, in the scalar accumulation order."""
+        self.stats.reads += count
+        self.stats.bytes_read += count * page_bytes
+        self.stats.busy_time = batch.fold(self.stats.busy_time, durations)
+        # blocking reads never queue: each access starts at the busy
+        # horizon, so the horizon advances by the same fold
+        self.busy_until = batch.fold(self.busy_until, durations)
+        totals = self.component_totals
+        for part, values in components.items():
+            if part in totals:
+                totals[part] = batch.fold(totals[part], values)
+            elif np.any(values):
+                # scalar _components drops zero-valued parts, so never
+                # create a key from an all-zero column
+                totals[part] = batch.fold(0.0, values)
 
     def write(self, addr: int, nbytes: int) -> float:
         """Time in seconds to write ``nbytes`` starting at ``addr``."""

@@ -76,6 +76,25 @@ class CdromDevice(Device):
         self._components(positioning=positioning, transfer=transfer)
         return duration
 
+    # -- batched fast path ----------------------------------------------
+
+    def _batch_eligible(self) -> bool:
+        return True
+
+    def _batch_needs_scalar_head(self, addr: int) -> bool:
+        return addr != self._next_sequential
+
+    def _batch_page_math(self, addr: int, count: int, page_bytes: int):
+        # Sequential streaming: no settle, no travel, no rng — the scalar
+        # path charges 0.0 + transfer, which is transfer bit for bit, and
+        # drops the zero positioning component.
+        transfer = np.full(count, page_bytes / self.spec.bandwidth)
+        return transfer, {"transfer": transfer}
+
+    def _batch_commit_position(self, end_addr: int) -> None:
+        self.head_pos = end_addr
+        self._next_sequential = end_addr
+
     def head_position(self) -> int:
         return self.head_pos
 

@@ -86,6 +86,9 @@ class DiskDevice(Device):
         super().__init__(spec, capacity=capacity, rng=rng)
         self.head_pos = 0
         self._next_sequential = 0
+        # zone table as flat arrays for the vectorised batch kernel
+        self._zone_starts = np.array([z.start_frac for z in zones])
+        self._zone_bandwidths = np.array([z.bandwidth for z in zones])
 
     @staticmethod
     def _mean_bandwidth(zones: tuple[Zone, ...], capacity: int) -> float:
@@ -149,6 +152,34 @@ class DiskDevice(Device):
         self._components(overhead=self.controller_overhead,
                          positioning=positioning, transfer=transfer)
         return duration
+
+    # -- batched fast path ----------------------------------------------
+
+    def _batch_eligible(self) -> bool:
+        return True
+
+    def _batch_needs_scalar_head(self, addr: int) -> bool:
+        return addr != self._next_sequential
+
+    def _batch_page_math(self, addr: int, count: int, page_bytes: int):
+        # Sequential continuations: no seek, no rotation, no rng — each
+        # access is controller_overhead + nbytes / bandwidth_at(addr),
+        # with the zone looked up per address exactly as zone_index does
+        # (largest zone whose start fraction the address has reached).
+        addrs = addr + page_bytes * np.arange(count, dtype=np.int64)
+        frac = addrs / self.capacity
+        idx = (frac[:, None] >= self._zone_starts).sum(axis=1) - 1
+        transfer = page_bytes / self._zone_bandwidths[idx]
+        durations = self.controller_overhead + transfer
+        components = {
+            "overhead": np.full(count, self.controller_overhead),
+            "transfer": transfer,
+        }
+        return durations, components
+
+    def _batch_commit_position(self, end_addr: int) -> None:
+        self.head_pos = end_addr
+        self._next_sequential = end_addr
 
     def head_position(self) -> int:
         return self.head_pos

@@ -53,6 +53,20 @@ class FlashDevice(Device):
                           latency=read_latency, bandwidth=read_bandwidth)
         super().__init__(spec, capacity=capacity, rng=rng)
 
+    def _batch_eligible(self) -> bool:
+        return True
+
+    def _batch_page_math(self, addr: int, count: int, page_bytes: int):
+        # No positional state: every read is read_latency + transfer.
+        transfer = np.full(count, page_bytes / self.read_bandwidth)
+        durations = np.full(count, self.read_latency + page_bytes
+                            / self.read_bandwidth)
+        components = {
+            "overhead": np.full(count, self.read_latency),
+            "transfer": transfer,
+        }
+        return durations, components
+
     def _access_time(self, addr: int, nbytes: int, is_write: bool) -> float:
         if not is_write:
             transfer = nbytes / self.read_bandwidth

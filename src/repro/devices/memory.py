@@ -29,6 +29,20 @@ class MemoryDevice(Device):
                           latency=latency, bandwidth=bandwidth)
         super().__init__(spec, capacity=capacity, rng=rng)
 
+    def _batch_eligible(self) -> bool:
+        return True
+
+    def _batch_page_math(self, addr: int, count: int, page_bytes: int):
+        # No positional state: every read is latency + transfer.
+        transfer = np.full(count, page_bytes / self.spec.bandwidth)
+        durations = np.full(count, self.spec.latency + page_bytes
+                            / self.spec.bandwidth)
+        components = {
+            "overhead": np.full(count, self.spec.latency),
+            "transfer": transfer,
+        }
+        return durations, components
+
     def _access_time(self, addr: int, nbytes: int, is_write: bool) -> float:
         transfer = nbytes / self.spec.bandwidth
         self._components(overhead=self.spec.latency, transfer=transfer)

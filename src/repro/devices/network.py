@@ -143,6 +143,33 @@ class NfsDevice(Device):
                          server=server_time, transfer=wire)
         return duration
 
+    # -- batched fast path ----------------------------------------------
+
+    def _batch_eligible(self) -> bool:
+        # The server-cache model mutates LRU membership and bumps
+        # cache_version on every read — per-access state the batch kernel
+        # does not reproduce.  It is off (0 blocks) in the paper setup.
+        return self.server_cache_blocks == 0
+
+    def _batch_needs_scalar_head(self, addr: int) -> bool:
+        return addr != self._next_sequential
+
+    def _batch_page_math(self, addr: int, count: int, page_bytes: int):
+        # Sequential continuations ride the server's read-ahead: no
+        # server disk, no rng.  Scalar order: (rtt + request_overhead)
+        # + (0.0 + wire), and the zero server component is dropped.
+        base = self.rtt + self.request_overhead
+        wire = page_bytes / self.link_bandwidth
+        durations = np.full(count, base + wire)
+        components = {
+            "network": np.full(count, base),
+            "transfer": np.full(count, wire),
+        }
+        return durations, components
+
+    def _batch_commit_position(self, end_addr: int) -> None:
+        self._next_sequential = end_addr
+
     def reset_state(self) -> None:
         super().reset_state()
         self._next_sequential = 0

@@ -37,6 +37,7 @@ from repro.cache.readahead import ReadaheadWindow
 from repro.core.builder import build_sled_vector
 from repro.core.sled import SledVector
 from repro.core.sled_table import SledTable
+from repro.devices import batch as device_batch
 from repro.devices.memory import MemoryDevice
 from repro.fs.content import ByteStoreContent
 from repro.fs.filesystem import FileSystem, split_path
@@ -182,6 +183,10 @@ class Kernel:
         #: None = off.  Measures host CPU time only — virtual timings
         #: are bit-identical with a profiler attached or not.
         self.profiler = None
+        #: lazily-built TelemetryBatch for the engine's batched fault
+        #: path (repro.obs.telemetry); rebuilt if telemetry is swapped.
+        #: Never allocated while telemetry is detached (zero-cost rule).
+        self._telemetry_batch = None
 
     # ------------------------------------------------------------------
     # mounts and path resolution
@@ -490,6 +495,21 @@ class Kernel:
 
     def _fault_in(self, of: OpenFile, offset: int, length: int,
                   use_readahead: bool = True) -> None:
+        # Vectorised fast path: a readahead-free span (pread) with no
+        # observation hooks, no noise, and the stock extent-run read path
+        # can charge whole miss runs with O(runs) numpy work instead of
+        # O(pages) Python (see docs/performance.md).  Every condition
+        # below names a feature whose per-page side effects the batch
+        # does not reproduce; any of them sends the span down the scalar
+        # reference loop, which remains bit-identical.
+        if (not use_readahead and self.telemetry is None
+                and self.tracer is None and self.prefetcher is None
+                and self.current_tenant is None and self.noise <= 0.0
+                and self.page_cache.observer is None
+                and device_batch.enabled()
+                and type(of.fs).read_pages is FileSystem.read_pages):
+            self._fault_in_batch(of, offset, length)
+            return
         from repro.obs.lifecycle import component_delta, snapshot_components
 
         # hot loop: hoist every per-iteration attribute load — at millions
@@ -550,6 +570,82 @@ class Kernel:
                             cache.last_evicted_owner)
                 if telemetry is not None and extra != page:
                     telemetry.on_readahead_insert((inode_id, extra))
+
+    def _fault_in_batch(self, of: OpenFile, offset: int, length: int) -> None:
+        """Charge a readahead-free span with run-granular batch work.
+
+        Equivalent to the scalar ``_fault_in`` loop with ``window == 1``
+        and no observers attached.  Pages are still processed strictly in
+        page order; only the *mechanism* changes:
+
+        * hits go through the real :meth:`PageCache.access` (one per
+          page — recency moves must land in scalar order), with residency
+          tested at process time so this span's own evictions are seen;
+        * maximal miss runs are split into device-contiguous extent
+          pieces, each charged via :meth:`DeviceModel.read_run` (whole-run
+          numpy math, left-fold accumulation), advanced on the clock with
+          :meth:`VirtualClock.advance_run`, and inserted with
+          :meth:`PageCache.insert_run`.
+
+        Every batched step falls back to the scalar equivalent *for that
+        piece* when a precondition fails (device declines, non-LRU
+        policy, run larger than the cache), so the path never needs to
+        undo partial work.
+        """
+        inode = of.inode
+        inode_id = inode.id
+        fs = of.fs
+        device = fs.device
+        cache = self.page_cache
+        counters = self.counters
+        clock = self.clock
+        category = device.time_category
+        extent_map = inode.extent_map
+        resident = cache._resident
+        cache_stats = cache.stats
+        profiler = self.profiler
+        t_batch = profiler.begin() if profiler is not None else 0.0
+        page = offset // PAGE_SIZE
+        end_page = (offset + length - 1) // PAGE_SIZE + 1
+        while page < end_page:
+            if (inode_id, page) in resident:
+                cache.access((inode_id, page))
+                counters.cache_hits += 1
+                page += 1
+                continue
+            run_start = page
+            page += 1
+            while page < end_page and (inode_id, page) not in resident:
+                page += 1
+            n = page - run_start
+            counters.cache_misses += n
+            counters.hard_faults += n
+            counters.pages_read += n
+            cache_stats.misses += n
+            for file_page, piece_pages, piece_addr in extent_map.extents_in(
+                    run_start, n):
+                t_dev = profiler.begin() if profiler is not None else 0.0
+                durations = device.read_run(
+                    piece_addr, piece_pages, PAGE_SIZE)
+                if durations is None:
+                    for i in range(piece_pages):
+                        clock.advance(
+                            device.read(piece_addr + i * PAGE_SIZE,
+                                        PAGE_SIZE),
+                            category)
+                else:
+                    clock.advance_run(durations.tolist(), category)
+                if profiler is not None:
+                    profiler.add("device.batch_math", t_dev)
+                evicted = cache.insert_run(inode_id, file_page, piece_pages)
+                if evicted is None:
+                    evicted = 0
+                    for extra in range(file_page, file_page + piece_pages):
+                        if cache.insert((inode_id, extra)) is not None:
+                            evicted += 1
+                counters.evictions += evicted
+        if profiler is not None:
+            profiler.add("kernel.fault_batch", t_batch)
 
     # -- the event-driven read path ------------------------------------
 
@@ -728,20 +824,39 @@ class Kernel:
                                          tenant=tenant)
                    for page, cluster, _ in runs]
         yield futures
+        # completion walk: hoist per-run attribute loads — nothing in the
+        # loop yields, so clock/telemetry/tracer are loop invariants
+        tracer = self.tracer
+        telemetry = self.telemetry
+        device = fs.device
+        category = device.time_category
+        now = self.clock.now
+        tele_batch = None
+        if telemetry is not None and device_batch.enabled():
+            # defer on_fault fan-in to one flush per batch; a ticking
+            # time-series sampler must observe the exact scalar
+            # interleaving with cache-counter updates, so it opts out
+            if telemetry.timeseries is None:
+                tele_batch = self._telemetry_batch
+                if tele_batch is None or tele_batch.telemetry is not telemetry:
+                    from repro.obs.telemetry import TelemetryBatch
+                    tele_batch = self._telemetry_batch = (
+                        TelemetryBatch(telemetry))
         for (page, cluster, window), future in zip(runs, futures):
             completion = future.value
             seconds = completion.duration
             counters.pages_read += cluster
             counters.readahead_pages += cluster - 1
-            if self.tracer is not None:
-                self.tracer.emit(self.clock.now, "fault",
-                                 fs.device.time_category, seconds,
-                                 page=page, cluster=cluster,
-                                 inode=inode_id)
-            if self.telemetry is not None:
-                self.telemetry.on_fault(
-                    fs.device, inode_id, page, cluster, seconds,
-                    now=self.clock.now, window=window, fs=fs,
+            if tracer is not None:
+                tracer.emit(now, "fault", category, seconds,
+                            page=page, cluster=cluster, inode=inode_id)
+            if tele_batch is not None:
+                tele_batch.add(device, inode_id, page, cluster, seconds,
+                               now, window, fs, completion)
+            elif telemetry is not None:
+                telemetry.on_fault(
+                    device, inode_id, page, cluster, seconds,
+                    now=now, window=window, fs=fs,
                     completion=completion)
             for extra in range(page, page + cluster):
                 if cache.insert((inode_id, extra), tenant) is not None:
@@ -749,8 +864,14 @@ class Kernel:
                     if tenant is not None:
                         counters.note_tenant_eviction(
                             cache.last_evicted_owner)
-                if self.telemetry is not None and extra != page:
-                    self.telemetry.on_readahead_insert((inode_id, extra))
+                if telemetry is not None and extra != page:
+                    telemetry.on_readahead_insert((inode_id, extra))
+        if tele_batch is not None:
+            profiler = self.profiler
+            t0 = profiler.begin() if profiler is not None else 0.0
+            tele_batch.flush()
+            if profiler is not None:
+                profiler.add("obs.telemetry_flush", t0)
 
     def mmap(self, fd: int) -> "MappedRegion":
         """Map an open file; reads through the mapping skip the

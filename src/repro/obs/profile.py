@@ -37,6 +37,9 @@ SITES = {
     "cache.residency": "PageCache.insert: residency update + eviction",
     "cache.resident_runs": "PageCache.resident_runs: interval-run query",
     "block.merge_flush": "PlugQueue.flush: coalesce + dispatch",
+    "kernel.fault_batch": "Kernel._fault_in_batch: vectorised fault span",
+    "device.batch_math": "Device.read_run: whole-run latency kernels",
+    "obs.telemetry_flush": "TelemetryBatch.flush: deferred on_fault fan-in",
 }
 
 

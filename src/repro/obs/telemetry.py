@@ -254,11 +254,19 @@ class Telemetry:
 
     def on_fault(self, device, inode_id: int, page: int, cluster: int,
                  seconds: float, now: float, window: int,
-                 fs=None, completion=None, components=None) -> None:
+                 fs=None, completion=None, components=None,
+                 _handles=None) -> None:
         cls = device.time_category
-        self.faults.labels(device=cls).inc()
-        self.fault_latency.labels(device=cls).observe(seconds)
-        self.fault_cluster.labels(device=cls).observe(cluster)
+        if _handles is None:
+            # per-call label resolution; TelemetryBatch.flush memoises
+            # these three children per device class and passes them in
+            _handles = (self.faults.labels(device=cls),
+                        self.fault_latency.labels(device=cls),
+                        self.fault_cluster.labels(device=cls))
+        fault_counter, latency_hist, cluster_hist = _handles
+        fault_counter.inc()
+        latency_hist.observe(seconds)
+        cluster_hist.observe(cluster)
         self.readahead_window.set(window)
         if cluster > 1:
             self.readahead_issued.inc(cluster - 1)
@@ -560,3 +568,65 @@ class Telemetry:
     def chrome_trace(self) -> dict:
         """Chrome trace-event JSON of every recorded span."""
         return chrome_trace(self.spans)
+
+
+class TelemetryBatch:
+    """Deferred :meth:`Telemetry.on_fault` fan-in for a run batch.
+
+    The engine's batched fault path (``Kernel._fault_in_runs``) completes
+    every miss run of a span in one parked wait, then walks the
+    completions.  Calling ``on_fault`` per run from inside that walk pays
+    three metric-label resolutions and the full fan-out per fault;
+    :meth:`add` instead captures the call's arguments, and :meth:`flush`
+    replays them *in the original order* with the per-device-class label
+    children resolved once per batch.
+
+    Replay order is the only thing that moves: ``on_fault`` neither reads
+    nor writes anything the interleaved cache inserts touch, *except* the
+    time-series sampler (``_tick``), whose samples would observe insert
+    counters from later runs — so the kernel only routes through a batch
+    when ``telemetry.timeseries is None``.  Readahead-insert set-adds and
+    all cache-observer callbacks stay live and in place.  Metric totals,
+    span order, lifecycle records, and accuracy bookkeeping are exactly
+    those of the undeferred path.
+    """
+
+    __slots__ = ("_telemetry", "_events", "_handles")
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        self._telemetry = telemetry
+        self._events: list = []
+        self._handles: dict = {}
+
+    @property
+    def telemetry(self) -> Telemetry:
+        return self._telemetry
+
+    def add(self, device, inode_id: int, page: int, cluster: int,
+            seconds: float, now: float, window: int, fs,
+            completion) -> None:
+        """Capture one deferred ``on_fault`` (arguments, not effects)."""
+        self._events.append((device, inode_id, page, cluster, seconds,
+                             now, window, fs, completion))
+
+    def flush(self) -> None:
+        """Replay the captured calls in order, then clear the batch."""
+        events = self._events
+        if not events:
+            return
+        telemetry = self._telemetry
+        on_fault = telemetry.on_fault
+        handles = self._handles
+        for (device, inode_id, page, cluster, seconds,
+             now, window, fs, completion) in events:
+            cls = device.time_category
+            h = handles.get(cls)
+            if h is None:
+                h = handles[cls] = (
+                    telemetry.faults.labels(device=cls),
+                    telemetry.fault_latency.labels(device=cls),
+                    telemetry.fault_cluster.labels(device=cls))
+            on_fault(device, inode_id, page, cluster, seconds,
+                     now=now, window=window, fs=fs, completion=completion,
+                     _handles=h)
+        events.clear()

@@ -57,6 +57,28 @@ class VirtualClock:
         self._by_category[category] = self._by_category.get(category, 0.0) + seconds
         return self._now
 
+    def advance_run(self, durations, category: str = "other") -> float:
+        """Advance by each duration in ``durations``, in order.
+
+        Semantically ``for d in durations: advance(d, category)`` — the
+        accumulation order (and therefore every intermediate rounding) is
+        identical, so the batched fault path can charge a whole run of
+        faults without diverging from the scalar path by an ulp.
+        """
+        now = self._now
+        total = self._by_category.get(category, 0.0)
+        for seconds in durations:
+            if seconds < 0:
+                self._now = now
+                self._by_category[category] = total
+                raise ClockError(
+                    f"cannot advance clock by negative time: {seconds!r}")
+            now += seconds
+            total += seconds
+        self._now = now
+        self._by_category[category] = total
+        return now
+
     def advance_to(self, time: float, category: str = "other") -> float:
         """Advance the clock to exactly ``time`` (charged to ``category``).
 

@@ -1,0 +1,339 @@
+"""Property tests: the vectorised fault path is bit-identical to scalar.
+
+The numpy fast paths (run-batched device math in ``Device.read_run``,
+the kernel's ``_fault_in_batch`` dispatch, the flat-array SLED build in
+``build_sled_vector``, and the deferred telemetry fan-in) promise *exact*
+equality with the scalar reference code, not approximation.  Every test
+here runs the same deterministic workload twice — once with
+:func:`repro.devices.batch.set_enabled` forcing the vectorised path,
+once forcing the scalar reference — and asserts the results match bit
+for bit:
+
+* full workloads (async striding readers + a blocking fault storm)
+  across all four filesystem personalities and all three residency
+  backends, fingerprinting the clock, per-category charges, fault
+  counters, per-task stats, per-device stats/component totals, and the
+  final SLED vector;
+* the per-device batch kernels against a scalar read loop over
+  randomized run layouts — durations, running stats, busy horizon,
+  component totals, and rng stream alignment;
+* the vectorised SLED build against the scalar fold and the paper's
+  literal full walk, on residency patterns wide enough to actually take
+  the array path (asserted via a spy, so the comparison can't go
+  vacuous);
+* the telemetry fan-in (``TelemetryBatch``) against immediate per-fault
+  ``on_fault`` calls, comparing whole telemetry exports;
+* the no-numpy fallback: with the batch module's numpy knocked out the
+  library still runs workloads, ``read_run`` declines, and the results
+  still match the vectorised ones.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.block.merge import BlockConfig
+from repro.core import builder
+from repro.core.builder import build_sled_vector, build_sled_vector_full_walk
+from repro.devices import batch
+from repro.devices.cdrom import CdromDevice
+from repro.devices.disk import DiskDevice
+from repro.devices.flash import FlashDevice
+from repro.devices.memory import MemoryDevice
+from repro.devices.network import NfsDevice
+from repro.fs import inode as inode_mod
+from repro.machine import Machine, MachineConfig
+from repro.obs.telemetry import Telemetry
+from repro.sim.tasks import EventScheduler, Task
+from repro.sim.units import PAGE_SIZE
+
+PROFILES = ("ext2", "cdrom", "nfs", "hsm")
+
+CONFIGS = (
+    MachineConfig(residency="sets", event_loop="heap"),    # pre-PR-7
+    MachineConfig(residency="runs", event_loop="bucket"),  # tuned default
+    MachineConfig(residency="bitmap", event_loop="bucket"),
+)
+
+MERGE_ALL = BlockConfig(merge=True, plug=True)
+
+
+def _with_batch(flag, fn, *args):
+    """Run ``fn(*args)`` with the vectorised path forced on/off,
+    restoring the environment-driven default afterwards."""
+    batch.set_enabled(flag)
+    try:
+        return fn(*args)
+    finally:
+        batch.set_enabled(None)
+
+
+def _setup(profile: str, seed: int, pages: int, config: MachineConfig):
+    if profile == "hsm":
+        machine = Machine.hsm(cache_pages=256, stage_pages=512,
+                              seed=13000 + seed, config=config)
+        machine.boot()
+        machine.hsmfs.create_tape_file("f", pages * PAGE_SIZE, "VOL000")
+        return machine, "/mnt/hsm/f"
+    machine = Machine.unix_utilities(cache_pages=256, seed=13000 + seed,
+                                     config=config)
+    machine.boot()
+    fs = {"ext2": machine.ext2, "cdrom": machine.cdrom,
+          "nfs": machine.nfs}[profile]
+    fs.create_text_file("f", pages * PAGE_SIZE, seed=seed)
+    return machine, f"/mnt/{profile}/f"
+
+
+def _striding_readers(kernel, path, pages, readers=2, chunk_pages=2):
+    nchunks = max(1, pages // chunk_pages)
+
+    def reader(start):
+        fd = kernel.open(path)
+        for chunk in range(start, nchunks, readers):
+            kernel.get_sleds(fd)
+            yield from kernel.pread_async(
+                fd, chunk * chunk_pages * PAGE_SIZE, chunk_pages * PAGE_SIZE)
+        kernel.close(fd)
+
+    return [Task(f"r{i}", reader(i)) for i in range(readers)]
+
+
+def _device_state(machine):
+    out = []
+    for mount in sorted(machine.filesystems):
+        device = machine.filesystems[mount].device
+        stats = device.stats
+        out.append((mount, stats.reads, stats.bytes_read, stats.busy_time,
+                    stats.queue_wait_time, stats.queued_requests,
+                    device.busy_until,
+                    tuple(sorted(device.component_totals.items()))))
+    return tuple(out)
+
+
+def _fingerprint(machine, stats):
+    kernel = machine.kernel
+    counters = kernel.counters
+    return (
+        kernel.clock.now,
+        tuple(sorted(kernel.clock.categories().items())),
+        counters.hard_faults, counters.pages_read, counters.cache_hits,
+        counters.readahead_pages, counters.evictions,
+        tuple(sorted(
+            (name, s.virtual_time, s.wait_time, s.hard_faults, s.io_waits,
+             s.finished_at)
+            for name, s in stats.items())),
+        _device_state(machine),
+    )
+
+
+def _run(profile: str, seed: int, pages: int, config: MachineConfig):
+    machine, path = _setup(profile, seed, pages, config)
+    kernel = machine.kernel
+    engine = kernel.attach_engine(block=MERGE_ALL)
+    tasks = _striding_readers(kernel, path, pages)
+    stats = EventScheduler(kernel, tasks, engine=engine).run()
+    # blocking storm phase: sequential re-read sweeps drive the
+    # synchronous fault path (Kernel._fault_in / _fault_in_batch)
+    fd = kernel.open(path)
+    chunk = 3 * PAGE_SIZE
+    for _ in range(2):
+        offset = 0
+        while offset < pages * PAGE_SIZE:
+            kernel.pread(fd, offset, chunk)
+            offset += chunk
+    vector = kernel.get_sleds(fd)
+    kernel.close(fd)
+    return _fingerprint(machine, stats), tuple(
+        (sled.offset, sled.length, sled.latency, sled.bandwidth)
+        for sled in vector)
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(0, 50), pages=st.integers(2, 40))
+def test_vectorised_workloads_bit_identical(seed, pages):
+    for profile in PROFILES:
+        for config in CONFIGS:
+            scalar = _with_batch(False, _run, profile, seed, pages, config)
+            vector = _with_batch(True, _run, profile, seed, pages, config)
+            assert vector == scalar, (
+                f"{profile}/{config.residency}+{config.event_loop}: "
+                f"vectorised fault path diverged from the scalar reference")
+
+
+DEVICE_FACTORIES = (
+    lambda rng: DiskDevice(rng=rng),
+    lambda rng: CdromDevice(rng=rng),
+    lambda rng: NfsDevice(rng=rng),
+    lambda rng: FlashDevice(rng=rng),
+    lambda rng: MemoryDevice(rng=rng),
+)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 1000),
+       runs=st.lists(st.tuples(st.integers(0, 4000), st.integers(1, 64)),
+                     min_size=1, max_size=6))
+def test_device_batch_math_matches_scalar(seed, runs):
+    """``read_run`` == a loop of blocking ``read`` calls, bit for bit:
+    per-access durations, running stats, busy horizon, component totals,
+    and the rng stream position afterwards."""
+    for make in DEVICE_FACTORIES:
+        batch_dev = make(np.random.default_rng(seed))
+        scalar_dev = make(np.random.default_rng(seed))
+        for page_addr, npages in runs:
+            addr = page_addr * PAGE_SIZE
+            durations = _with_batch(
+                True, batch_dev.read_run, addr, npages, PAGE_SIZE)
+            assert durations is not None, (
+                f"{type(batch_dev).__name__} has no batch kernel")
+            expected = [scalar_dev.read(addr + i * PAGE_SIZE, PAGE_SIZE)
+                        for i in range(npages)]
+            assert list(durations) == expected
+        assert batch_dev.stats.reads == scalar_dev.stats.reads
+        assert batch_dev.stats.bytes_read == scalar_dev.stats.bytes_read
+        assert batch_dev.stats.busy_time == scalar_dev.stats.busy_time
+        assert batch_dev.busy_until == scalar_dev.busy_until
+        assert batch_dev.component_totals == scalar_dev.component_totals
+        # rng alignment: the next non-sequential access draws the same
+        # randomness on both devices
+        probe = 5000 * PAGE_SIZE
+        assert (batch_dev.read(probe, PAGE_SIZE)
+                == scalar_dev.read(probe, PAGE_SIZE))
+
+
+def _sled_inputs(profile: str):
+    """A machine whose file has an alternating residency pattern wide
+    enough (32 resident runs) that ``build_sled_vector`` takes the
+    array path."""
+    machine, path = _setup(profile, seed=7, pages=256, config=MachineConfig())
+    kernel = machine.kernel
+    fd = kernel.open(path)
+    for chunk in range(0, 256, 8):
+        if (chunk // 8) % 2 == 0:
+            kernel.pread(fd, chunk * PAGE_SIZE, 4 * PAGE_SIZE)
+    inode = kernel._fd(fd).inode
+    fs = kernel._fd(fd).fs
+    return machine, kernel, inode, fs
+
+
+def _sleds(vector):
+    return tuple((s.offset, s.length, s.latency, s.bandwidth)
+                 for s in vector)
+
+
+def _build_spied(cache, fs, inode, table, queue_delays):
+    """build_sled_vector, asserting the numpy emit actually ran."""
+    calls = []
+    original = builder._emit_arrays
+
+    def spy(*args, **kwargs):
+        calls.append(1)
+        return original(*args, **kwargs)
+
+    builder._emit_arrays = spy
+    try:
+        vector = build_sled_vector(cache, fs, inode, table,
+                                   queue_delays=queue_delays)
+    finally:
+        builder._emit_arrays = original
+    assert calls, "vector emit path was not taken (test would be vacuous)"
+    return vector
+
+
+def test_sled_build_vector_path_identical():
+    for profile in PROFILES:
+        machine, kernel, inode, fs = _sled_inputs(profile)
+        cache = kernel.page_cache
+        table = kernel.sleds_table
+        keys = {estimate.device_key for _, estimate
+                in fs.span_estimates(inode, 0, inode.npages)}
+        for queue_delays in (None, {key: 0.00173 for key in keys}):
+            vector = _with_batch(True, _build_spied,
+                                 cache, fs, inode, table, queue_delays)
+            scalar = _with_batch(False, build_sled_vector,
+                                 cache, fs, inode, table, queue_delays)
+            assert _sleds(vector) == _sleds(scalar), (
+                f"{profile}: array emit diverged from scalar fold "
+                f"(queue_delays={queue_delays is not None})")
+        full = build_sled_vector_full_walk(cache, fs, inode, table)
+        fast = _with_batch(True, build_sled_vector, cache, fs, inode, table)
+        assert _sleds(fast) == _sleds(full), (
+            f"{profile}: vectorised build diverged from the paper's "
+            f"literal per-page walk")
+
+
+@settings(max_examples=10, deadline=None)
+@given(mask=st.lists(st.booleans(), min_size=24, max_size=120))
+def test_sled_build_random_residency_identical(mask):
+    """Randomized residency layouts: whatever pattern of resident pages
+    the workload leaves behind, the three builders agree exactly."""
+    pages = len(mask)
+    machine, path = _setup("ext2", seed=11, pages=pages,
+                           config=MachineConfig())
+    kernel = machine.kernel
+    fd = kernel.open(path)
+    for page, resident in enumerate(mask):
+        if resident:
+            kernel.pread(fd, page * PAGE_SIZE, PAGE_SIZE)
+    inode = kernel._fd(fd).inode
+    fs = kernel._fd(fd).fs
+    cache, table = kernel.page_cache, kernel.sleds_table
+    vector = _with_batch(True, build_sled_vector, cache, fs, inode, table)
+    scalar = _with_batch(False, build_sled_vector, cache, fs, inode, table)
+    full = build_sled_vector_full_walk(cache, fs, inode, table)
+    assert _sleds(vector) == _sleds(scalar) == _sleds(full)
+
+
+def test_telemetry_fanin_identical():
+    """Deferred fan-in (``TelemetryBatch``) produces byte-identical
+    telemetry exports to immediate per-fault ``on_fault`` calls.
+
+    Inode ids come from a process-global counter, so both runs pin it to
+    the same start — telemetry keys spans by inode id and the exports
+    would otherwise differ spuriously.
+    """
+    def run():
+        saved = inode_mod._inode_ids
+        inode_mod._inode_ids = itertools.count(1_000_000)
+        try:
+            machine, path = _setup("ext2", seed=5, pages=96,
+                                   config=MachineConfig())
+            kernel = machine.kernel
+            telemetry = Telemetry()
+            telemetry.attach(kernel)
+            engine = kernel.attach_engine(block=MERGE_ALL)
+            tasks = _striding_readers(kernel, path, 96, readers=3,
+                                      chunk_pages=4)
+            EventScheduler(kernel, tasks, engine=engine).run()
+            fd = kernel.open(path)
+            kernel.pread(fd, 0, 96 * PAGE_SIZE)
+            kernel.close(fd)
+            return telemetry.to_dict(), telemetry.chrome_trace()
+        finally:
+            inode_mod._inode_ids = saved
+
+    scalar_dict, scalar_trace = _with_batch(False, run)
+    batch_dict, batch_trace = _with_batch(True, run)
+    assert batch_dict == scalar_dict
+    assert batch_trace == scalar_trace
+
+
+def test_scalar_fallback_without_numpy(monkeypatch):
+    """With numpy knocked out of the batch layer the library still runs
+    every workload — ``read_run`` declines, the kernel and builder take
+    their scalar reference paths, and results match the vectorised run."""
+    vector = _run("ext2", seed=3, pages=24, config=MachineConfig())
+
+    with monkeypatch.context() as m:
+        m.setattr(batch, "_np", None)
+        m.setattr(builder, "np", None)
+        assert not batch.enabled()
+        device = DiskDevice(rng=np.random.default_rng(1))
+        assert device.read_run(0, 8, PAGE_SIZE) is None
+        fallback = _run("ext2", seed=3, pages=24, config=MachineConfig())
+
+    assert fallback == vector
